@@ -1,0 +1,55 @@
+"""Shared configuration of the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper (see
+DESIGN.md for the experiment index) and prints the regenerated rows/series so
+they can be compared side by side with the paper.  Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the printed tables; without it only the timing and the
+shape assertions are visible.  Environment knobs:
+
+* ``REPRO_BENCH_RUNS`` — randomised runs averaged per configuration
+  (default 3; the paper uses 1,000);
+* ``REPRO_BENCH_SCALE`` — workload-length scale factor (default 0.5).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_runs() -> int:
+    """Randomised runs per configuration used by the heavier benchmarks."""
+    return max(1, _env_int("REPRO_BENCH_RUNS", 3))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Workload-length scaling factor used by the heavier benchmarks."""
+    return min(1.0, max(0.05, _env_float("REPRO_BENCH_SCALE", 0.5)))
+
+
+def print_section(title: str) -> None:
+    """Print a visually separated section header."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

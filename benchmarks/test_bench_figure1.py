@@ -1,0 +1,69 @@
+"""Benchmark: Figure 1 — EEMBC slowdowns under RP / CBA / H-CBA.
+
+Regenerates the normalised average execution times of ``cacheb``, ``canrdr``,
+``matrix`` and ``tblook`` under the six configurations of the paper
+({RP, CBA, H-CBA} x {isolation, maximum contention}), normalised to RP in
+isolation.
+
+Paper reference points (FPGA, 1,000 runs per configuration):
+
+* worst contention slowdown without CBA: 3.34x (``matrix``);
+* worst contention slowdown with CBA: 2.34x;
+* CBA isolation overhead: ~3% on average;
+* H-CBA isolation overhead: negligible;
+* H-CBA further reduces the TuA's contention slowdown.
+
+The simulated platform is not the authors' FPGA, so absolute values differ;
+the assertions check the *shape*: orderings, the ~N bound with CBA, and the
+small isolation overheads.  Run counts and workload sizes are controlled by
+``REPRO_BENCH_RUNS`` / ``REPRO_BENCH_SCALE``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure1 import FIGURE1_CONFIGURATIONS, run_figure1
+
+from conftest import print_section
+
+
+def run_and_report(num_runs: int, access_scale: float):
+    result = run_figure1(
+        num_runs=num_runs,
+        access_scale=access_scale,
+        seed=2017,
+    )
+    print_section(
+        "Figure 1: normalised average execution time "
+        f"(runs per config = {num_runs}, workload scale = {access_scale})"
+    )
+    print(result.to_table())
+    print()
+    print(f"worst RP-CON slowdown   : {result.worst_contention_slowdown('RP-CON'):.2f}  (paper: 3.34)")
+    print(f"worst CBA-CON slowdown  : {result.worst_contention_slowdown('CBA-CON'):.2f}  (paper: 2.34)")
+    print(f"worst H-CBA-CON slowdown: {result.worst_contention_slowdown('H-CBA-CON'):.2f}")
+    print(f"CBA isolation overhead  : {100 * result.isolation_overhead('CBA-ISO'):.1f}%  (paper: ~3%)")
+    print(f"H-CBA isolation overhead: {100 * result.isolation_overhead('H-CBA-ISO'):.1f}%  (paper: ~0%)")
+    return result
+
+
+def test_bench_figure1_slowdowns(benchmark, bench_runs, bench_scale):
+    result = benchmark.pedantic(
+        run_and_report, args=(bench_runs, bench_scale), rounds=1, iterations=1
+    )
+    for bench_name, per_config in result.slowdowns.items():
+        assert set(per_config) == set(FIGURE1_CONFIGURATIONS)
+        # Contention always costs something relative to the same bus in
+        # isolation, and CBA bounds the damage.
+        assert per_config["RP-CON"] > per_config["RP-ISO"]
+        assert per_config["CBA-CON"] < per_config["RP-CON"]
+        assert per_config["H-CBA-CON"] <= per_config["CBA-CON"] + 0.05
+        # H-CBA is essentially free for the favoured core in isolation.
+        assert per_config["H-CBA-ISO"] <= per_config["CBA-ISO"] + 0.02
+
+    # Matrix is the most contention-sensitive benchmark, as in the paper.
+    assert result.slowdowns["matrix"]["RP-CON"] == result.worst_contention_slowdown("RP-CON")
+    # With CBA the worst slowdown stays in the vicinity of the core count.
+    assert result.worst_contention_slowdown("CBA-CON") < 4.0
+    # Isolation overheads: CBA is cheap on average, H-CBA nearly free.
+    assert result.isolation_overhead("CBA-ISO") < 0.25
+    assert result.isolation_overhead("H-CBA-ISO") < 0.08

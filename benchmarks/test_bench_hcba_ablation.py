@@ -1,0 +1,69 @@
+"""Benchmark: H-CBA design-choice ablation (Section III-A).
+
+The paper sketches two ways to allocate heterogeneous bandwidth — uneven
+replenishment shares (the evaluated H-CBA) and per-core budget-cap growth —
+and notes the trade-off between favoured-core latency and temporal starvation
+of the others.  The ablation sweeps both variants on a short-request task
+under maximum contention and reports the favoured core's slowdown, its
+achieved bandwidth share and the contenders' throughput.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.hcba_sweep import run_hcba_sweep
+
+from conftest import print_section
+
+
+def run_and_report(num_runs: int, access_scale: float):
+    result = run_hcba_sweep(
+        fractions=(0.25, 0.4, 0.5, 0.75),
+        cap_multipliers=(2, 4),
+        num_runs=num_runs,
+        access_scale=access_scale,
+    )
+    print_section("H-CBA ablation: favoured-core slowdown vs contender throughput")
+    rows = []
+    for point in result.points:
+        rows.append(
+            [
+                point.label,
+                point.favoured_fraction,
+                point.tua_slowdown,
+                point.tua_bandwidth_share,
+                point.contender_completed_requests,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "configuration",
+                "favoured fraction",
+                "TuA slowdown",
+                "TuA bandwidth share",
+                "contender requests",
+            ],
+            rows,
+        )
+    )
+    print(f"\n(baseline isolation: {result.baseline_isolation_cycles:.0f} cycles)")
+    return result
+
+
+def test_bench_hcba_ablation(benchmark, bench_runs, bench_scale):
+    result = benchmark.pedantic(
+        run_and_report, args=(bench_runs, bench_scale), rounds=1, iterations=1
+    )
+    rp = result.by_label("RP")
+    cba = result.by_label("CBA")
+    half = result.by_label("H-CBA-shares-0.50")
+    three_quarters = result.by_label("H-CBA-shares-0.75")
+    # CBA improves on RP; giving the TuA a larger share improves it further.
+    assert cba.tua_slowdown < rp.tua_slowdown
+    assert half.tua_slowdown <= cba.tua_slowdown + 0.05
+    assert three_quarters.tua_slowdown <= half.tua_slowdown + 0.05
+    # The favoured core's bandwidth share grows with its replenishment share,
+    # and the contenders pay for it with reduced throughput.
+    assert three_quarters.tua_bandwidth_share >= cba.tua_bandwidth_share
+    assert three_quarters.contender_completed_requests <= rp.contender_completed_requests

@@ -1,0 +1,62 @@
+"""Benchmark: the Section II illustrative example.
+
+Paper numbers (analytical): a task with 1,000 six-cycle requests and a
+10,000-cycle isolation time suffers a 9.4x slowdown against three 28-cycle
+streaming contenders under request-fair arbitration, and 2.8x under
+cycle-fair arbitration.  The benchmark regenerates both the analytical values
+and the cycle-accurate simulation of the same scenario (request-fair =
+random permutations, cycle-fair = CBA over random permutations).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.bounds import ContentionScenario
+from repro.experiments.illustrative import run_illustrative_example
+
+from conftest import print_section
+
+
+def run_and_report():
+    result = run_illustrative_example(ContentionScenario(), seed=2017)
+    print_section("Section II illustrative example: slowdown of the short-request task")
+    rows = [
+        ["isolation (cycles)", result.analytic_isolation_cycles, result.simulated_isolation_cycles],
+        [
+            "request-fair contention (cycles)",
+            result.analytic_request_fair_cycles,
+            result.simulated_request_fair_cycles,
+        ],
+        [
+            "cycle-fair contention (cycles)",
+            result.analytic_cycle_fair_cycles,
+            result.simulated_cycle_fair_cycles,
+        ],
+        [
+            "request-fair slowdown",
+            result.analytic_request_fair_slowdown,
+            result.simulated_request_fair_slowdown,
+        ],
+        [
+            "cycle-fair slowdown",
+            result.analytic_cycle_fair_slowdown,
+            result.simulated_cycle_fair_slowdown,
+        ],
+    ]
+    print(format_table(["quantity", "paper (analytic)", "simulated"], rows))
+    return result
+
+
+def test_bench_illustrative_example(benchmark):
+    result = benchmark.pedantic(run_and_report, rounds=1, iterations=1)
+    # Shape assertions: the request-fair slowdown is far above the core
+    # count, the cycle-fair slowdown is in the vicinity of the core count,
+    # and the analytic values match the paper exactly.
+    assert result.analytic_request_fair_slowdown == 9.4
+    assert result.analytic_cycle_fair_slowdown == 2.8
+    assert result.simulated_request_fair_slowdown > 6.0
+    assert result.simulated_cycle_fair_slowdown < 4.5
+    assert (
+        result.simulated_cycle_fair_slowdown
+        < 0.6 * result.simulated_request_fair_slowdown
+    )

@@ -1,0 +1,60 @@
+"""Benchmark: MBPTA compatibility (Section III-B).
+
+The paper's WCET-estimation argument: execution times collected in the
+analysis-time scenario (WCET-estimation mode, TuA starting with zero budget,
+Table I contenders) are i.i.d. — thanks to the platform's randomisation — and
+their EVT projection upper-bounds operation-time behaviour.  The benchmark
+regenerates the full MBPTA campaign for one EEMBC benchmark on the CBA bus
+and prints the i.i.d. verdicts, the Gumbel tail fit and the pWCET curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.mbpta_experiment import run_mbpta_experiment
+
+from conftest import print_section
+
+
+def run_and_report(num_runs: int, access_scale: float):
+    result = run_mbpta_experiment(
+        benchmark="canrdr",
+        configuration="CBA",
+        num_runs=max(30, num_runs * 10),
+        operation_runs=max(5, num_runs),
+        access_scale=max(0.15, access_scale / 2),
+        block_size=5,
+    )
+    print_section("MBPTA campaign: canrdr on the CBA bus (WCET-estimation mode)")
+    print(format_table(
+        ["i.i.d. test", "statistic", "p-value", "passed"],
+        [[t.name, t.statistic, t.p_value, t.passed] for t in result.mbpta.iid_tests],
+    ))
+    print()
+    fit = result.mbpta.evt.fit
+    print(f"Gumbel tail fit: location={fit.location:.1f}, scale={fit.scale:.1f}, "
+          f"method={fit.method}, goodness-of-fit passed={result.mbpta.evt.acceptable}")
+    print()
+    print(format_table(
+        ["exceedance probability", "pWCET bound (cycles)"],
+        [[f"{p:g}", bound] for p, bound in result.mbpta.pwcet.points()],
+        float_format="{:.0f}",
+    ))
+    print()
+    print(f"observed max (analysis mode) : {result.mbpta.observed_max:.0f}")
+    print(f"observed max (operation mode): {max(result.operation_samples):.0f}")
+    print(f"pWCET @ 1e-12                : {result.pwcet_bound:.0f}")
+    return result
+
+
+def test_bench_mbpta_pwcet(benchmark, bench_runs, bench_scale):
+    result = benchmark.pedantic(
+        run_and_report, args=(bench_runs, bench_scale), rounds=1, iterations=1
+    )
+    # The pWCET curve must dominate everything observed, in both modes.
+    assert result.pwcet_bound >= result.mbpta.observed_max
+    assert result.bound_dominates_operation
+    # Execution times vary across runs (randomised platform) and the tail fit
+    # is usable.
+    assert len(set(result.mbpta.samples)) > 1
+    assert result.mbpta.evt.fit.scale > 0

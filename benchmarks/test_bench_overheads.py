@@ -1,0 +1,52 @@
+"""Benchmark: implementation overheads (Section IV-B).
+
+The paper synthesises the 4-core LEON3 with and without CBA: baseline FPGA
+occupancy 73%, growth from adding CBA far below 0.1%, and no loss of the
+100 MHz operating frequency.  The structural RTL cost model reproduces the
+comparison: the CBA add-on is a handful of counters, comparators and control
+bits per core, negligible next to the multicore.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.overheads import run_overheads
+from repro.hw.rtl_cost import arbiter_cost, cba_addon_cost
+
+from conftest import print_section
+
+
+def run_and_report():
+    result = run_overheads()
+    print_section("Section IV-B: implementation overhead of CBA (structural estimate)")
+    rows = [
+        ["base arbiter (random permutations)", result.base_arbiter_aluts],
+        ["CBA add-on", result.cba_addon_aluts],
+        ["whole multicore (73% of the DE4)", result.platform_aluts],
+    ]
+    print(format_table(["block", "ALUT-equivalent"], rows, float_format="{:.0f}"))
+    print()
+    print(f"CBA add-on vs whole platform: {result.addon_vs_platform_percent:.4f}%  "
+          f"(paper claim: < {result.paper_claim_percent_upper_bound}%)")
+    print()
+    print_section("CBA add-on breakdown")
+    addon = cba_addon_cost()
+    breakdown_rows = [
+        [name, ff, lut] for name, (ff, lut) in addon.breakdown.items()
+    ]
+    print(format_table(["block", "flip-flops", "LUTs"], breakdown_rows, float_format="{:.0f}"))
+    print()
+    print_section("Cost of every arbitration policy (for context)")
+    policy_rows = []
+    for policy in ("fixed_priority", "round_robin", "fifo", "tdma", "lottery", "random_permutations"):
+        estimate = arbiter_cost(policy)
+        policy_rows.append([policy, estimate.flip_flops, estimate.luts, estimate.alut_equivalent])
+    print(format_table(["policy", "flip-flops", "LUTs", "ALUT-eq"], policy_rows, float_format="{:.0f}"))
+    return result
+
+
+def test_bench_implementation_overheads(benchmark):
+    result = benchmark.pedantic(run_and_report, rounds=1, iterations=1)
+    assert result.claim_holds
+    assert result.addon_vs_platform_percent < 0.1
+    assert result.cba_addon_aluts < result.platform_aluts / 1000

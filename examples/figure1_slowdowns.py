@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 1: EEMBC slowdowns under RP, CBA and H-CBA.
+
+Runs the four EEMBC-like benchmarks of the paper (``cacheb``, ``canrdr``,
+``matrix``, ``tblook``) in isolation and under maximum contention on the
+three bus configurations and prints the normalised average execution times —
+the data behind Figure 1.  The paper averages 1,000 FPGA runs per
+configuration; pick ``--runs``/``--scale`` according to how long you are
+willing to wait (the default finishes in about a minute).
+
+Run with::
+
+    python examples/figure1_slowdowns.py --runs 3 --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import run_figure1
+from repro.workloads.eembc import FIGURE1_BENCHMARKS, available_benchmarks
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmarks", nargs="*", default=list(FIGURE1_BENCHMARKS),
+                        choices=available_benchmarks(),
+                        help="benchmarks to run (default: the four in Figure 1)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="randomised runs per configuration (paper: 1000)")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload length scale factor in (0, 1]")
+    parser.add_argument("--seed", type=int, default=2017)
+    args = parser.parse_args()
+
+    result = run_figure1(
+        benchmarks=args.benchmarks,
+        num_runs=args.runs,
+        access_scale=args.scale,
+        seed=args.seed,
+    )
+
+    print("Figure 1: normalised average execution time "
+          "(baseline: RP in isolation)")
+    print()
+    print(result.to_table())
+    print()
+    print(f"worst RP-CON slowdown   : {result.worst_contention_slowdown('RP-CON'):.2f}   (paper: 3.34, matrix)")
+    print(f"worst CBA-CON slowdown  : {result.worst_contention_slowdown('CBA-CON'):.2f}   (paper: 2.34)")
+    print(f"worst H-CBA-CON slowdown: {result.worst_contention_slowdown('H-CBA-CON'):.2f}")
+    print(f"CBA isolation overhead  : {100 * result.isolation_overhead('CBA-ISO'):.1f}%  (paper: ~3%)")
+    print(f"H-CBA isolation overhead: {100 * result.isolation_overhead('H-CBA-ISO'):.1f}%  (paper: negligible)")
+
+
+if __name__ == "__main__":
+    main()

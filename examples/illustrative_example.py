@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Reproduce the Section II illustrative example of the paper.
+
+A task issues 1,000 short (6-cycle) bus requests over a 10,000-cycle run
+while three streaming contenders issue 28-cycle requests continuously.
+Request-fair arbitration gives the task a 9.4x slowdown; cycle-fair
+arbitration (CBA) brings it down to roughly the core count.
+
+The script prints the analytical closed forms alongside the cycle-accurate
+simulation of the same scenario and shows how the bus cycles were actually
+split between the cores in each case.
+
+Run with::
+
+    python examples/illustrative_example.py [--requests N] [--contender-cycles C]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ContentionScenario
+from repro.analysis.reporting import format_table
+from repro.experiments.illustrative import run_illustrative_example
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=1000,
+                        help="number of TuA requests (default: 1000)")
+    parser.add_argument("--isolation-cycles", type=int, default=10_000,
+                        help="TuA execution time in isolation (default: 10000)")
+    parser.add_argument("--tua-cycles", type=int, default=6,
+                        help="bus hold time of each TuA request (default: 6)")
+    parser.add_argument("--contender-cycles", type=int, default=28,
+                        help="bus hold time of each contender request (default: 28)")
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=2017)
+    args = parser.parse_args()
+
+    scenario = ContentionScenario(
+        isolation_cycles=args.isolation_cycles,
+        tua_requests=args.requests,
+        tua_request_cycles=args.tua_cycles,
+        contender_request_cycles=args.contender_cycles,
+        num_cores=args.cores,
+    )
+    result = run_illustrative_example(scenario, seed=args.seed)
+
+    print("Section II illustrative example")
+    print(f"  TuA: {scenario.tua_requests} requests x {scenario.tua_request_cycles} cycles, "
+          f"{scenario.isolation_cycles} cycles in isolation")
+    print(f"  contenders: {scenario.num_contenders} streaming cores x "
+          f"{scenario.contender_request_cycles}-cycle requests")
+    print()
+    rows = [
+        ["isolation", result.analytic_isolation_cycles, result.simulated_isolation_cycles],
+        ["request-fair contention", result.analytic_request_fair_cycles,
+         result.simulated_request_fair_cycles],
+        ["cycle-fair contention (CBA)", result.analytic_cycle_fair_cycles,
+         result.simulated_cycle_fair_cycles],
+    ]
+    print(format_table(["scenario", "analytic (cycles)", "simulated (cycles)"], rows,
+                       float_format="{:.0f}"))
+    print()
+    print(f"request-fair slowdown: analytic {result.analytic_request_fair_slowdown:.1f}x, "
+          f"simulated {result.simulated_request_fair_slowdown:.1f}x")
+    print(f"cycle-fair slowdown  : analytic {result.analytic_cycle_fair_slowdown:.1f}x, "
+          f"simulated {result.simulated_cycle_fair_slowdown:.1f}x")
+    print()
+    print("With CBA the slowdown stays in the vicinity of the core count "
+          f"({scenario.num_cores}); without it, the short-request task is starved "
+          "of bandwidth despite receiving an equal number of slots.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: compare a task's execution time with and without CBA.
+
+Builds the paper's 4-core platform (random-permutations bus, partitioned L2,
+28-cycle memory), runs the EEMBC-like ``matrix`` workload in isolation and
+against three worst-case contenders, and prints the slowdowns for the
+baseline bus (RP), the credit-based bus (CBA) and the heterogeneous variant
+(H-CBA, 50% of the bandwidth for the task under analysis).
+
+Run with::
+
+    python examples/quickstart.py [benchmark] [--runs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    cba_config,
+    eembc_workload,
+    hcba_config,
+    rp_config,
+    run_isolation,
+    run_max_contention,
+)
+from repro.analysis.reporting import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="matrix",
+                        help="EEMBC-like workload name (default: matrix)")
+    parser.add_argument("--runs", type=int, default=2,
+                        help="randomised runs to average (default: 2)")
+    parser.add_argument("--seed", type=int, default=2017)
+    args = parser.parse_args()
+
+    workload = eembc_workload(args.benchmark)
+    configs = {"RP": rp_config(), "CBA": cba_config(), "H-CBA": hcba_config(favoured_core=0)}
+
+    def average(scenario, config):
+        cycles = [
+            scenario(workload, config, seed=args.seed, run_index=run).tua_cycles
+            for run in range(args.runs)
+        ]
+        return sum(cycles) / len(cycles)
+
+    baseline = average(run_isolation, configs["RP"])
+    rows = []
+    for label, config in configs.items():
+        iso = average(run_isolation, config)
+        con = average(run_max_contention, config)
+        rows.append([label, iso, con, iso / baseline, con / baseline])
+
+    print(f"benchmark: {args.benchmark}  (averaged over {args.runs} randomised runs)")
+    print()
+    print(
+        format_table(
+            ["bus", "isolation (cycles)", "contention (cycles)",
+             "isolation slowdown", "contention slowdown"],
+            rows,
+        )
+    )
+    print()
+    print("Normalisation baseline: RP in isolation (as in Figure 1 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode (``pip install -e .``) on
+environments whose tooling predates PEP 660 editable wheels (no ``wheel``
+package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""Allow ``python -m repro <command>`` to run the CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,29 @@
+"""Result analysis: slowdowns, bandwidth shares, fairness indices and report
+formatting."""
+
+from .fairness import FairnessReport, fairness_report, jain_index, max_min_ratio
+from .metrics import (
+    MeanWithConfidence,
+    bandwidth_shares_from_cycles,
+    mean_with_confidence,
+    normalised_execution_times,
+    slot_shares_from_grants,
+    slowdown,
+)
+from .reporting import format_figure1_table, format_key_values, format_table
+
+__all__ = [
+    "slowdown",
+    "normalised_execution_times",
+    "MeanWithConfidence",
+    "mean_with_confidence",
+    "bandwidth_shares_from_cycles",
+    "slot_shares_from_grants",
+    "jain_index",
+    "max_min_ratio",
+    "FairnessReport",
+    "fairness_report",
+    "format_table",
+    "format_figure1_table",
+    "format_key_values",
+]

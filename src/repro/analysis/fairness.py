@@ -1,0 +1,94 @@
+"""Fairness indices.
+
+The paper's central claim is about *which notion of fairness* an arbiter
+provides: request-fair policies equalise slots, CBA equalises cycles.  To
+quantify that difference the experiments use:
+
+* Jain's fairness index over per-core allocations (1.0 = perfectly fair);
+* the max/min ratio of allocations (1.0 = perfectly fair, larger = worse);
+* a combined report comparing slot fairness and cycle fairness side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sim.errors import AnalysisError
+
+__all__ = ["jain_index", "max_min_ratio", "FairnessReport", "fairness_report"]
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Equals 1 when all allocations are equal and tends to ``1/n`` when a
+    single contender receives everything.  Zero allocations are legal (idle
+    cores); an all-zero vector is considered perfectly fair.
+    """
+    values = [float(x) for x in allocations]
+    if not values:
+        raise AnalysisError("fairness of an empty allocation vector is undefined")
+    if any(x < 0 for x in values):
+        raise AnalysisError("allocations cannot be negative")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(x * x for x in values)
+    return (total * total) / (len(values) * squares)
+
+
+def max_min_ratio(allocations: Sequence[float]) -> float:
+    """Ratio between the largest and smallest non-zero allocation.
+
+    Returns ``inf`` when some contender received nothing while another
+    received something (complete unfairness/starvation).
+    """
+    values = [float(x) for x in allocations]
+    if not values:
+        raise AnalysisError("fairness of an empty allocation vector is undefined")
+    largest = max(values)
+    smallest = min(values)
+    if largest == 0:
+        return 1.0
+    if smallest == 0:
+        return float("inf")
+    return largest / smallest
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Slot fairness vs cycle fairness for one run."""
+
+    grants_per_core: tuple[int, ...]
+    cycles_per_core: tuple[int, ...]
+    slot_jain: float
+    cycle_jain: float
+    slot_max_min: float
+    cycle_max_min: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "grants_per_core": list(self.grants_per_core),
+            "cycles_per_core": list(self.cycles_per_core),
+            "slot_jain": self.slot_jain,
+            "cycle_jain": self.cycle_jain,
+            "slot_max_min": self.slot_max_min,
+            "cycle_max_min": self.cycle_max_min,
+        }
+
+
+def fairness_report(
+    grants_per_core: Sequence[int], cycles_per_core: Sequence[int]
+) -> FairnessReport:
+    """Build the slot-vs-cycle fairness comparison the experiments print."""
+    if len(grants_per_core) != len(cycles_per_core):
+        raise AnalysisError("grants and cycles vectors must have the same length")
+    return FairnessReport(
+        grants_per_core=tuple(int(x) for x in grants_per_core),
+        cycles_per_core=tuple(int(x) for x in cycles_per_core),
+        slot_jain=jain_index(grants_per_core),
+        cycle_jain=jain_index(cycles_per_core),
+        slot_max_min=max_min_ratio(grants_per_core),
+        cycle_max_min=max_min_ratio(cycles_per_core),
+    )

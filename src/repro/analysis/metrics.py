@@ -1,0 +1,96 @@
+"""Performance metrics derived from simulation results.
+
+All the quantities the paper reports are ratios of execution times or of bus
+occupancy; this module provides them as small, well-tested functions so the
+experiments and benchmarks share one definition:
+
+* slowdown (normalised average execution time, the y-axis of Figure 1);
+* per-core bandwidth shares in cycles and in slots;
+* average over repeated randomised runs with confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sim.errors import AnalysisError
+
+__all__ = [
+    "slowdown",
+    "normalised_execution_times",
+    "MeanWithConfidence",
+    "mean_with_confidence",
+    "bandwidth_shares_from_cycles",
+    "slot_shares_from_grants",
+]
+
+
+def slowdown(contended_cycles: float, baseline_cycles: float) -> float:
+    """Execution-time ratio against a baseline (``RP`` in isolation in Figure 1)."""
+    if baseline_cycles <= 0:
+        raise AnalysisError("baseline execution time must be positive")
+    return contended_cycles / baseline_cycles
+
+
+def normalised_execution_times(
+    execution_times: dict[str, float], baseline_key: str
+) -> dict[str, float]:
+    """Normalise every entry of ``execution_times`` to the baseline entry."""
+    if baseline_key not in execution_times:
+        raise AnalysisError(f"baseline key {baseline_key!r} missing from results")
+    baseline = execution_times[baseline_key]
+    return {key: slowdown(value, baseline) for key, value in execution_times.items()}
+
+
+@dataclass(frozen=True)
+class MeanWithConfidence:
+    """Sample mean with a normal-approximation confidence interval."""
+
+    mean: float
+    half_width: float
+    count: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+
+def mean_with_confidence(samples: Sequence[float], z: float = 1.96) -> MeanWithConfidence:
+    """Mean of ``samples`` with a ``z``-sigma confidence half-width.
+
+    The paper averages 1,000 runs per configuration because the randomised
+    platform makes individual runs noisy; the confidence interval quantifies
+    how well-resolved a reported average is for a smaller run count.
+    """
+    values = [float(x) for x in samples]
+    if not values:
+        raise AnalysisError("cannot average an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return MeanWithConfidence(mean=mean, half_width=0.0, count=1)
+    variance = sum((x - mean) ** 2 for x in values) / (n - 1)
+    half_width = z * math.sqrt(variance / n)
+    return MeanWithConfidence(mean=mean, half_width=half_width, count=n)
+
+
+def bandwidth_shares_from_cycles(cycles_per_core: Sequence[int]) -> list[float]:
+    """Fraction of granted bus *cycles* used by each core."""
+    total = sum(cycles_per_core)
+    if total <= 0:
+        return [0.0] * len(cycles_per_core)
+    return [c / total for c in cycles_per_core]
+
+
+def slot_shares_from_grants(grants_per_core: Sequence[int]) -> list[float]:
+    """Fraction of granted *slots* (requests) used by each core."""
+    total = sum(grants_per_core)
+    if total <= 0:
+        return [0.0] * len(grants_per_core)
+    return [g / total for g in grants_per_core]

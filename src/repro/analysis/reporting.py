@@ -1,0 +1,61 @@
+"""Plain-text report tables.
+
+The benchmarks regenerate the paper's tables and figure series as text; this
+module renders small, dependency-free ASCII tables so results are readable in
+a terminal, in pytest output and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_figure1_table", "format_key_values"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    out = [line(list(headers)), separator]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def format_figure1_table(
+    slowdowns: Mapping[str, Mapping[str, float]],
+    configurations: Sequence[str],
+) -> str:
+    """Render the Figure 1 data: one row per benchmark, one column per config."""
+    headers = ["benchmark", *configurations]
+    rows = []
+    for benchmark in sorted(slowdowns):
+        row: list[object] = [benchmark]
+        for config in configurations:
+            row.append(slowdowns[benchmark].get(config, float("nan")))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_key_values(values: Mapping[str, object], title: str = "") -> str:
+    """Render a mapping as aligned ``key: value`` lines with an optional title."""
+    width = max((len(k) for k in values), default=0)
+    lines = [f"{key.ljust(width)} : {value}" for key, value in values.items()]
+    if title:
+        return "\n".join([title, "-" * len(title), *lines])
+    return "\n".join(lines)

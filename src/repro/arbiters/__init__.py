@@ -1,0 +1,30 @@
+"""Bus arbitration policies.
+
+This package contains the slot-fair baseline policies the paper compares
+against (FIFO, round-robin, TDMA, lottery, random permutations, fixed
+priority) behind a common :class:`~repro.arbiters.base.Arbiter` interface,
+plus a registry to build them by name.  The paper's credit-based arbitration
+lives in :mod:`repro.core` and wraps any of these.
+"""
+
+from .base import Arbiter
+from .fifo import FIFOArbiter
+from .lottery import LotteryArbiter
+from .priority import FixedPriorityArbiter
+from .random_permutations import RandomPermutationsArbiter
+from .registry import ARBITER_POLICIES, available_policies, create_arbiter
+from .round_robin import RoundRobinArbiter
+from .tdma import TDMAArbiter
+
+__all__ = [
+    "Arbiter",
+    "FIFOArbiter",
+    "RoundRobinArbiter",
+    "TDMAArbiter",
+    "LotteryArbiter",
+    "RandomPermutationsArbiter",
+    "FixedPriorityArbiter",
+    "ARBITER_POLICIES",
+    "available_policies",
+    "create_arbiter",
+]

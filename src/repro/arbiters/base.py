@@ -1,0 +1,103 @@
+"""Common interface of all bus arbitration policies.
+
+An arbiter answers one question every cycle: *given the set of masters with a
+pending, eligible request, which one (if any) is granted the bus?*  All the
+policies studied in the paper — FIFO, round-robin, TDMA, lottery, random
+permutations — implement this interface, and the credit-based arbitration of
+the paper (:class:`repro.core.cba.CreditBasedArbiter`) wraps any of them,
+filtering the set of eligible masters by budget before delegating.
+
+The bus drives an arbiter through three hooks:
+
+* :meth:`Arbiter.cycle_update` every cycle, with the master currently holding
+  the bus (or ``None``) — used by stateful policies (TDMA slot counters,
+  credit budgets);
+* :meth:`Arbiter.arbitrate` when the bus is idle and at least one master has a
+  pending request;
+* :meth:`Arbiter.on_grant` when the grant actually happens, with the resolved
+  transaction duration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..sim.errors import ArbitrationError
+
+__all__ = ["Arbiter"]
+
+
+class Arbiter(ABC):
+    """Abstract bus arbiter."""
+
+    #: Short policy identifier used by the registry and in reports.
+    policy_name: str = "abstract"
+
+    def __init__(self, num_masters: int) -> None:
+        if num_masters <= 0:
+            raise ArbitrationError("an arbiter needs at least one master")
+        self.num_masters = num_masters
+        self.grants_per_master = [0] * num_masters
+        self.cycles_granted_per_master = [0] * num_masters
+
+    # ------------------------------------------------------------------
+    # Policy interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def arbitrate(self, requestors: Sequence[int], cycle: int) -> int | None:
+        """Return the master to grant among ``requestors``, or ``None``.
+
+        ``requestors`` is the list of master indices with a pending, eligible
+        request this cycle.  Implementations must only ever return a member of
+        ``requestors`` (or ``None`` to leave the bus idle, e.g. TDMA outside
+        the owner's slot).
+        """
+
+    def on_grant(self, master_id: int, duration: int, cycle: int) -> None:
+        """Notification that ``master_id`` was granted for ``duration`` cycles.
+
+        Subclasses overriding this must call ``super().on_grant`` so the
+        per-master grant accounting stays correct.
+        """
+        self.grants_per_master[master_id] += 1
+        self.cycles_granted_per_master[master_id] += duration
+
+    def on_request(self, master_id: int, cycle: int) -> None:
+        """Notification that ``master_id`` asserted a new request at ``cycle``.
+
+        Most policies ignore it; FIFO uses it to order grants by arrival time.
+        """
+
+    def cycle_update(self, cycle: int, holder: int | None) -> None:
+        """Per-cycle hook; ``holder`` is the master using the bus this cycle."""
+
+    def reset(self) -> None:
+        """Return the arbiter to its power-on state."""
+        self.grants_per_master = [0] * self.num_masters
+        self.cycles_granted_per_master = [0] * self.num_masters
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _validate_requestors(self, requestors: Sequence[int]) -> list[int]:
+        """Check requestor indices and return them as a list."""
+        out = []
+        for master in requestors:
+            if not 0 <= master < self.num_masters:
+                raise ArbitrationError(
+                    f"requestor {master} out of range for {self.num_masters} masters"
+                )
+            out.append(master)
+        return out
+
+    def _validate_choice(self, choice: int | None, requestors: Sequence[int]) -> int | None:
+        """Ensure the arbitration decision is legal."""
+        if choice is not None and choice not in requestors:
+            raise ArbitrationError(
+                f"{type(self).__name__} granted master {choice}, which is not requesting"
+            )
+        return choice
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(num_masters={self.num_masters})"

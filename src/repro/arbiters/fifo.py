@@ -1,0 +1,67 @@
+"""First-in first-out arbitration.
+
+Masters are granted in the order their requests arrived.  The bus reports the
+arrival cycle of each pending request through :meth:`FIFOArbiter.note_request`
+(called when a master asserts its request line); arbitration then picks the
+requestor with the oldest pending request, breaking ties by master index.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Arbiter
+
+__all__ = ["FIFOArbiter"]
+
+
+class FIFOArbiter(Arbiter):
+    """Grant the master whose request has been pending the longest."""
+
+    policy_name = "fifo"
+
+    def __init__(self, num_masters: int) -> None:
+        super().__init__(num_masters)
+        #: Arrival cycle of the currently pending request of each master, or
+        #: ``None`` when the master has no pending request recorded.
+        self._arrival: list[int | None] = [None] * num_masters
+        self._sequence = 0
+        self._order: list[int | None] = [None] * num_masters
+
+    def on_request(self, master_id: int, cycle: int) -> None:
+        """Record that ``master_id`` asserted a new request at ``cycle``."""
+        if self._arrival[master_id] is None:
+            self._arrival[master_id] = cycle
+            self._order[master_id] = self._sequence
+            self._sequence += 1
+
+    # Backwards-compatible alias used by some unit tests / direct callers.
+    note_request = on_request
+
+    def arbitrate(self, requestors: Sequence[int], cycle: int) -> int | None:
+        pending = self._validate_requestors(requestors)
+        if not pending:
+            return None
+        # Masters whose request the bus reported earlier win; a master the bus
+        # never reported (possible when FIFO is used standalone in tests) is
+        # treated as having arrived this cycle.
+        def key(master: int) -> tuple[int, int, int]:
+            arrival = self._arrival[master]
+            order = self._order[master]
+            if arrival is None:
+                return (cycle, self._sequence, master)
+            return (arrival, order if order is not None else self._sequence, master)
+
+        choice = min(pending, key=key)
+        return self._validate_choice(choice, requestors)
+
+    def on_grant(self, master_id: int, duration: int, cycle: int) -> None:
+        super().on_grant(master_id, duration, cycle)
+        self._arrival[master_id] = None
+        self._order[master_id] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._arrival = [None] * self.num_masters
+        self._order = [None] * self.num_masters
+        self._sequence = 0

@@ -1,0 +1,59 @@
+"""Lottery arbitration (LOTTERYBUS-style).
+
+Each requesting master holds a number of lottery tickets; every arbitration a
+winner is drawn with probability proportional to its tickets.  With equal
+tickets this is request-fair in expectation and is MBPTA-compatible because
+grant latencies are probabilistic with a known distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.errors import ArbitrationError
+from .base import Arbiter
+
+__all__ = ["LotteryArbiter"]
+
+
+class LotteryArbiter(Arbiter):
+    """Randomised arbitration with per-master ticket weights."""
+
+    policy_name = "lottery"
+
+    def __init__(
+        self,
+        num_masters: int,
+        rng: np.random.Generator,
+        tickets: Sequence[int] | None = None,
+    ) -> None:
+        """Create the arbiter.
+
+        Parameters
+        ----------
+        rng:
+            Random stream (one of :class:`repro.sim.RandomStreams`' streams on
+            the real platform; any :class:`numpy.random.Generator` in tests).
+        tickets:
+            Tickets per master; defaults to one each (uniform lottery).
+        """
+        super().__init__(num_masters)
+        if tickets is None:
+            tickets = [1] * num_masters
+        if len(tickets) != num_masters:
+            raise ArbitrationError("need one ticket count per master")
+        if any(t <= 0 for t in tickets):
+            raise ArbitrationError("every master needs at least one ticket")
+        self.tickets = list(tickets)
+        self._rng = rng
+
+    def arbitrate(self, requestors: Sequence[int], cycle: int) -> int | None:
+        pending = self._validate_requestors(requestors)
+        if not pending:
+            return None
+        weights = np.array([self.tickets[m] for m in pending], dtype=float)
+        weights /= weights.sum()
+        choice = int(self._rng.choice(np.array(pending), p=weights))
+        return self._validate_choice(choice, requestors)

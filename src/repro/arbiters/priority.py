@@ -1,0 +1,48 @@
+"""Fixed-priority arbitration.
+
+Included as a baseline the paper explicitly rules out for systems where every
+core runs real-time tasks: a high-priority master that requests continuously
+starves the others, so worst-case bounds for low-priority masters do not
+exist.  It is still useful for tests and for demonstrating that starvation in
+the simulator behaves as the paper argues.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.errors import ArbitrationError
+from .base import Arbiter
+
+__all__ = ["FixedPriorityArbiter"]
+
+
+class FixedPriorityArbiter(Arbiter):
+    """Always grant the requesting master with the highest priority."""
+
+    policy_name = "fixed_priority"
+
+    def __init__(self, num_masters: int, priorities: Sequence[int] | None = None) -> None:
+        """Create the arbiter.
+
+        Parameters
+        ----------
+        priorities:
+            Priority value per master; higher wins.  Defaults to master 0
+            having the highest priority (``num_masters - index``).
+        """
+        super().__init__(num_masters)
+        if priorities is None:
+            priorities = [num_masters - i for i in range(num_masters)]
+        if len(priorities) != num_masters:
+            raise ArbitrationError("need one priority per master")
+        if len(set(priorities)) != num_masters:
+            raise ArbitrationError("priorities must be distinct")
+        self.priorities = list(priorities)
+
+    def arbitrate(self, requestors: Sequence[int], cycle: int) -> int | None:
+        pending = self._validate_requestors(requestors)
+        if not pending:
+            return None
+        choice = max(pending, key=lambda master: self.priorities[master])
+        return self._validate_choice(choice, requestors)

@@ -1,0 +1,101 @@
+"""Registry/factory for arbitration policies.
+
+Experiments select arbiters by name (e.g. ``"random_permutations"`` in a
+:class:`repro.sim.PlatformConfig`); the registry builds the corresponding
+arbiter, injecting the random stream where the policy needs one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..sim.errors import ConfigurationError
+from .base import Arbiter
+from .fifo import FIFOArbiter
+from .lottery import LotteryArbiter
+from .priority import FixedPriorityArbiter
+from .random_permutations import RandomPermutationsArbiter
+from .round_robin import RoundRobinArbiter
+from .tdma import TDMAArbiter
+
+__all__ = ["ARBITER_POLICIES", "create_arbiter", "available_policies"]
+
+_ArbiterFactory = Callable[[int, np.random.Generator, dict], Arbiter]
+
+
+def _make_round_robin(num_masters: int, rng: np.random.Generator, options: dict) -> Arbiter:
+    return RoundRobinArbiter(num_masters)
+
+
+def _make_fifo(num_masters: int, rng: np.random.Generator, options: dict) -> Arbiter:
+    return FIFOArbiter(num_masters)
+
+
+def _make_tdma(num_masters: int, rng: np.random.Generator, options: dict) -> Arbiter:
+    return TDMAArbiter(
+        num_masters,
+        slot_cycles=options.get("slot_cycles", 56),
+        schedule=options.get("schedule"),
+        issue_only_at_slot_start=options.get("issue_only_at_slot_start", True),
+    )
+
+
+def _make_lottery(num_masters: int, rng: np.random.Generator, options: dict) -> Arbiter:
+    return LotteryArbiter(num_masters, rng, tickets=options.get("tickets"))
+
+
+def _make_random_permutations(
+    num_masters: int, rng: np.random.Generator, options: dict
+) -> Arbiter:
+    return RandomPermutationsArbiter(num_masters, rng)
+
+
+def _make_priority(num_masters: int, rng: np.random.Generator, options: dict) -> Arbiter:
+    return FixedPriorityArbiter(num_masters, priorities=options.get("priorities"))
+
+
+ARBITER_POLICIES: dict[str, _ArbiterFactory] = {
+    "round_robin": _make_round_robin,
+    "fifo": _make_fifo,
+    "tdma": _make_tdma,
+    "lottery": _make_lottery,
+    "random_permutations": _make_random_permutations,
+    "fixed_priority": _make_priority,
+}
+
+
+def available_policies() -> list[str]:
+    """Names of all registered arbitration policies."""
+    return sorted(ARBITER_POLICIES)
+
+
+def create_arbiter(
+    policy: str,
+    num_masters: int,
+    rng: np.random.Generator | None = None,
+    **options: object,
+) -> Arbiter:
+    """Build the arbiter named ``policy`` for ``num_masters`` masters.
+
+    Parameters
+    ----------
+    policy:
+        One of :func:`available_policies`.
+    rng:
+        Random stream for randomised policies.  A deterministic default
+        generator is created when omitted (convenient in tests, but
+        experiments should pass one of their :class:`~repro.sim.RandomStreams`
+        streams for reproducibility).
+    options:
+        Policy-specific keyword options (e.g. ``slot_cycles`` for TDMA,
+        ``tickets`` for lottery, ``priorities`` for fixed priority).
+    """
+    if policy not in ARBITER_POLICIES:
+        raise ConfigurationError(
+            f"unknown arbitration policy {policy!r}; available: {available_policies()}"
+        )
+    if rng is None:
+        rng = np.random.default_rng(0)
+    return ARBITER_POLICIES[policy](num_masters, rng, dict(options))

@@ -1,0 +1,26 @@
+"""Non-split shared bus model.
+
+Contains the transaction descriptors, the latency table derived from the
+paper's platform timings, the master/slave port protocols, the cycle-accurate
+:class:`~repro.bus.bus.SharedBus` and a passive :class:`~repro.bus.monitor.BusMonitor`.
+"""
+
+from .bus import SharedBus
+from .latency import LatencyTable, TransactionClass
+from .monitor import BandwidthWindow, BusMonitor
+from .ports import BusMasterPort, BusSlavePort, CallbackMaster, FixedLatencySlave
+from .transaction import AccessType, BusRequest
+
+__all__ = [
+    "SharedBus",
+    "LatencyTable",
+    "TransactionClass",
+    "BusMonitor",
+    "BandwidthWindow",
+    "BusMasterPort",
+    "BusSlavePort",
+    "CallbackMaster",
+    "FixedLatencySlave",
+    "AccessType",
+    "BusRequest",
+]

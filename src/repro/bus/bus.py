@@ -1,0 +1,238 @@
+"""The shared non-split bus.
+
+:class:`SharedBus` models the AMBA AHB-style bus of the paper's platform:
+
+* one outstanding request per master (the cores are in-order and blocking);
+* non-split transactions — the granted master holds the bus for the whole
+  turnaround of its request (L2 access, and memory access(es) on a miss);
+* single-cycle arbitration — when the bus is idle, the arbiter picks among
+  the masters with a pending request and the winner starts in that cycle.
+
+The bus drives the arbiter through the hooks defined by
+:class:`repro.arbiters.Arbiter`, which is also how the credit-based
+arbitration of the paper plugs in (it *is* an arbiter wrapping another one).
+"""
+
+from __future__ import annotations
+
+from ..arbiters.base import Arbiter
+from ..sim.component import Component
+from ..sim.errors import ProtocolError
+from ..sim.stats import StatGroup
+from .ports import BusMasterPort, BusSlavePort
+from .transaction import BusRequest
+
+__all__ = ["SharedBus"]
+
+
+class SharedBus(Component):
+    """Cycle-accurate model of a non-split shared bus."""
+
+    def __init__(
+        self,
+        name: str,
+        num_masters: int,
+        arbiter: Arbiter,
+        slave: BusSlavePort,
+        max_latency: int = 56,
+    ) -> None:
+        """Create the bus.
+
+        Parameters
+        ----------
+        num_masters:
+            Number of master ports (one per core).
+        arbiter:
+            The arbitration policy (possibly wrapped by CBA).
+        slave:
+            The slave side (L2 + memory controller) that resolves transaction
+            durations.
+        max_latency:
+            Upper bound on any transaction duration (the paper's ``MaxL``);
+            the bus enforces that the slave never exceeds it.
+        """
+        super().__init__(name)
+        if arbiter.num_masters != num_masters:
+            raise ProtocolError(
+                f"arbiter handles {arbiter.num_masters} masters, bus has {num_masters}"
+            )
+        if max_latency <= 0:
+            raise ProtocolError("max_latency must be positive")
+        self.num_masters = num_masters
+        self.arbiter = arbiter
+        self.slave = slave
+        self.max_latency = max_latency
+        self._masters: list[BusMasterPort | None] = [None] * num_masters
+        self._pending: list[BusRequest | None] = [None] * num_masters
+        self._holder: int | None = None
+        self._active_request: BusRequest | None = None
+        self._release_cycle = 0
+        self.stats = StatGroup(name=f"{name}.stats")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect_master(self, master_id: int, port: BusMasterPort) -> None:
+        """Attach the master port for ``master_id`` (called by the platform builder)."""
+        if not 0 <= master_id < self.num_masters:
+            raise ProtocolError(f"master id {master_id} out of range")
+        self._masters[master_id] = port
+
+    # ------------------------------------------------------------------
+    # Master-side API
+    # ------------------------------------------------------------------
+    def submit(self, request: BusRequest) -> None:
+        """Assert the request line of ``request.master_id``.
+
+        Masters are blocking: submitting while a previous request from the
+        same master is still pending or in flight is a protocol violation.
+        """
+        master = request.master_id
+        if not 0 <= master < self.num_masters:
+            raise ProtocolError(f"request from unknown master {master}")
+        if self._pending[master] is not None or self._holder == master:
+            raise ProtocolError(
+                f"master {master} already has an outstanding bus request"
+            )
+        self._pending[master] = request
+        self.arbiter.on_request(master, request.issue_cycle)
+        self.stats.counter("requests_submitted").increment()
+        self.kernel.trace.record(
+            self.now, self.name, "bus.request", master=master, request_id=request.request_id
+        )
+
+    def has_pending(self, master_id: int) -> bool:
+        """True when ``master_id`` has a request waiting for the bus."""
+        return self._pending[master_id] is not None
+
+    @property
+    def busy(self) -> bool:
+        """True while a transaction holds the bus."""
+        return self._holder is not None
+
+    @property
+    def holder(self) -> int | None:
+        """Master currently holding the bus, or ``None``."""
+        return self._holder
+
+    @property
+    def pending_masters(self) -> list[int]:
+        """Masters with a request waiting to be granted."""
+        return [m for m in range(self.num_masters) if self._pending[m] is not None]
+
+    # ------------------------------------------------------------------
+    # Per-cycle behaviour
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        cycle = self.now
+        self._complete_if_done(cycle)
+        if self._holder is None:
+            self._arbitrate_and_grant(cycle)
+        self._update_occupancy_stats()
+        # The arbiter sees the holder of *this* cycle (including a transaction
+        # granted this very cycle), which is what drives CBA budget draining.
+        self.arbiter.cycle_update(cycle, self._holder)
+
+    def _complete_if_done(self, cycle: int) -> None:
+        if self._holder is None or self._active_request is None:
+            return
+        if cycle < self._release_cycle:
+            return
+        request = self._active_request
+        holder = self._holder
+        request.complete_cycle = cycle
+        self._holder = None
+        self._active_request = None
+        self.stats.counter("requests_completed").increment()
+        self.stats.histogram("total_latency").add(request.total_latency)
+        self.stats.histogram("wait_cycles").add(request.wait_cycles)
+        self.kernel.trace.record(
+            cycle, self.name, "bus.complete", master=holder, request_id=request.request_id
+        )
+        port = self._masters[holder]
+        if port is not None:
+            port.on_complete(request, cycle)
+
+    def _arbitrate_and_grant(self, cycle: int) -> None:
+        requestors = self.pending_masters
+        if not requestors:
+            return
+        choice = self.arbiter.arbitrate(requestors, cycle)
+        if choice is None:
+            return
+        request = self._pending[choice]
+        if request is None:  # pragma: no cover - guarded by arbiter validation
+            raise ProtocolError(f"arbiter granted master {choice} with no pending request")
+        duration = self.slave.resolve(request, cycle)
+        if not 1 <= duration <= self.max_latency:
+            raise ProtocolError(
+                f"slave returned duration {duration} outside [1, {self.max_latency}]"
+            )
+        request.grant_cycle = cycle
+        request.duration = duration
+        self._pending[choice] = None
+        self._holder = choice
+        self._active_request = request
+        self._release_cycle = cycle + duration
+        self.arbiter.on_grant(choice, duration, cycle)
+        self.stats.counter("grants").increment()
+        self.stats.counter(f"grants_master_{choice}").increment()
+        self.stats.counter(f"cycles_master_{choice}").increment(duration)
+        self.stats.histogram("grant_duration").add(duration)
+        self.kernel.trace.record(
+            cycle,
+            self.name,
+            "bus.grant",
+            master=choice,
+            request_id=request.request_id,
+            duration=duration,
+        )
+        port = self._masters[choice]
+        if port is not None:
+            port.on_grant(request, cycle)
+
+    def _update_occupancy_stats(self) -> None:
+        self.stats.counter("cycles_total").increment()
+        if self._holder is not None:
+            self.stats.counter("cycles_busy").increment()
+        elif self.pending_masters:
+            # Idle although someone wants the bus: either the arbiter withheld
+            # the grant (TDMA outside a slot, CBA budget not replenished) or
+            # no eligible requestor existed this cycle.
+            self.stats.counter("cycles_idle_with_pending").increment()
+        else:
+            self.stats.counter("cycles_idle").increment()
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of cycles the bus was held by some master."""
+        total = self.stats.counter("cycles_total").value
+        if not total:
+            return 0.0
+        return self.stats.counter("cycles_busy").value / total
+
+    def cycles_granted(self, master_id: int) -> int:
+        """Total bus-hold cycles granted to ``master_id`` so far."""
+        return self.stats.counter(f"cycles_master_{master_id}").value
+
+    def grants(self, master_id: int) -> int:
+        """Total number of grants given to ``master_id`` so far."""
+        return self.stats.counter(f"grants_master_{master_id}").value
+
+    def bandwidth_shares(self) -> list[float]:
+        """Per-master share of all granted bus cycles (sums to 1 when any)."""
+        cycles = [self.cycles_granted(m) for m in range(self.num_masters)]
+        total = sum(cycles)
+        if not total:
+            return [0.0] * self.num_masters
+        return [c / total for c in cycles]
+
+    def reset(self) -> None:
+        self._pending = [None] * self.num_masters
+        self._holder = None
+        self._active_request = None
+        self._release_cycle = 0
+        self.stats.reset()
+        self.arbiter.reset()

@@ -1,0 +1,64 @@
+"""Latency classification of bus transactions.
+
+The paper's platform has a small set of transaction classes with fixed bus
+hold times (Section IV-A): an L2 read hit takes 5 cycles, a memory access
+28 cycles and the longest transactions (dirty-line eviction plus fetch, or an
+atomic read+write) take two memory accesses, 56 cycles, which defines
+``MaxL``.  :class:`LatencyTable` centralises that mapping so the bus, the
+arbiters and the analytical bounds all agree on transaction durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..sim.config import BusTimings
+
+__all__ = ["TransactionClass", "LatencyTable"]
+
+
+class TransactionClass(str, Enum):
+    """Coarse classification of a bus transaction by its timing behaviour."""
+
+    L2_HIT_READ = "l2_hit_read"
+    L2_HIT_WRITE = "l2_hit_write"
+    L2_MISS_CLEAN = "l2_miss_clean"
+    L2_MISS_DIRTY = "l2_miss_dirty"
+    ATOMIC = "atomic"
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Maps :class:`TransactionClass` to bus hold cycles."""
+
+    timings: BusTimings = BusTimings()
+
+    def duration(self, kind: TransactionClass) -> int:
+        """Bus hold time in cycles for a transaction of class ``kind``."""
+        timings = self.timings
+        if kind is TransactionClass.L2_HIT_READ:
+            return timings.l2_hit_read + timings.bus_overhead
+        if kind is TransactionClass.L2_HIT_WRITE:
+            return timings.l2_hit_write + timings.bus_overhead
+        if kind is TransactionClass.L2_MISS_CLEAN:
+            return timings.l2_miss_clean()
+        if kind is TransactionClass.L2_MISS_DIRTY:
+            return timings.l2_miss_dirty()
+        if kind is TransactionClass.ATOMIC:
+            return timings.atomic()
+        raise ValueError(f"unknown transaction class: {kind!r}")
+
+    @property
+    def max_latency(self) -> int:
+        """The paper's ``MaxL``: the longest bus hold time of any class."""
+        return max(self.duration(kind) for kind in TransactionClass)
+
+    @property
+    def min_latency(self) -> int:
+        """The shortest bus hold time of any class."""
+        return min(self.duration(kind) for kind in TransactionClass)
+
+    def as_dict(self) -> dict[str, int]:
+        """All class durations as a plain dictionary (for reports/tests)."""
+        return {kind.value: self.duration(kind) for kind in TransactionClass}

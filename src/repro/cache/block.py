@@ -1,0 +1,53 @@
+"""Cache line (block) bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheLine", "AccessResult"]
+
+
+@dataclass
+class CacheLine:
+    """State of one cache line within a set."""
+
+    tag: int = 0
+    valid: bool = False
+    dirty: bool = False
+    #: Insertion / last-touch timestamp used by LRU replacement.
+    last_used: int = 0
+
+    def fill(self, tag: int, cycle: int, dirty: bool = False) -> None:
+        """Install a new block in this line."""
+        self.tag = tag
+        self.valid = True
+        self.dirty = dirty
+        self.last_used = cycle
+
+    def invalidate(self) -> None:
+        self.valid = False
+        self.dirty = False
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access.
+
+    Attributes
+    ----------
+    hit:
+        Whether the access hit in the cache.
+    writeback:
+        Whether serving the access required evicting a dirty victim (only
+        possible on misses in a write-back cache); this is what turns an L2
+        miss into the 2-memory-access worst case of the paper.
+    evicted_tag:
+        Tag of the victim line when one was evicted, else ``None``.
+    set_index:
+        The set that was accessed (useful for tests and placement studies).
+    """
+
+    hit: bool
+    writeback: bool = False
+    evicted_tag: int | None = None
+    set_index: int = 0

@@ -1,0 +1,110 @@
+"""Private L1 cache model.
+
+Each core has a private L1 instruction cache and a private L1 data cache.
+Following the paper's platform, the data cache is *write-through* (stores are
+always propagated to the L2 over the bus) and both L1s use random placement
+and random replacement when the platform is configured for MBPTA.
+
+The L1 is consulted by the core model: a hit is satisfied locally with a
+fixed latency, a miss (or any store, because of the write-through policy)
+requires a bus transaction to the L2 subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.config import CacheGeometry
+from .cache import SetAssociativeCache
+from .placement import ModuloPlacement, RandomPlacement
+from .replacement import LRUReplacement, RandomReplacement
+
+__all__ = ["L1AccessOutcome", "L1Cache", "build_l1_cache"]
+
+
+@dataclass(frozen=True)
+class L1AccessOutcome:
+    """What the core must do after an L1 access.
+
+    Attributes
+    ----------
+    hit:
+        Whether the access hit in the L1.
+    needs_bus:
+        Whether a bus transaction is required (L1 miss, or any store for the
+        write-through data cache).
+    latency:
+        Cycles spent in the L1 itself before any bus transaction.
+    """
+
+    hit: bool
+    needs_bus: bool
+    latency: int
+
+
+class L1Cache:
+    """Private, write-through L1 cache (data or instruction)."""
+
+    def __init__(
+        self,
+        cache: SetAssociativeCache,
+        hit_latency: int = 1,
+        write_through: bool = True,
+    ) -> None:
+        if hit_latency <= 0:
+            raise ValueError("L1 hit latency must be positive")
+        self.cache = cache
+        self.hit_latency = hit_latency
+        self.write_through = write_through
+
+    def access(self, address: int, is_write: bool, cycle: int) -> L1AccessOutcome:
+        """Access the L1 and report whether the bus is needed."""
+        result = self.cache.access(address, is_write, cycle)
+        if is_write and self.write_through:
+            # Write-through: the store always goes to the L2 regardless of
+            # hit/miss; a hit only avoids refetching the line later.
+            return L1AccessOutcome(hit=result.hit, needs_bus=True, latency=self.hit_latency)
+        if result.hit:
+            return L1AccessOutcome(hit=True, needs_bus=False, latency=self.hit_latency)
+        return L1AccessOutcome(hit=False, needs_bus=True, latency=self.hit_latency)
+
+    def miss_rate(self) -> float:
+        return self.cache.miss_rate()
+
+    def reset(self) -> None:
+        self.cache.reset()
+
+
+def build_l1_cache(
+    name: str,
+    geometry: CacheGeometry,
+    random_caches: bool,
+    rng: np.random.Generator,
+    hit_latency: int = 1,
+    write_through: bool = True,
+) -> L1Cache:
+    """Construct an L1 cache with the placement/replacement the platform asks for.
+
+    With ``random_caches`` (the MBPTA configuration of the paper) placement is
+    a seeded random hash and replacement is random; otherwise conventional
+    modulo placement and LRU are used.
+    """
+    if random_caches:
+        placement = RandomPlacement(
+            geometry.num_sets, geometry.line_bytes, seed=int(rng.integers(0, 2**63))
+        )
+        replacement = RandomReplacement(rng)
+    else:
+        placement = ModuloPlacement(geometry.num_sets, geometry.line_bytes)
+        replacement = LRUReplacement()
+    cache = SetAssociativeCache(
+        name=name,
+        geometry=geometry,
+        placement=placement,
+        replacement=replacement,
+        write_back=False,
+        write_allocate=False,
+    )
+    return L1Cache(cache, hit_latency=hit_latency, write_through=write_through)

@@ -1,0 +1,80 @@
+"""Cache placement (index) functions.
+
+The paper's platform uses *random placement* caches (Hernandez et al., DASIA
+2015): the mapping from address to cache set is parameterised by a random
+seed that changes between runs, so the sets that conflict with each other
+change from run to run.  Together with random replacement this is what gives
+execution times the run-to-run variability that MBPTA requires.
+
+Two placement functions are provided:
+
+* :class:`ModuloPlacement` — the conventional design (low-order index bits);
+* :class:`RandomPlacement` — a seeded hash of the block address, equivalent in
+  behaviour to the hardware parametric hash used on the FPGA platform.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["PlacementPolicy", "ModuloPlacement", "RandomPlacement"]
+
+
+class PlacementPolicy(ABC):
+    """Maps a block address to a set index."""
+
+    def __init__(self, num_sets: int, line_bytes: int) -> None:
+        if num_sets <= 0 or line_bytes <= 0:
+            raise ValueError("num_sets and line_bytes must be positive")
+        self.num_sets = num_sets
+        self.line_bytes = line_bytes
+
+    def block_address(self, address: int) -> int:
+        """Strip the offset bits from ``address``."""
+        return address // self.line_bytes
+
+    @abstractmethod
+    def set_index(self, address: int) -> int:
+        """Set index for ``address`` (must be in ``range(num_sets)``)."""
+
+    def tag(self, address: int) -> int:
+        """Tag stored for ``address``.
+
+        The full block address is used as the tag.  This is slightly wasteful
+        in hardware but exact in simulation and, importantly, remains correct
+        for random placement where the set index is not a simple address
+        slice (two different blocks mapping to the same set never alias).
+        """
+        return self.block_address(address)
+
+
+class ModuloPlacement(PlacementPolicy):
+    """Conventional placement: low-order block-address bits select the set."""
+
+    def set_index(self, address: int) -> int:
+        return self.block_address(address) % self.num_sets
+
+
+class RandomPlacement(PlacementPolicy):
+    """Seeded parametric-hash placement (MBPTA-style random placement).
+
+    The mapping is a deterministic function of ``(seed, block address)`` built
+    from a splitmix64-style mixer, so it is stable within a run, uniformly
+    distributed across sets, and different runs (different seeds) see
+    different conflict patterns — the property MBPTA exploits.
+    """
+
+    def __init__(self, num_sets: int, line_bytes: int, seed: int) -> None:
+        super().__init__(num_sets, line_bytes)
+        self.seed = int(seed) & 0xFFFFFFFFFFFFFFFF
+
+    def _mix(self, value: int) -> int:
+        """splitmix64 finaliser — cheap, well-distributed 64-bit mixing."""
+        value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        return value ^ (value >> 31)
+
+    def set_index(self, address: int) -> int:
+        block = self.block_address(address)
+        return self._mix(block ^ self.seed) % self.num_sets

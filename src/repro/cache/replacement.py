@@ -1,0 +1,49 @@
+"""Cache replacement policies.
+
+The paper's caches use *random replacement* (again for MBPTA compliance);
+LRU is provided as the conventional alternative for comparison experiments
+and tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .block import CacheLine
+
+__all__ = ["ReplacementPolicy", "LRUReplacement", "RandomReplacement"]
+
+
+class ReplacementPolicy(ABC):
+    """Chooses the victim way within a set when a fill needs space."""
+
+    @abstractmethod
+    def select_victim(self, ways: list[CacheLine], cycle: int) -> int:
+        """Return the index of the way to evict.
+
+        Called only when every way in the set is valid; invalid ways are
+        filled first by the cache itself.
+        """
+
+    def on_access(self, ways: list[CacheLine], way: int, cycle: int) -> None:
+        """Notification that ``way`` was touched at ``cycle`` (hit or fill)."""
+        ways[way].last_used = cycle
+
+
+class LRUReplacement(ReplacementPolicy):
+    """Evict the least recently used way."""
+
+    def select_victim(self, ways: list[CacheLine], cycle: int) -> int:
+        return min(range(len(ways)), key=lambda i: ways[i].last_used)
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Evict a uniformly random way (MBPTA-compliant)."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def select_victim(self, ways: list[CacheLine], cycle: int) -> int:
+        return int(self._rng.integers(0, len(ways)))

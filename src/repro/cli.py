@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the experiment drivers so the paper's
+tables and figures can be regenerated without writing any Python:
+
+========================  =====================================================
+Command                   Regenerates
+========================  =====================================================
+``illustrative``          the Section II example (9.4x vs 2.8x slowdowns)
+``table1``                the Table I signal behaviour and rule checks
+``figure1``               the Figure 1 slowdown table (EEMBC, RP/CBA/H-CBA)
+``overheads``             the Section IV-B implementation-overhead comparison
+``mbpta``                 an MBPTA campaign and its pWCET curve
+``hcba-sweep``            the H-CBA design-space ablation
+``policy-sweep``          CBA over different base arbitration policies
+``list-workloads``        the modelled EEMBC-like and synthetic workloads
+========================  =====================================================
+
+Every command accepts ``--runs`` and ``--scale`` where applicable so the
+fidelity/runtime trade-off is explicit (the paper averages 1,000 runs per
+configuration; the defaults here are sized for a laptop).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.reporting import format_key_values, format_table
+from .core.bounds import ContentionScenario
+from .experiments.base_policy_sweep import run_base_policy_sweep
+from .experiments.figure1 import run_figure1
+from .experiments.hcba_sweep import run_hcba_sweep
+from .experiments.illustrative import run_illustrative_example
+from .experiments.mbpta_experiment import run_mbpta_experiment
+from .experiments.overheads import run_overheads
+from .experiments.table1 import run_table1
+from .workloads.eembc import FIGURE1_BENCHMARKS, available_benchmarks
+from .workloads.registry import available_workloads, workload_by_name
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the DATE 2017 credit-based bus arbitration paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    illustrative = sub.add_parser("illustrative", help="Section II example")
+    illustrative.add_argument("--requests", type=int, default=1000)
+    illustrative.add_argument("--isolation-cycles", type=int, default=10_000)
+    illustrative.add_argument("--seed", type=int, default=2017)
+
+    table1 = sub.add_parser("table1", help="Table I signal behaviour")
+    table1.add_argument("--tua-requests", type=int, default=25)
+    table1.add_argument("--rows", type=int, default=20, help="signal rows to print")
+
+    figure1 = sub.add_parser("figure1", help="Figure 1 slowdowns")
+    figure1.add_argument("--benchmarks", nargs="*", default=list(FIGURE1_BENCHMARKS),
+                         choices=available_benchmarks())
+    figure1.add_argument("--runs", type=int, default=3)
+    figure1.add_argument("--scale", type=float, default=0.5)
+    figure1.add_argument("--seed", type=int, default=2017)
+
+    sub.add_parser("overheads", help="Section IV-B implementation overheads")
+
+    mbpta = sub.add_parser("mbpta", help="MBPTA campaign and pWCET curve")
+    mbpta.add_argument("benchmark", nargs="?", default="canrdr", choices=available_benchmarks())
+    mbpta.add_argument("--config", default="CBA", choices=["RP", "CBA", "H-CBA"])
+    mbpta.add_argument("--runs", type=int, default=40)
+    mbpta.add_argument("--scale", type=float, default=0.25)
+    mbpta.add_argument("--seed", type=int, default=7)
+
+    hcba = sub.add_parser("hcba-sweep", help="H-CBA design-space ablation")
+    hcba.add_argument("--fractions", type=float, nargs="*", default=[0.25, 0.5, 0.75])
+    hcba.add_argument("--runs", type=int, default=2)
+    hcba.add_argument("--scale", type=float, default=0.5)
+
+    policy = sub.add_parser("policy-sweep", help="CBA over different base policies")
+    policy.add_argument("--benchmark", default="matrix", choices=available_benchmarks())
+    policy.add_argument("--runs", type=int, default=2)
+    policy.add_argument("--scale", type=float, default=0.5)
+
+    workloads = sub.add_parser("list-workloads", help="list modelled workloads")
+    workloads.add_argument("--verbose", action="store_true")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_illustrative(args: argparse.Namespace) -> int:
+    scenario = ContentionScenario(
+        isolation_cycles=args.isolation_cycles, tua_requests=args.requests
+    )
+    result = run_illustrative_example(scenario, seed=args.seed)
+    print(format_key_values(
+        {
+            "analytic request-fair slowdown": f"{result.analytic_request_fair_slowdown:.2f}x",
+            "analytic cycle-fair slowdown": f"{result.analytic_cycle_fair_slowdown:.2f}x",
+            "simulated request-fair slowdown": f"{result.simulated_request_fair_slowdown:.2f}x",
+            "simulated cycle-fair slowdown": f"{result.simulated_cycle_fair_slowdown:.2f}x",
+        },
+        title="Section II illustrative example",
+    ))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    result = run_table1(tua_requests=args.tua_requests)
+    rows = result.wcet_mode_rows[: args.rows]
+    headers = list(rows[0].keys())
+    print(format_table(headers, [[row[h] for h in headers] for row in rows]))
+    print()
+    print(format_key_values(result.summary(), title="Table I rule checks"))
+    return 0 if result.rules_hold else 1
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    result = run_figure1(
+        benchmarks=args.benchmarks, num_runs=args.runs,
+        access_scale=args.scale, seed=args.seed,
+    )
+    print(result.to_table())
+    print()
+    print(format_key_values(
+        {
+            "worst RP-CON slowdown": f"{result.worst_contention_slowdown('RP-CON'):.2f} (paper: 3.34)",
+            "worst CBA-CON slowdown": f"{result.worst_contention_slowdown('CBA-CON'):.2f} (paper: 2.34)",
+            "CBA isolation overhead": f"{100 * result.isolation_overhead('CBA-ISO'):.1f}% (paper: ~3%)",
+            "H-CBA isolation overhead": f"{100 * result.isolation_overhead('H-CBA-ISO'):.1f}%",
+        },
+        title="Figure 1 headline numbers",
+    ))
+    return 0
+
+
+def _cmd_overheads(args: argparse.Namespace) -> int:
+    result = run_overheads()
+    print(format_key_values(result.summary(), title="Implementation overheads (Section IV-B)"))
+    return 0 if result.claim_holds else 1
+
+
+def _cmd_mbpta(args: argparse.Namespace) -> int:
+    result = run_mbpta_experiment(
+        benchmark=args.benchmark, configuration=args.config,
+        num_runs=args.runs, access_scale=args.scale, seed=args.seed,
+    )
+    print(format_key_values(result.summary(), title="MBPTA campaign"))
+    print()
+    print(format_table(
+        ["exceedance probability", "pWCET (cycles)"],
+        [[f"{p:g}", bound] for p, bound in result.mbpta.pwcet.points()],
+        float_format="{:.0f}",
+    ))
+    return 0 if result.bound_dominates_operation else 1
+
+
+def _cmd_hcba_sweep(args: argparse.Namespace) -> int:
+    result = run_hcba_sweep(
+        fractions=tuple(args.fractions), num_runs=args.runs, access_scale=args.scale
+    )
+    rows = [
+        [p.label, p.favoured_fraction, p.tua_slowdown, p.tua_bandwidth_share]
+        for p in result.points
+    ]
+    print(format_table(
+        ["configuration", "favoured fraction", "TuA slowdown", "TuA bus share"], rows
+    ))
+    return 0
+
+
+def _cmd_policy_sweep(args: argparse.Namespace) -> int:
+    result = run_base_policy_sweep(
+        benchmark=args.benchmark, num_runs=args.runs, access_scale=args.scale
+    )
+    rows = []
+    for policy in result.policies():
+        rows.append([
+            policy,
+            result.contention_slowdown(policy, use_cba=False),
+            result.contention_slowdown(policy, use_cba=True),
+            result.improvement(policy),
+        ])
+    print(format_table(
+        ["base policy", "contention slowdown", "with CBA", "improvement"], rows
+    ))
+    return 0
+
+
+def _cmd_list_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_workloads():
+        spec = workload_by_name(name)
+        if args.verbose:
+            rows.append([
+                name, spec.num_accesses, spec.working_set_bytes,
+                spec.mean_compute_gap, spec.pattern, spec.description,
+            ])
+        else:
+            rows.append([name, spec.description])
+    headers = (
+        ["name", "accesses", "working set (B)", "mean gap", "pattern", "description"]
+        if args.verbose
+        else ["name", "description"]
+    )
+    print(format_table(headers, rows))
+    return 0
+
+
+_COMMANDS = {
+    "illustrative": _cmd_illustrative,
+    "table1": _cmd_table1,
+    "figure1": _cmd_figure1,
+    "overheads": _cmd_overheads,
+    "mbpta": _cmd_mbpta,
+    "hcba-sweep": _cmd_hcba_sweep,
+    "policy-sweep": _cmd_policy_sweep,
+    "list-workloads": _cmd_list_workloads,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g. `head`);
+        # this is not an error from the experiment's point of view.
+        try:
+            sys.stdout.close()
+        except OSError:  # pragma: no cover - depends on the platform
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

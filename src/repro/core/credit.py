@@ -1,0 +1,164 @@
+"""Credit (budget) accounts — the heart of CBA.
+
+Each core owns a budget that tracks how much bus time it is entitled to use.
+Equation 1 of the paper defines the dynamics:
+
+``Budget_i(t+1) = min(Budget_i(t) + 1/N, MaxL)``
+
+and the budget decreases by 1 for every cycle the core holds the bus.  To keep
+all arithmetic integral (and match the 8-bit hardware counters of Table I),
+budgets are stored *scaled by N*: the full budget is ``N * MaxL`` (228 for the
+paper's ``N = 4``, ``MaxL = 56``), replenishment adds the core's scaled share
+(1 for homogeneous CBA) per cycle, and holding the bus drains ``N`` per cycle.
+
+A core is *eligible* for arbitration only when its budget is full — exactly
+the filter rule of Section III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.config import CBAParameters
+from ..sim.errors import BudgetError
+
+__all__ = ["CreditAccount", "CreditBank"]
+
+
+@dataclass
+class CreditAccount:
+    """The budget counter of one core (values scaled by the core count).
+
+    Attributes
+    ----------
+    core_id:
+        The core this account belongs to.
+    full_budget:
+        Scaled budget required for eligibility (``N * MaxL``).
+    cap:
+        Scaled saturation value.  Equal to ``full_budget`` for homogeneous
+        CBA; H-CBA may let a favoured core accumulate beyond the full budget
+        (Section III-A, option 1), enabling back-to-back grants.
+    replenish_share:
+        Scaled per-cycle replenishment (1 for homogeneous CBA, i.e. 1/N
+        unscaled; H-CBA redistributes the N units across cores).
+    drain_per_cycle:
+        Scaled drain applied for each cycle the core holds the bus (``N``).
+    balance:
+        Current scaled budget.
+    """
+
+    core_id: int
+    full_budget: int
+    cap: int
+    replenish_share: int
+    drain_per_cycle: int
+    balance: int = 0
+    #: Running totals for analysis: how much was ever earned / spent.
+    total_replenished: int = field(default=0, repr=False)
+    total_drained: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.full_budget <= 0:
+            raise BudgetError("full budget must be positive")
+        if self.cap < self.full_budget:
+            raise BudgetError("budget cap cannot be below the full budget")
+        if self.replenish_share <= 0:
+            raise BudgetError("replenishment share must be positive")
+        if self.drain_per_cycle <= 0:
+            raise BudgetError("drain per cycle must be positive")
+        if not 0 <= self.balance <= self.cap:
+            raise BudgetError(
+                f"initial balance {self.balance} outside [0, {self.cap}]"
+            )
+
+    @property
+    def eligible(self) -> bool:
+        """True when the core may be arbitrated (budget at least full)."""
+        return self.balance >= self.full_budget
+
+    @property
+    def deficit(self) -> int:
+        """Scaled budget still missing before the core becomes eligible."""
+        return max(0, self.full_budget - self.balance)
+
+    def cycles_until_eligible(self) -> int:
+        """Cycles of replenishment needed before the core becomes eligible."""
+        if self.eligible:
+            return 0
+        # Ceiling division: the last replenishment may overshoot into the cap.
+        return -(-self.deficit // self.replenish_share)
+
+    def replenish(self) -> None:
+        """Apply one cycle of budget recovery (saturating at the cap)."""
+        new_balance = min(self.balance + self.replenish_share, self.cap)
+        self.total_replenished += new_balance - self.balance
+        self.balance = new_balance
+
+    def drain(self) -> None:
+        """Charge one cycle of bus usage.
+
+        The balance is floored at zero: with the paper's parameters a core can
+        only be granted with a full budget and the longest transaction exactly
+        exhausts it (``MaxL`` cycles × drain ``N`` = ``N*MaxL``), but H-CBA
+        caps above the full budget plus the concurrent replenishment make the
+        floor a safety net rather than dead code.
+        """
+        drained = min(self.drain_per_cycle, self.balance)
+        self.total_drained += drained
+        self.balance -= drained
+
+    def reset(self, balance: int | None = None) -> None:
+        """Reset the running totals and set the balance (default: full)."""
+        self.balance = self.full_budget if balance is None else balance
+        if not 0 <= self.balance <= self.cap:
+            raise BudgetError(f"reset balance {self.balance} outside [0, {self.cap}]")
+        self.total_replenished = 0
+        self.total_drained = 0
+
+
+class CreditBank:
+    """The set of credit accounts of all cores, built from :class:`CBAParameters`."""
+
+    def __init__(self, params: CBAParameters) -> None:
+        self.params = params
+        self.accounts = [
+            CreditAccount(
+                core_id=core,
+                full_budget=params.scaled_full_budget,
+                cap=params.cap_for(core),
+                replenish_share=params.share_for(core),
+                drain_per_cycle=params.drain_per_busy_cycle,
+                balance=params.initial_for(core),
+            )
+            for core in range(params.num_cores)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.accounts)
+
+    def __getitem__(self, core_id: int) -> CreditAccount:
+        return self.accounts[core_id]
+
+    def eligible_cores(self) -> list[int]:
+        """Cores currently allowed to take part in arbitration."""
+        return [acct.core_id for acct in self.accounts if acct.eligible]
+
+    def step(self, holder: int | None) -> None:
+        """Advance one cycle: replenish every core, drain the bus holder."""
+        for account in self.accounts:
+            account.replenish()
+        if holder is not None:
+            self.accounts[holder].drain()
+
+    def balances(self) -> list[int]:
+        return [account.balance for account in self.accounts]
+
+    def set_initial_budget(self, core_id: int, balance: int) -> None:
+        """Force a core's starting budget (the paper zeroes the TuA's budget
+        when collecting WCET-estimation measurements)."""
+        self.accounts[core_id].reset(balance)
+
+    def reset(self) -> None:
+        for core, account in enumerate(self.accounts):
+            account.reset(self.params.initial_for(core))

@@ -1,0 +1,64 @@
+"""Operating modes and the COMP-bit gating logic of the CBA arbiter.
+
+The FPGA implementation described in Section III-C can run in two modes:
+
+* **Operation mode** — normal execution: each core's request line ``REQi`` is
+  asserted when that core actually has a request, and the compete bits
+  ``COMPi`` are always set (they impose no extra gating).
+* **WCET-estimation mode** — the analysis-time configuration used to collect
+  MBPTA measurements under worst-case contention.  The contender cores
+  (cores 2, 3 and 4 in the paper; the task under analysis runs on core 1)
+  have their ``REQi`` lines always set, but they only *compete* — i.e. their
+  ``COMPi`` bit is set — when their budget is full **and** the task under
+  analysis has a request ready (``REQ1 == 1``).  ``COMPi`` is cleared when
+  core *i* is granted the bus, and a granted contender holds the bus for the
+  maximum latency ``MaxL``.
+
+The gating logic is captured by :class:`CompeteGate` so both the signal-level
+RTL model (:mod:`repro.core.signals`) and the platform-level worst-case
+contender workload (:mod:`repro.workloads.contender`) share one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["OperatingMode", "CompeteGate"]
+
+
+class OperatingMode(str, Enum):
+    """Arbiter operating mode (Table I columns)."""
+
+    OPERATION = "operation"
+    WCET_ESTIMATION = "wcet_estimation"
+
+
+@dataclass
+class CompeteGate:
+    """The COMP bit of one contender core.
+
+    In operation mode the bit is constantly set.  In WCET-estimation mode it
+    follows Table I: set when the contender's budget is full and the task
+    under analysis has a request ready; cleared when the contender is granted
+    the bus.
+    """
+
+    mode: OperatingMode = OperatingMode.OPERATION
+    compete: bool = True
+
+    def update(self, budget_full: bool, tua_request_ready: bool) -> bool:
+        """Per-cycle update of the COMP bit; returns its new value."""
+        if self.mode is OperatingMode.OPERATION:
+            self.compete = True
+        elif budget_full and tua_request_ready:
+            self.compete = True
+        return self.compete
+
+    def on_granted(self) -> None:
+        """Clear the bit when the contender is granted (WCET-estimation mode)."""
+        if self.mode is OperatingMode.WCET_ESTIMATION:
+            self.compete = False
+
+    def reset(self) -> None:
+        self.compete = self.mode is OperatingMode.OPERATION

@@ -1,0 +1,18 @@
+"""Trace-driven in-order core model and its supporting descriptors."""
+
+from .core_model import CoreModel, CoreState
+from .counters import CoreCounters
+from .requests import MemoryAccess, TraceItem
+from .trace import GeneratorTrace, InfiniteTrace, ListTrace, WorkloadTrace
+
+__all__ = [
+    "CoreModel",
+    "CoreState",
+    "CoreCounters",
+    "MemoryAccess",
+    "TraceItem",
+    "WorkloadTrace",
+    "ListTrace",
+    "GeneratorTrace",
+    "InfiniteTrace",
+]

@@ -1,0 +1,321 @@
+"""Trace-driven in-order core model.
+
+The paper's platform uses pipelined in-order LEON3 (SPARC V8) cores.  For the
+phenomena the paper studies — who gets the bus, for how long, and how long a
+task is stalled waiting for it — the relevant abstraction of such a core is a
+*blocking, in-order* consumer of a memory-access trace:
+
+* while computing, the core does not touch the bus;
+* a memory access first probes the private L1; a hit costs the L1 latency;
+* an L1 miss (or any store, because the L1 data cache is write-through)
+  issues one bus request and the core stalls until the request completes,
+  because the core is in-order and blocking (no MSHRs, one outstanding
+  request), which is also what makes requests non-split on the bus.
+
+The core walks a :class:`~repro.cpu.trace.WorkloadTrace` and accumulates
+:class:`~repro.cpu.counters.CoreCounters`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..bus.bus import SharedBus
+from ..bus.transaction import BusRequest
+from ..cache.l1 import L1Cache
+from ..sim.component import Component
+from .counters import CoreCounters
+from .trace import WorkloadTrace
+
+__all__ = ["CoreState", "CoreModel"]
+
+
+class CoreState(str, Enum):
+    """What the core is doing in the current cycle."""
+
+    COMPUTING = "computing"
+    L1_ACCESS = "l1_access"
+    WAITING_BUS = "waiting_bus"
+    #: A demand access is ready to be issued but the core's single bus port is
+    #: occupied by a draining buffered store.
+    WAITING_PORT = "waiting_port"
+    #: A store is ready but the store buffer is full.
+    STORE_STALL = "store_stall"
+    FINISHED = "finished"
+
+
+class CoreModel(Component):
+    """An in-order, blocking, trace-driven core."""
+
+    def __init__(
+        self,
+        name: str,
+        core_id: int,
+        trace: WorkloadTrace,
+        l1_data: L1Cache,
+        bus: SharedBus,
+        l1_instruction: L1Cache | None = None,
+        store_buffer_entries: int = 0,
+    ) -> None:
+        """Create the core.
+
+        ``store_buffer_entries`` enables a small write (store) buffer, as real
+        LEON3 integer pipelines have: buffered stores drain to the bus in the
+        background and the core only stalls when the buffer is full or when a
+        demand access needs the (single) bus port while a store is draining.
+        The default of 0 keeps the fully blocking behaviour.
+        """
+        super().__init__(name)
+        if store_buffer_entries < 0:
+            raise ValueError("store_buffer_entries cannot be negative")
+        self.core_id = core_id
+        self.trace = trace
+        self.l1_data = l1_data
+        self.l1_instruction = l1_instruction
+        self.bus = bus
+        self.store_buffer_entries = store_buffer_entries
+        self.counters = CoreCounters(core_id=core_id)
+        self._state = CoreState.COMPUTING
+        self._compute_remaining = 0
+        self._l1_remaining = 0
+        self._pending_access = None
+        self._store_buffer: list = []
+        self._store_in_flight = False
+        self._deferred_request: BusRequest | None = None
+        self._stalled_store = None
+        self._started = False
+        bus.connect_master(core_id, self)
+
+    # ------------------------------------------------------------------
+    # Observable state
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> CoreState:
+        return self._state
+
+    @property
+    def finished(self) -> bool:
+        return self._state is CoreState.FINISHED
+
+    @property
+    def has_request_ready(self) -> bool:
+        """True while this core has a bus request issued but not completed.
+
+        This is the signal (``REQ1`` for the task under analysis) that the
+        WCET-estimation-mode contenders observe.
+        """
+        return self._state is CoreState.WAITING_BUS
+
+    @property
+    def execution_cycles(self) -> int:
+        return self.counters.execution_cycles
+
+    # ------------------------------------------------------------------
+    # Per-cycle behaviour
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        if self._state is CoreState.FINISHED:
+            return
+        if not self._started:
+            self.counters.start_cycle = self.now
+            self._started = True
+            self._advance_trace()
+            if self._state is CoreState.FINISHED:
+                return
+
+        self._drain_store_buffer()
+
+        if self._state is CoreState.WAITING_BUS:
+            self.counters.bus_wait_cycles += 1
+            return
+
+        if self._state is CoreState.WAITING_PORT:
+            self.counters.bus_wait_cycles += 1
+            return
+
+        if self._state is CoreState.STORE_STALL:
+            self.counters.store_stall_cycles += 1
+            return
+
+        if self._state is CoreState.COMPUTING:
+            if self._compute_remaining > 0:
+                self._compute_remaining -= 1
+                self.counters.compute_cycles += 1
+                return
+            # Compute phase over: start the memory access of the current item.
+            self._begin_access()
+            return
+
+        if self._state is CoreState.L1_ACCESS:
+            self._l1_remaining -= 1
+            self.counters.l1_cycles += 1
+            if self._l1_remaining > 0:
+                return
+            self._finish_l1_access()
+
+    # ------------------------------------------------------------------
+    # Trace walking
+    # ------------------------------------------------------------------
+    def _advance_trace(self) -> None:
+        """Fetch the next trace item, or finish the task."""
+        item = self.trace.next_item()
+        if item is None:
+            self._finish()
+            return
+        self._compute_remaining = item.compute_cycles
+        self._pending_access = item.access
+        self._state = CoreState.COMPUTING
+
+    def _begin_access(self) -> None:
+        if getattr(self, "_finishing", False):
+            # Trace already exhausted; we are only waiting for stores to drain.
+            if not self._store_buffer and not self._store_in_flight:
+                self._finishing = False
+                self._finish()
+            return
+        if self._pending_access is None:
+            # Pure compute item: move straight to the next one.
+            self.counters.items_completed += 1
+            self._advance_trace()
+            return
+        self._state = CoreState.L1_ACCESS
+        self._l1_remaining = self.l1_data.hit_latency
+
+    def _finish_l1_access(self) -> None:
+        access = self._pending_access
+        assert access is not None
+        self.counters.accesses += 1
+        if access.is_atomic:
+            # Atomic operations always go to the bus (they are indivisible
+            # read-modify-write transactions against the shared level).
+            outcome_needs_bus = True
+        else:
+            outcome = self.l1_data.access(access.address, access.is_write, self.now)
+            if outcome.hit:
+                self.counters.l1_hits += 1
+            outcome_needs_bus = outcome.needs_bus
+        if not outcome_needs_bus:
+            self.counters.items_completed += 1
+            self._pending_access = None
+            self._advance_trace()
+            return
+        buffer_store = (
+            self.store_buffer_entries > 0
+            and access.is_write
+            and not access.is_atomic
+        )
+        if buffer_store:
+            if len(self._store_buffer) < self.store_buffer_entries:
+                self._accept_buffered_store(access)
+            else:
+                self._stalled_store = access
+                self._state = CoreState.STORE_STALL
+            return
+        request = BusRequest(
+            master_id=self.core_id,
+            address=access.address,
+            access=access.access,
+            issue_cycle=self.now,
+        )
+        self.counters.bus_requests += 1
+        if self._store_in_flight:
+            # The single bus port is busy draining a store; issue the demand
+            # access as soon as the store completes.
+            self._deferred_request = request
+            self._state = CoreState.WAITING_PORT
+        else:
+            self._state = CoreState.WAITING_BUS
+            self.bus.submit(request)
+
+    def _accept_buffered_store(self, access) -> None:
+        """Put a store into the write buffer and let the pipeline continue."""
+        self._store_buffer.append(access)
+        self.counters.buffered_stores += 1
+        self.counters.items_completed += 1
+        self._pending_access = None
+        self._advance_trace()
+
+    def _drain_store_buffer(self) -> None:
+        """Issue the oldest buffered store when the bus port is free."""
+        if self._store_in_flight or not self._store_buffer:
+            return
+        if self._state in (CoreState.WAITING_BUS, CoreState.WAITING_PORT):
+            return
+        access = self._store_buffer.pop(0)
+        request = BusRequest(
+            master_id=self.core_id,
+            address=access.address,
+            access=access.access,
+            issue_cycle=self.now,
+        )
+        request.annotate(buffered_store=True)
+        self.counters.bus_requests += 1
+        self._store_in_flight = True
+        self.bus.submit(request)
+
+    def _finish(self) -> None:
+        if self._store_buffer or self._store_in_flight:
+            # The trace is exhausted but stores are still draining; the task
+            # is only complete once its memory effects are globally visible.
+            self._state = CoreState.COMPUTING
+            self._compute_remaining = 0
+            self._pending_access = None
+            self._finishing = True
+            return
+        self._state = CoreState.FINISHED
+        self.counters.finish_cycle = self.now
+
+    # ------------------------------------------------------------------
+    # Bus master port protocol
+    # ------------------------------------------------------------------
+    def on_grant(self, request: BusRequest, cycle: int) -> None:
+        """The bus granted this core's request; nothing to do until completion."""
+
+    def on_complete(self, request: BusRequest, cycle: int) -> None:
+        """The bus transaction finished; resume the trace next cycle."""
+        if request.annotations.get("buffered_store"):
+            self._complete_buffered_store(request)
+            return
+        if request.duration is not None:
+            self.counters.bus_hold_cycles += request.duration
+            # The cycles the bus was held were accounted as wait cycles by the
+            # per-cycle loop (the core is in WAITING_BUS while the transaction
+            # is in flight); reclassify them as hold cycles.
+            self.counters.bus_wait_cycles -= request.duration
+        self.counters.request_latencies.append(request.total_latency)
+        self.counters.items_completed += 1
+        self._pending_access = None
+        self._advance_trace()
+
+    def _complete_buffered_store(self, request: BusRequest) -> None:
+        """A background store drained; free the port and unblock stalls."""
+        self._store_in_flight = False
+        if request.duration is not None:
+            self.counters.bus_hold_cycles += request.duration
+        self.counters.request_latencies.append(request.total_latency)
+        if self._state is CoreState.STORE_STALL and self._stalled_store is not None:
+            access = self._stalled_store
+            self._stalled_store = None
+            self._accept_buffered_store(access)
+        elif self._state is CoreState.WAITING_PORT and self._deferred_request is not None:
+            deferred = self._deferred_request
+            self._deferred_request = None
+            self._state = CoreState.WAITING_BUS
+            self.bus.submit(deferred)
+
+    def reset(self) -> None:
+        self.counters = CoreCounters(core_id=self.core_id)
+        self.trace.reset()
+        self.l1_data.reset()
+        if self.l1_instruction is not None:
+            self.l1_instruction.reset()
+        self._state = CoreState.COMPUTING
+        self._compute_remaining = 0
+        self._l1_remaining = 0
+        self._pending_access = None
+        self._store_buffer = []
+        self._store_in_flight = False
+        self._deferred_request = None
+        self._stalled_store = None
+        self._finishing = False
+        self._started = False

@@ -1,0 +1,76 @@
+"""Per-core performance counters.
+
+Mirrors the counters one would read from a LEON3 statistics unit: committed
+trace items, memory accesses split by level serviced, cycles split by what
+the core was doing.  Experiments use them to compute slowdowns, bus demand
+and stall breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CoreCounters"]
+
+
+@dataclass
+class CoreCounters:
+    """Counters accumulated by one core over one run."""
+
+    core_id: int
+    items_completed: int = 0
+    accesses: int = 0
+    l1_hits: int = 0
+    bus_requests: int = 0
+    #: Stores absorbed by the write buffer (drained to the bus in background).
+    buffered_stores: int = 0
+    #: Cycles stalled because the write buffer was full.
+    store_stall_cycles: int = 0
+    compute_cycles: int = 0
+    l1_cycles: int = 0
+    #: Cycles spent waiting for the bus grant (contention + CBA budget gating).
+    bus_wait_cycles: int = 0
+    #: Cycles the bus was held on behalf of this core.
+    bus_hold_cycles: int = 0
+    start_cycle: int = 0
+    finish_cycle: int | None = None
+    #: Per-request total latencies (issue to completion), for distributions.
+    request_latencies: list[int] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_cycle is not None
+
+    @property
+    def execution_cycles(self) -> int:
+        """Total cycles from start to finish (0 until the core finishes)."""
+        if self.finish_cycle is None:
+            return 0
+        return self.finish_cycle - self.start_cycle
+
+    @property
+    def bus_bound_cycles(self) -> int:
+        """Cycles attributable to the bus (waiting plus holding)."""
+        return self.bus_wait_cycles + self.bus_hold_cycles
+
+    def l1_hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.l1_hits / self.accesses
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "core_id": self.core_id,
+            "items_completed": self.items_completed,
+            "accesses": self.accesses,
+            "l1_hits": self.l1_hits,
+            "bus_requests": self.bus_requests,
+            "buffered_stores": self.buffered_stores,
+            "store_stall_cycles": self.store_stall_cycles,
+            "compute_cycles": self.compute_cycles,
+            "l1_cycles": self.l1_cycles,
+            "bus_wait_cycles": self.bus_wait_cycles,
+            "bus_hold_cycles": self.bus_hold_cycles,
+            "execution_cycles": self.execution_cycles,
+            "finished": self.finished,
+        }

@@ -1,0 +1,48 @@
+"""Descriptors of the work a core performs.
+
+A core's activity is described as a stream of :class:`TraceItem` objects:
+each item is an optional number of *compute* cycles (no memory activity)
+followed by one memory access.  This is the level of detail the bus — the
+resource the paper studies — actually observes: when requests are issued, of
+which kind, and how far apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bus.transaction import AccessType
+
+__all__ = ["MemoryAccess", "TraceItem"]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory operation issued by a core."""
+
+    address: int
+    access: AccessType = AccessType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.access is AccessType.WRITE
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.access is AccessType.ATOMIC
+
+
+@dataclass(frozen=True)
+class TraceItem:
+    """``compute_cycles`` of core-local work followed by one memory access.
+
+    ``access`` may be ``None`` for a pure-compute item (used to model final
+    tail computation after the last memory access of a task).
+    """
+
+    compute_cycles: int = 0
+    access: MemoryAccess | None = None
+
+    def __post_init__(self) -> None:
+        if self.compute_cycles < 0:
+            raise ValueError("compute_cycles cannot be negative")

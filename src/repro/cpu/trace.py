@@ -1,0 +1,124 @@
+"""Workload traces consumed by the core model.
+
+A :class:`WorkloadTrace` hands :class:`~repro.cpu.requests.TraceItem` objects
+to a core one at a time.  Traces can be finite (a task that runs to
+completion, like the EEMBC benchmarks) or unbounded (streaming contenders
+that keep issuing requests for as long as the simulation runs).
+
+Traces are *replayable*: :meth:`WorkloadTrace.reset` rewinds to the beginning
+so the same core object can be reused across runs of an experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from ..sim.errors import WorkloadError
+from .requests import TraceItem
+
+__all__ = ["WorkloadTrace", "ListTrace", "GeneratorTrace", "InfiniteTrace"]
+
+
+class WorkloadTrace:
+    """Abstract trace interface."""
+
+    name: str = "trace"
+
+    def next_item(self) -> TraceItem | None:
+        """Return the next item, or ``None`` when the trace is exhausted."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Rewind the trace to its beginning."""
+        raise NotImplementedError
+
+    @property
+    def finite(self) -> bool:
+        """Whether the trace ever ends."""
+        return True
+
+
+class ListTrace(WorkloadTrace):
+    """A finite trace backed by a list of items."""
+
+    def __init__(self, items: Iterable[TraceItem], name: str = "list-trace") -> None:
+        self.name = name
+        self._items = list(items)
+        self._position = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def next_item(self) -> TraceItem | None:
+        if self._position >= len(self._items):
+            return None
+        item = self._items[self._position]
+        self._position += 1
+        return item
+
+    def reset(self) -> None:
+        self._position = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._items) - self._position
+
+
+class GeneratorTrace(WorkloadTrace):
+    """A finite trace produced lazily by a factory of iterators.
+
+    The factory is invoked once per run (and again after :meth:`reset`), so a
+    randomised workload generator can produce a fresh but reproducible item
+    stream for each run.
+    """
+
+    def __init__(self, factory: Callable[[], Iterator[TraceItem]], name: str = "generator-trace"):
+        self.name = name
+        self._factory = factory
+        self._iterator = iter(factory())
+
+    def next_item(self) -> TraceItem | None:
+        try:
+            return next(self._iterator)
+        except StopIteration:
+            return None
+
+    def reset(self) -> None:
+        self._iterator = iter(self._factory())
+
+
+class InfiniteTrace(WorkloadTrace):
+    """An unbounded trace that repeats items from a factory forever.
+
+    Used for streaming contenders: the factory yields a (possibly finite)
+    sequence that is restarted every time it runs out.
+    """
+
+    def __init__(self, factory: Callable[[], Iterator[TraceItem]], name: str = "infinite-trace"):
+        self.name = name
+        self._factory = factory
+        self._iterator = iter(factory())
+        self._exhaustion_guard = 0
+
+    def next_item(self) -> TraceItem | None:
+        for _ in range(2):
+            try:
+                item = next(self._iterator)
+                self._exhaustion_guard = 0
+                return item
+            except StopIteration:
+                self._exhaustion_guard += 1
+                if self._exhaustion_guard > 1:
+                    raise WorkloadError(
+                        f"infinite trace {self.name!r}: factory produced an empty sequence"
+                    )
+                self._iterator = iter(self._factory())
+        return None  # pragma: no cover - unreachable
+
+    def reset(self) -> None:
+        self._iterator = iter(self._factory())
+        self._exhaustion_guard = 0
+
+    @property
+    def finite(self) -> bool:
+        return False

@@ -1,0 +1,135 @@
+"""Figure 1: normalised average execution time of EEMBC benchmarks.
+
+The paper runs each of ``cacheb``, ``canrdr``, ``matrix`` and ``tblook``
+under six configurations — {RP, CBA, H-CBA} x {isolation, maximum
+contention} — and reports the average execution time over 1,000 randomised
+runs, normalised to RP in isolation.  The headline observations are:
+
+* under maximum contention the RP bus suffers slowdowns up to 3.34x
+  (``matrix``), while CBA caps the worst case at 2.34x;
+* in isolation CBA costs only ~3% on average (budget-recovery stalls), and
+  H-CBA is essentially free for the favoured core;
+* H-CBA (TuA entitled to 50% of the bandwidth) further reduces the
+  contention slowdown of the TuA.
+
+:func:`run_figure1` regenerates the same table of normalised execution times
+on the simulated platform.  The number of runs and the workload length are
+parameters so the benchmark can trade accuracy for runtime; the *shape* of
+the results (orderings and approximate ratios) is what the benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..analysis.reporting import format_figure1_table
+from ..platform.presets import cba_config, hcba_config, rp_config
+from ..platform.scenarios import run_isolation, run_max_contention
+from ..sim.config import PlatformConfig
+from ..workloads.eembc import FIGURE1_BENCHMARKS, eembc_workload
+from .runner import RepeatedRuns, repeat_scenario, scale_workload
+
+__all__ = ["Figure1Result", "run_figure1", "FIGURE1_CONFIGURATIONS"]
+
+#: Column labels in the order the paper's figure presents them.
+FIGURE1_CONFIGURATIONS: tuple[str, ...] = (
+    "RP-ISO",
+    "CBA-ISO",
+    "H-CBA-ISO",
+    "RP-CON",
+    "CBA-CON",
+    "H-CBA-CON",
+)
+
+
+@dataclass
+class Figure1Result:
+    """All the data behind Figure 1."""
+
+    #: benchmark -> configuration label -> mean execution cycles.
+    mean_cycles: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: benchmark -> configuration label -> normalised execution time (slowdown).
+    slowdowns: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: benchmark -> configuration label -> the underlying repeated-run record.
+    runs: dict[str, dict[str, RepeatedRuns]] = field(default_factory=dict)
+    num_runs: int = 0
+    access_scale: float = 1.0
+
+    def worst_contention_slowdown(self, configuration: str) -> float:
+        """Largest slowdown across benchmarks for one configuration column."""
+        return max(self.slowdowns[b][configuration] for b in self.slowdowns)
+
+    def isolation_overhead(self, configuration: str) -> float:
+        """Average isolation overhead of ``configuration`` relative to RP-ISO."""
+        values = [self.slowdowns[b][configuration] for b in self.slowdowns]
+        return sum(values) / len(values) - 1.0
+
+    def to_table(self) -> str:
+        """Render the figure's data as an aligned text table."""
+        return format_figure1_table(self.slowdowns, FIGURE1_CONFIGURATIONS)
+
+
+def _configurations(num_cores: int, tua_core: int) -> dict[str, tuple[PlatformConfig, str]]:
+    """Map configuration labels to (platform config, scenario kind)."""
+    rp = rp_config(num_cores)
+    cba = cba_config(num_cores)
+    hcba = hcba_config(num_cores, favoured_core=tua_core)
+    return {
+        "RP-ISO": (rp, "iso"),
+        "CBA-ISO": (cba, "iso"),
+        "H-CBA-ISO": (hcba, "iso"),
+        "RP-CON": (rp, "con"),
+        "CBA-CON": (cba, "con"),
+        "H-CBA-CON": (hcba, "con"),
+    }
+
+
+def run_figure1(
+    benchmarks: Sequence[str] = FIGURE1_BENCHMARKS,
+    num_runs: int = 5,
+    seed: int = 2017,
+    access_scale: float = 1.0,
+    num_cores: int = 4,
+    tua_core: int = 0,
+    max_cycles: int = 5_000_000,
+) -> Figure1Result:
+    """Regenerate the Figure 1 data.
+
+    Parameters
+    ----------
+    benchmarks:
+        EEMBC benchmark names (defaults to the four the paper plots).
+    num_runs:
+        Randomised runs averaged per (benchmark, configuration).  The paper
+        uses 1,000; the default keeps the harness fast while still averaging
+        out randomisation noise.
+    access_scale:
+        Workload-length scaling factor (1.0 = paper-sized traces).
+    """
+    result = Figure1Result(num_runs=num_runs, access_scale=access_scale)
+    configurations = _configurations(num_cores, tua_core)
+    for benchmark in benchmarks:
+        workload = scale_workload(eembc_workload(benchmark), access_scale)
+        result.mean_cycles[benchmark] = {}
+        result.runs[benchmark] = {}
+        for label, (config, kind) in configurations.items():
+            scenario = run_isolation if kind == "iso" else run_max_contention
+            runs = repeat_scenario(
+                scenario,
+                workload,
+                config,
+                num_runs=num_runs,
+                seed=seed,
+                label=f"{benchmark}/{label}",
+                tua_core=tua_core,
+                max_cycles=max_cycles,
+            )
+            result.mean_cycles[benchmark][label] = runs.mean_cycles
+            result.runs[benchmark][label] = runs
+        baseline = result.mean_cycles[benchmark]["RP-ISO"]
+        result.slowdowns[benchmark] = {
+            label: cycles / baseline
+            for label, cycles in result.mean_cycles[benchmark].items()
+        }
+    return result

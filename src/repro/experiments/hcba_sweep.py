@@ -1,0 +1,181 @@
+"""H-CBA ablation sweep (Section III-A design choices).
+
+The paper describes two ways to give one core a larger bandwidth share —
+redistributing the per-cycle replenishment (the evaluated H-CBA) or letting
+the favoured core's budget cap grow — and notes the trade-off: budget-cap
+growth enables back-to-back grants for the favoured core but creates temporal
+starvation for the others.
+
+This sweep quantifies the trade-off on the simulated platform: for a grid of
+favoured-core bandwidth fractions (and for the cap-growth variant), it runs a
+short-request task on the favoured core against greedy contenders and
+reports
+
+* the favoured core's contention slowdown,
+* the contenders' throughput (completed requests), and
+* the bandwidth share each core actually obtained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+from ..core.hcba import budget_cap_parameters
+from ..platform.presets import cba_config, hcba_config, paper_bus_timings, rp_config
+from ..platform.scenarios import run_isolation, run_max_contention
+from ..sim.config import PlatformConfig
+from ..workloads.base import WorkloadSpec
+from ..workloads.synthetic import short_request_workload
+from .runner import repeat_scenario, scale_workload
+
+__all__ = ["HCBASweepPoint", "HCBASweepResult", "run_hcba_sweep"]
+
+
+@dataclass(frozen=True)
+class HCBASweepPoint:
+    """Outcome of one H-CBA variant under maximum contention."""
+
+    label: str
+    favoured_fraction: float
+    tua_slowdown: float
+    tua_mean_cycles: float
+    contender_completed_requests: float
+    tua_bandwidth_share: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "label": self.label,
+            "favoured_fraction": self.favoured_fraction,
+            "tua_slowdown": self.tua_slowdown,
+            "tua_mean_cycles": self.tua_mean_cycles,
+            "contender_completed_requests": self.contender_completed_requests,
+            "tua_bandwidth_share": self.tua_bandwidth_share,
+        }
+
+
+@dataclass
+class HCBASweepResult:
+    """All sweep points plus the isolation baseline they are normalised to."""
+
+    baseline_isolation_cycles: float
+    points: list[HCBASweepPoint] = field(default_factory=list)
+
+    def by_label(self, label: str) -> HCBASweepPoint:
+        for point in self.points:
+            if point.label == label:
+                return point
+        raise KeyError(f"no sweep point labelled {label!r}")
+
+    def labels(self) -> list[str]:
+        return [point.label for point in self.points]
+
+
+def _contention_point(
+    label: str,
+    favoured_fraction: float,
+    workload: WorkloadSpec,
+    config: PlatformConfig,
+    baseline_isolation: float,
+    num_runs: int,
+    seed: int,
+    tua_core: int,
+    max_cycles: int,
+) -> HCBASweepPoint:
+    runs = []
+    contender_requests = []
+    shares = []
+    for run_index in range(num_runs):
+        result = run_max_contention(
+            workload, config, seed=seed, run_index=run_index, tua_core=tua_core,
+            max_cycles=max_cycles,
+        )
+        runs.append(float(result.tua_cycles))
+        contenders = result.system.extra.get("contender_requests", {})
+        total = sum(int(v) for v in contenders.values())
+        contender_requests.append(total)
+        shares.append(result.system.bandwidth_shares[tua_core])
+    mean_cycles = sum(runs) / len(runs)
+    return HCBASweepPoint(
+        label=label,
+        favoured_fraction=favoured_fraction,
+        tua_slowdown=mean_cycles / baseline_isolation,
+        tua_mean_cycles=mean_cycles,
+        contender_completed_requests=sum(contender_requests) / len(contender_requests),
+        tua_bandwidth_share=sum(shares) / len(shares),
+    )
+
+
+def run_hcba_sweep(
+    fractions: Sequence[float] = (0.25, 0.4, 0.5, 0.75),
+    cap_multipliers: Sequence[int] = (2,),
+    workload: WorkloadSpec | None = None,
+    num_runs: int = 3,
+    seed: int = 11,
+    access_scale: float = 0.5,
+    num_cores: int = 4,
+    tua_core: int = 0,
+    max_cycles: int = 5_000_000,
+) -> HCBASweepResult:
+    """Sweep H-CBA variants and compare them against RP and homogeneous CBA."""
+    workload = workload or short_request_workload()
+    workload = scale_workload(workload, access_scale)
+
+    rp = rp_config(num_cores)
+    baseline = repeat_scenario(
+        run_isolation, workload, rp, num_runs=num_runs, seed=seed,
+        label="baseline-iso", tua_core=tua_core, max_cycles=max_cycles,
+    )
+    result = HCBASweepResult(baseline_isolation_cycles=baseline.mean_cycles)
+
+    # Reference points: plain RP and homogeneous CBA.
+    result.points.append(
+        _contention_point(
+            "RP", 1.0 / num_cores, workload, rp, baseline.mean_cycles,
+            num_runs, seed, tua_core, max_cycles,
+        )
+    )
+    result.points.append(
+        _contention_point(
+            "CBA", 1.0 / num_cores, workload, cba_config(num_cores),
+            baseline.mean_cycles, num_runs, seed, tua_core, max_cycles,
+        )
+    )
+
+    # Replenishment-share variants.
+    for fraction in fractions:
+        config = hcba_config(
+            num_cores, favoured_core=tua_core,
+            favoured_fraction=Fraction(fraction).limit_denominator(100),
+        )
+        result.points.append(
+            _contention_point(
+                f"H-CBA-shares-{fraction:.2f}", float(fraction), workload, config,
+                baseline.mean_cycles, num_runs, seed, tua_core, max_cycles,
+            )
+        )
+
+    # Budget-cap variants.
+    timings = paper_bus_timings()
+    for multiplier in cap_multipliers:
+        params = budget_cap_parameters(
+            num_cores=num_cores,
+            max_latency=timings.max_latency,
+            favoured_core=tua_core,
+            cap_multiplier=multiplier,
+        )
+        config = PlatformConfig(
+            num_cores=num_cores,
+            arbitration="random_permutations",
+            use_cba=True,
+            cba=params,
+            bus_timings=timings,
+        )
+        result.points.append(
+            _contention_point(
+                f"H-CBA-cap-x{multiplier}", 1.0 / num_cores, workload, config,
+                baseline.mean_cycles, num_runs, seed, tua_core, max_cycles,
+            )
+        )
+    return result

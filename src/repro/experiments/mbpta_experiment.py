@@ -1,0 +1,123 @@
+"""MBPTA compatibility experiment (Section III-B).
+
+The paper's WCET argument has two parts: (1) execution-time observations
+collected in WCET-estimation mode can be treated as i.i.d. (the platform's
+randomisation is what makes MBPTA applicable), and (2) the analysis-time
+scenario creates at least as much contention as operation can, so the fitted
+pWCET curve upper-bounds deployment behaviour.
+
+This experiment regenerates both checks on the simulated platform for a
+chosen benchmark and bus configuration:
+
+* collect ``num_runs`` execution times under the WCET-estimation scenario
+  (TuA with zero initial budget, Table I contenders) and run the MBPTA
+  pipeline — i.i.d. battery, Gumbel tail fit, pWCET curve;
+* collect a smaller set of operation-mode (maximum contention) execution
+  times and confirm the pWCET bound at a reference exceedance probability
+  dominates every one of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mbpta.protocol import MBPTAResult, mbpta_from_samples
+from ..platform.presets import config_by_label
+from ..platform.scenarios import run_max_contention, run_wcet_estimation
+from ..workloads.eembc import eembc_workload
+from .runner import scale_workload
+
+__all__ = ["MBPTAExperimentResult", "run_mbpta_experiment"]
+
+
+@dataclass(frozen=True)
+class MBPTAExperimentResult:
+    """pWCET analysis of one benchmark on one bus configuration."""
+
+    benchmark: str
+    configuration: str
+    mbpta: MBPTAResult
+    operation_samples: tuple[float, ...]
+    reference_exceedance: float
+
+    @property
+    def pwcet_bound(self) -> float:
+        return self.mbpta.wcet_at(self.reference_exceedance)
+
+    @property
+    def bound_dominates_operation(self) -> bool:
+        """Whether the pWCET bound covers every operation-mode observation."""
+        if not self.operation_samples:
+            return True
+        return self.pwcet_bound >= max(self.operation_samples)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "configuration": self.configuration,
+            "runs": len(self.mbpta.samples),
+            "iid_ok": self.mbpta.iid_ok,
+            "gof_ok": self.mbpta.evt.acceptable,
+            "observed_max_analysis": self.mbpta.observed_max,
+            "observed_max_operation": max(self.operation_samples)
+            if self.operation_samples
+            else 0.0,
+            "pwcet_bound": self.pwcet_bound,
+            "reference_exceedance": self.reference_exceedance,
+            "bound_dominates_operation": self.bound_dominates_operation,
+        }
+
+
+def run_mbpta_experiment(
+    benchmark: str = "canrdr",
+    configuration: str = "CBA",
+    num_runs: int = 40,
+    operation_runs: int = 10,
+    seed: int = 7,
+    access_scale: float = 0.25,
+    block_size: int = 5,
+    reference_exceedance: float = 1e-12,
+    tua_core: int = 0,
+    max_cycles: int = 5_000_000,
+) -> MBPTAExperimentResult:
+    """Run the MBPTA campaign for ``benchmark`` on ``configuration``."""
+    config = config_by_label(configuration, tua_core=tua_core)
+    workload = scale_workload(eembc_workload(benchmark), access_scale)
+
+    analysis_samples = []
+    for run_index in range(num_runs):
+        result = run_wcet_estimation(
+            workload,
+            config,
+            seed=seed,
+            run_index=run_index,
+            tua_core=tua_core,
+            max_cycles=max_cycles,
+        )
+        analysis_samples.append(float(result.tua_cycles))
+
+    mbpta = mbpta_from_samples(
+        analysis_samples,
+        block_size=block_size,
+        metadata={"benchmark": benchmark, "configuration": configuration},
+    )
+
+    operation_samples = []
+    for run_index in range(operation_runs):
+        result = run_max_contention(
+            workload,
+            config,
+            seed=seed + 1,
+            run_index=run_index,
+            tua_core=tua_core,
+            max_cycles=max_cycles,
+        )
+        operation_samples.append(float(result.tua_cycles))
+
+    return MBPTAExperimentResult(
+        benchmark=benchmark,
+        configuration=configuration,
+        mbpta=mbpta,
+        operation_samples=tuple(operation_samples),
+        reference_exceedance=reference_exceedance,
+    )

@@ -1,0 +1,87 @@
+"""Shared experiment utilities.
+
+Every experiment repeats randomised runs and averages the task-under-analysis
+execution time; this module centralises that loop so the figure/table modules
+stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..analysis.metrics import MeanWithConfidence, mean_with_confidence
+from ..platform.scenarios import ScenarioResult
+from ..sim.config import PlatformConfig
+from ..workloads.base import WorkloadSpec
+
+__all__ = ["RepeatedRuns", "repeat_scenario", "scale_workload"]
+
+ScenarioRunner = Callable[..., ScenarioResult]
+
+
+@dataclass(frozen=True)
+class RepeatedRuns:
+    """Execution-time statistics over repeated randomised runs."""
+
+    label: str
+    samples: tuple[float, ...]
+    stats: MeanWithConfidence
+
+    @property
+    def mean_cycles(self) -> float:
+        return self.stats.mean
+
+    @property
+    def max_cycles(self) -> float:
+        return max(self.samples)
+
+    @property
+    def min_cycles(self) -> float:
+        return min(self.samples)
+
+
+def repeat_scenario(
+    scenario: ScenarioRunner,
+    workload: WorkloadSpec,
+    config: PlatformConfig,
+    num_runs: int,
+    seed: int = 0,
+    label: str = "",
+    **scenario_kwargs: object,
+) -> RepeatedRuns:
+    """Run ``scenario`` ``num_runs`` times with fresh per-run randomisation.
+
+    The run index feeds the random-stream derivation, so every run sees fresh
+    cache placements, replacement choices and arbitration randomness — the
+    same protocol as the paper's 1,000-run averages on the randomised FPGA
+    platform.
+    """
+    if num_runs <= 0:
+        raise ValueError("num_runs must be positive")
+    samples = []
+    for run_index in range(num_runs):
+        result = scenario(
+            workload, config, seed=seed, run_index=run_index, **scenario_kwargs
+        )
+        samples.append(float(result.tua_cycles))
+    return RepeatedRuns(
+        label=label or f"{workload.name}/{config.arbitration}",
+        samples=tuple(samples),
+        stats=mean_with_confidence(samples),
+    )
+
+
+def scale_workload(workload: WorkloadSpec, access_scale: float) -> WorkloadSpec:
+    """Scale a workload's length for quicker runs (benchmarks and tests).
+
+    ``access_scale = 1.0`` keeps the paper-sized workload; smaller values
+    shrink the number of accesses proportionally (minimum 50 so the
+    statistics remain meaningful).
+    """
+    if access_scale <= 0:
+        raise ValueError("access_scale must be positive")
+    if access_scale >= 1.0:
+        return workload
+    scaled = max(50, int(workload.num_accesses * access_scale))
+    return workload.with_updates(num_accesses=scaled)

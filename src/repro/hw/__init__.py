@@ -1,0 +1,25 @@
+"""Hardware-facing models: the LFSR random bank (APRANDBANK stand-in) and the
+structural RTL cost model used to reproduce the implementation-overhead
+claims of Section IV-B."""
+
+from .prng import MAXIMAL_TAPS, GaloisLFSR, RandomBank
+from .rtl_cost import (
+    STRATIX_IV_ALUT_CAPACITY,
+    ResourceEstimate,
+    arbiter_cost,
+    cba_addon_cost,
+    overhead_report,
+    platform_cost,
+)
+
+__all__ = [
+    "GaloisLFSR",
+    "RandomBank",
+    "MAXIMAL_TAPS",
+    "ResourceEstimate",
+    "arbiter_cost",
+    "cba_addon_cost",
+    "platform_cost",
+    "overhead_report",
+    "STRATIX_IV_ALUT_CAPACITY",
+]

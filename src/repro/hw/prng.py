@@ -1,0 +1,125 @@
+"""Hardware-style pseudo-random number generation (APRANDBANK stand-in).
+
+The FPGA platform of the paper feeds its randomised arbiters and caches from
+the APRANDBANK module — a bank of hardware pseudo-random number generators
+that delivers fresh random bits every cycle and is designed to IEC 61508
+SIL-3 requirements (Agirre et al., DSD 2015).  In the simulator the random
+streams of :mod:`repro.sim.rng` play that role, but a faithful LFSR bank is
+provided here for two reasons:
+
+* tests of the arbiters can be driven by the exact bit-level source a
+  hardware implementation would use;
+* the RTL cost model (:mod:`repro.hw.rtl_cost`) counts its registers when
+  estimating arbiter implementation overheads.
+
+:class:`GaloisLFSR` implements a maximal-length Galois linear-feedback shift
+register; :class:`RandomBank` groups several of them, one per consumer, and
+exposes per-cycle random words like the hardware module does.
+"""
+
+from __future__ import annotations
+
+from ..sim.errors import ConfigurationError
+
+__all__ = ["GaloisLFSR", "RandomBank", "MAXIMAL_TAPS"]
+
+#: Taps (as XOR masks) of maximal-length Galois LFSRs for common widths.
+MAXIMAL_TAPS: dict[int, int] = {
+    8: 0xB8,
+    16: 0xB400,
+    24: 0xE10000,
+    32: 0xA3000000,
+}
+
+
+class GaloisLFSR:
+    """A Galois linear-feedback shift register."""
+
+    def __init__(self, width: int = 32, seed: int = 1, taps: int | None = None) -> None:
+        if width not in MAXIMAL_TAPS and taps is None:
+            raise ConfigurationError(
+                f"no default taps for width {width}; provide them explicitly"
+            )
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.taps = taps if taps is not None else MAXIMAL_TAPS[width]
+        seed &= self.mask
+        if seed == 0:
+            # The all-zero state is the one fixed point of an LFSR; nudge it.
+            seed = 1
+        self.state = seed
+        self._initial_state = seed
+
+    def step(self) -> int:
+        """Advance one cycle and return the new state."""
+        lsb = self.state & 1
+        self.state >>= 1
+        if lsb:
+            self.state ^= self.taps
+        return self.state
+
+    def bits(self, count: int) -> int:
+        """Return ``count`` fresh random bits (stepping once per bit)."""
+        if count <= 0:
+            raise ConfigurationError("bit count must be positive")
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | (self.step() & 1)
+        return value
+
+    def uniform_int(self, upper: int) -> int:
+        """A pseudo-random integer in ``[0, upper)`` via rejection sampling."""
+        if upper <= 0:
+            raise ConfigurationError("upper bound must be positive")
+        bits_needed = max(1, (upper - 1).bit_length())
+        while True:
+            value = self.bits(bits_needed)
+            if value < upper:
+                return value
+
+    def reset(self) -> None:
+        self.state = self._initial_state
+
+    @property
+    def period(self) -> int:
+        """Period of a maximal-length LFSR of this width."""
+        return (1 << self.width) - 1
+
+
+class RandomBank:
+    """A bank of independent LFSRs, one per named consumer."""
+
+    def __init__(self, width: int = 32, base_seed: int = 0xACE1) -> None:
+        self.width = width
+        self.base_seed = base_seed
+        self._lfsrs: dict[str, GaloisLFSR] = {}
+
+    def lfsr(self, consumer: str) -> GaloisLFSR:
+        """The LFSR dedicated to ``consumer`` (created on first use)."""
+        if consumer not in self._lfsrs:
+            # Derive a distinct, non-zero seed per consumer.
+            seed = (self.base_seed + 0x9E37 * (len(self._lfsrs) + 1)) & ((1 << self.width) - 1)
+            self._lfsrs[consumer] = GaloisLFSR(width=self.width, seed=seed or 1)
+        return self._lfsrs[consumer]
+
+    def random_word(self, consumer: str) -> int:
+        """One fresh word of random bits for ``consumer``."""
+        return self.lfsr(consumer).bits(self.width)
+
+    def permutation(self, consumer: str, n: int) -> list[int]:
+        """A Fisher–Yates permutation of ``range(n)`` drawn from the bank."""
+        lfsr = self.lfsr(consumer)
+        values = list(range(n))
+        for i in range(n - 1, 0, -1):
+            j = lfsr.uniform_int(i + 1)
+            values[i], values[j] = values[j], values[i]
+        return values
+
+    @property
+    def register_bits(self) -> int:
+        """Total state bits held by the bank (used by the RTL cost model)."""
+        return self.width * max(1, len(self._lfsrs))
+
+    def reset(self) -> None:
+        for lfsr in self._lfsrs.values():
+            lfsr.reset()

@@ -1,0 +1,38 @@
+"""Measurement-Based Probabilistic Timing Analysis (MBPTA) toolchain.
+
+Implements the statistical pipeline the paper relies on for WCET estimation:
+i.i.d. testing of execution-time observations, block-maxima extraction,
+Gumbel tail fitting and pWCET curve projection.
+"""
+
+from .evt import EVTFit, block_maxima, fit_evt, goodness_of_fit
+from .gumbel import GumbelFit, fit_gumbel_mle, fit_gumbel_moments
+from .iid import (
+    TestResult,
+    iid_test_battery,
+    ks_identical_distribution_test,
+    ljung_box_test,
+    runs_test,
+)
+from .protocol import MBPTAResult, mbpta_from_samples, run_mbpta
+from .pwcet import DEFAULT_EXCEEDANCE_GRID, PWCETCurve
+
+__all__ = [
+    "TestResult",
+    "iid_test_battery",
+    "ks_identical_distribution_test",
+    "runs_test",
+    "ljung_box_test",
+    "GumbelFit",
+    "fit_gumbel_moments",
+    "fit_gumbel_mle",
+    "EVTFit",
+    "block_maxima",
+    "goodness_of_fit",
+    "fit_evt",
+    "PWCETCurve",
+    "DEFAULT_EXCEEDANCE_GRID",
+    "MBPTAResult",
+    "run_mbpta",
+    "mbpta_from_samples",
+]

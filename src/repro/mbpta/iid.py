@@ -1,0 +1,171 @@
+"""Independence and identical-distribution (i.i.d.) tests.
+
+MBPTA is only sound when the execution-time observations collected at
+analysis time can be treated as independent and identically distributed
+random variables.  Industrial MBPTA practice (Cucu-Grosjean et al., ECRTS
+2012) checks this with statistical tests before fitting EVT models; this
+module provides the standard battery:
+
+* two-sample Kolmogorov–Smirnov test on the two halves of the sample
+  (identical distribution over time);
+* Wald–Wolfowitz runs test around the median (independence / randomness);
+* Ljung–Box test on the autocorrelation function (serial independence).
+
+Each test returns a :class:`TestResult` with a statistic, a p-value and a
+pass/fail verdict at the requested significance level (MBPTA commonly uses
+α = 0.05).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..sim.errors import AnalysisError
+
+__all__ = [
+    "TestResult",
+    "ks_identical_distribution_test",
+    "runs_test",
+    "ljung_box_test",
+    "iid_test_battery",
+]
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one statistical test."""
+
+    name: str
+    statistic: float
+    p_value: float
+    passed: bool
+    alpha: float
+    details: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "statistic": self.statistic,
+            "p_value": self.p_value,
+            "passed": self.passed,
+            "alpha": self.alpha,
+            "details": self.details,
+        }
+
+
+def _as_array(samples) -> np.ndarray:
+    data = np.asarray(samples, dtype=float)
+    if data.ndim != 1:
+        raise AnalysisError("samples must be one-dimensional")
+    if data.size < 10:
+        raise AnalysisError(f"need at least 10 samples for i.i.d. testing, got {data.size}")
+    return data
+
+
+def ks_identical_distribution_test(samples, alpha: float = 0.05) -> TestResult:
+    """Two-sample KS test between the first and second half of the sample.
+
+    If the observations are identically distributed over time, the two halves
+    come from the same distribution and the test should not reject.
+    """
+    data = _as_array(samples)
+    half = data.size // 2
+    first, second = data[:half], data[half:]
+    statistic, p_value = stats.ks_2samp(first, second, method="asymp")
+    return TestResult(
+        name="ks_identical_distribution",
+        statistic=float(statistic),
+        p_value=float(p_value),
+        passed=bool(p_value > alpha),
+        alpha=alpha,
+        details=f"halves of sizes {first.size}/{second.size}",
+    )
+
+
+def runs_test(samples, alpha: float = 0.05) -> TestResult:
+    """Wald–Wolfowitz runs test around the median.
+
+    Counts runs of observations above/below the median; too few runs indicate
+    positive serial correlation (trends), too many indicate alternation.  The
+    test statistic is asymptotically standard normal under independence.
+    """
+    data = _as_array(samples)
+    median = np.median(data)
+    # Drop values equal to the median (standard treatment).
+    signs = data[data != median] > median
+    n1 = int(np.sum(signs))
+    n2 = int(signs.size - n1)
+    if n1 == 0 or n2 == 0:
+        # Degenerate sample (e.g. all values identical): independence cannot
+        # be rejected, but flag it in the details.
+        return TestResult(
+            name="runs_test",
+            statistic=0.0,
+            p_value=1.0,
+            passed=True,
+            alpha=alpha,
+            details="degenerate sample: all observations on one side of the median",
+        )
+    runs = 1 + int(np.sum(signs[1:] != signs[:-1]))
+    expected = 1 + 2 * n1 * n2 / (n1 + n2)
+    variance = (2 * n1 * n2 * (2 * n1 * n2 - n1 - n2)) / (
+        (n1 + n2) ** 2 * (n1 + n2 - 1)
+    )
+    if variance <= 0:
+        raise AnalysisError("runs test variance is not positive")
+    z = (runs - expected) / np.sqrt(variance)
+    p_value = 2 * stats.norm.sf(abs(z))
+    return TestResult(
+        name="runs_test",
+        statistic=float(z),
+        p_value=float(p_value),
+        passed=bool(p_value > alpha),
+        alpha=alpha,
+        details=f"runs={runs}, expected={expected:.1f}",
+    )
+
+
+def ljung_box_test(samples, lags: int = 10, alpha: float = 0.05) -> TestResult:
+    """Ljung–Box portmanteau test for autocorrelation up to ``lags`` lags."""
+    data = _as_array(samples)
+    n = data.size
+    lags = min(lags, n // 4)
+    if lags < 1:
+        raise AnalysisError("not enough samples for the Ljung-Box test")
+    centred = data - data.mean()
+    denominator = float(np.dot(centred, centred))
+    if denominator == 0.0:
+        return TestResult(
+            name="ljung_box",
+            statistic=0.0,
+            p_value=1.0,
+            passed=True,
+            alpha=alpha,
+            details="degenerate sample: zero variance",
+        )
+    q = 0.0
+    for lag in range(1, lags + 1):
+        autocorr = float(np.dot(centred[lag:], centred[:-lag])) / denominator
+        q += autocorr * autocorr / (n - lag)
+    q *= n * (n + 2)
+    p_value = float(stats.chi2.sf(q, df=lags))
+    return TestResult(
+        name="ljung_box",
+        statistic=float(q),
+        p_value=p_value,
+        passed=bool(p_value > alpha),
+        alpha=alpha,
+        details=f"lags={lags}",
+    )
+
+
+def iid_test_battery(samples, alpha: float = 0.05) -> list[TestResult]:
+    """Run the full i.i.d. battery and return the individual results."""
+    return [
+        ks_identical_distribution_test(samples, alpha=alpha),
+        runs_test(samples, alpha=alpha),
+        ljung_box_test(samples, alpha=alpha),
+    ]

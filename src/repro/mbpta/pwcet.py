@@ -1,0 +1,66 @@
+"""Probabilistic WCET (pWCET) curves.
+
+The output of MBPTA is not a single number but a curve: for each candidate
+execution-time bound the probability that one run exceeds it.  Certification
+arguments then pick the bound at the exceedance probability commensurate with
+the integrity level (e.g. 10^-12 per run is a common reference point).
+
+:class:`PWCETCurve` wraps a fitted tail model and answers the two questions
+experiments ask: *what is the bound at probability p?* and *what is the
+probability of exceeding bound x?*  It also materialises the curve at a
+standard grid of probabilities for tabular reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.errors import AnalysisError
+from .evt import EVTFit
+
+__all__ = ["PWCETCurve", "DEFAULT_EXCEEDANCE_GRID"]
+
+#: Exceedance probabilities commonly reported in MBPTA studies.
+DEFAULT_EXCEEDANCE_GRID: tuple[float, ...] = (
+    1e-3,
+    1e-6,
+    1e-9,
+    1e-12,
+    1e-15,
+)
+
+
+@dataclass(frozen=True)
+class PWCETCurve:
+    """A pWCET curve derived from an EVT tail fit."""
+
+    evt: EVTFit
+    #: Observed maximum of the raw sample (the curve must dominate it).
+    observed_max: float = 0.0
+    exceedance_grid: tuple[float, ...] = field(default=DEFAULT_EXCEEDANCE_GRID)
+
+    def wcet_at(self, exceedance: float) -> float:
+        """pWCET bound at the given per-run exceedance probability.
+
+        The EVT projection is clamped from below by the observed maximum: a
+        probabilistic bound can never be smaller than something that was
+        actually measured.
+        """
+        if not 0.0 < exceedance < 1.0:
+            raise AnalysisError("exceedance probability must be in (0, 1)")
+        return max(self.evt.fit.value_at_exceedance(exceedance), self.observed_max)
+
+    def exceedance_of(self, bound: float) -> float:
+        """Probability that one run exceeds ``bound`` according to the model."""
+        return self.evt.fit.exceedance_probability(bound)
+
+    def points(self) -> list[tuple[float, float]]:
+        """The curve sampled at the standard grid: (probability, bound) pairs."""
+        return [(p, self.wcet_at(p)) for p in self.exceedance_grid]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "observed_max": self.observed_max,
+            "points": {f"{p:g}": self.wcet_at(p) for p in self.exceedance_grid},
+            "evt": self.evt.as_dict(),
+        }

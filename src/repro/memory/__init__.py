@@ -1,0 +1,6 @@
+"""Memory subsystem: DRAM model and memory controller."""
+
+from .controller import MemoryController
+from .dram import DRAM
+
+__all__ = ["DRAM", "MemoryController"]

@@ -1,0 +1,38 @@
+"""Memory controller.
+
+Bridges the L2 cache to the DRAM.  In the paper's platform the controller is
+a simple single-channel bridge with a fixed per-access latency; it exists in
+the model mainly to keep the accounting of memory traffic (reads, writes,
+writebacks) separate from the caches and to give experiments a single place
+to read memory-pressure statistics from.
+"""
+
+from __future__ import annotations
+
+from ..sim.stats import StatGroup
+from .dram import DRAM
+
+__all__ = ["MemoryController"]
+
+
+class MemoryController:
+    """Single-channel memory controller in front of the DRAM."""
+
+    def __init__(self, dram: DRAM | None = None) -> None:
+        self.dram = dram if dram is not None else DRAM()
+        self.stats = StatGroup(name="memctrl.stats")
+
+    def access(self, address: int = 0, read: bool = True) -> int:
+        """Forward one access to the DRAM and return its latency in cycles."""
+        latency = self.dram.access(address, read=read)
+        self.stats.counter("reads" if read else "writes").increment()
+        self.stats.counter("busy_cycles").increment(latency)
+        return latency
+
+    @property
+    def total_accesses(self) -> int:
+        return self.stats.counter("reads").value + self.stats.counter("writes").value
+
+    def reset(self) -> None:
+        self.dram.reset()
+        self.stats.reset()

@@ -1,0 +1,72 @@
+"""DRAM model.
+
+The paper's platform connects the L2 to a DDR2 memory through a memory
+controller; every memory access costs a fixed 28 bus cycles.  The DRAM model
+therefore only needs to account accesses and expose the fixed latency — the
+timing itself is folded into the bus hold time by the latency table, because
+the bus is non-split and is occupied for the whole memory turnaround.
+
+A small refinement is provided for ablation studies: an optional row-buffer
+model where accesses hitting the currently open row are cheaper.  It is
+disabled by default so the platform matches the paper.
+"""
+
+from __future__ import annotations
+
+from ..sim.stats import StatGroup
+
+__all__ = ["DRAM"]
+
+
+class DRAM:
+    """Fixed-latency DRAM with an optional open-row model."""
+
+    def __init__(
+        self,
+        access_latency: int = 28,
+        row_bytes: int = 1024,
+        row_hit_latency: int | None = None,
+    ) -> None:
+        """Create the DRAM model.
+
+        Parameters
+        ----------
+        access_latency:
+            Latency of one memory access in bus cycles (paper: 28).
+        row_bytes:
+            Row size used when the open-row model is enabled.
+        row_hit_latency:
+            If given, accesses to the currently open row cost this many cycles
+            instead of ``access_latency``.  ``None`` (default) disables the
+            row-buffer model, matching the flat latency of the paper.
+        """
+        if access_latency <= 0:
+            raise ValueError("DRAM access latency must be positive")
+        if row_hit_latency is not None and not 0 < row_hit_latency <= access_latency:
+            raise ValueError("row hit latency must be in (0, access_latency]")
+        self.access_latency = access_latency
+        self.row_bytes = row_bytes
+        self.row_hit_latency = row_hit_latency
+        self._open_row: int | None = None
+        self.stats = StatGroup(name="dram.stats")
+
+    def access(self, address: int = 0, read: bool = True) -> int:
+        """Perform one access and return its latency in cycles."""
+        self.stats.counter("reads" if read else "writes").increment()
+        if self.row_hit_latency is None:
+            return self.access_latency
+        row = address // self.row_bytes
+        if row == self._open_row:
+            self.stats.counter("row_hits").increment()
+            return self.row_hit_latency
+        self.stats.counter("row_misses").increment()
+        self._open_row = row
+        return self.access_latency
+
+    @property
+    def total_accesses(self) -> int:
+        return self.stats.counter("reads").value + self.stats.counter("writes").value
+
+    def reset(self) -> None:
+        self._open_row = None
+        self.stats.reset()

@@ -1,0 +1,37 @@
+"""Platform assembly: configuration presets, the multicore system builder and
+the standard isolation / maximum-contention / WCET-estimation scenarios."""
+
+from .presets import (
+    PAPER_CONFIG_LABELS,
+    cba_config,
+    config_by_label,
+    hcba_config,
+    paper_bus_timings,
+    rp_config,
+)
+from .scenarios import (
+    Scenario,
+    ScenarioResult,
+    run_isolation,
+    run_max_contention,
+    run_multiprogram,
+    run_wcet_estimation,
+)
+from .system import MulticoreSystem, SystemResult
+
+__all__ = [
+    "MulticoreSystem",
+    "SystemResult",
+    "Scenario",
+    "ScenarioResult",
+    "run_isolation",
+    "run_max_contention",
+    "run_wcet_estimation",
+    "run_multiprogram",
+    "paper_bus_timings",
+    "rp_config",
+    "cba_config",
+    "hcba_config",
+    "config_by_label",
+    "PAPER_CONFIG_LABELS",
+]

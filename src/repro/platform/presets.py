@@ -1,0 +1,105 @@
+"""Configuration presets matching the paper's evaluated platform.
+
+Figure 1 compares three bus configurations, all built on random-permutations
+arbitration:
+
+* **RP** — the baseline random-permutations bus (no CBA);
+* **CBA** — the homogeneous credit-based bus;
+* **H-CBA** — the heterogeneous credit-based bus where the task under
+  analysis recovers 1/2 cycle of budget per cycle and every other core 1/6,
+  virtually allocating 50% of the bandwidth to the TuA.
+
+These presets return the corresponding :class:`~repro.sim.config.PlatformConfig`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.hcba import heterogeneous_share_parameters
+from ..sim.config import BusTimings, CBAParameters, PlatformConfig
+from ..sim.errors import ConfigurationError
+
+__all__ = [
+    "paper_bus_timings",
+    "rp_config",
+    "cba_config",
+    "hcba_config",
+    "config_by_label",
+    "PAPER_CONFIG_LABELS",
+]
+
+
+PAPER_CONFIG_LABELS: tuple[str, ...] = ("RP", "CBA", "H-CBA")
+
+
+def paper_bus_timings() -> BusTimings:
+    """The latency model of Section IV-A (5..56-cycle transactions, 28-cycle memory)."""
+    return BusTimings(
+        l2_hit_read=5,
+        l2_hit_write=6,
+        memory_latency=28,
+        bus_overhead=0,
+        max_latency=56,
+    )
+
+
+def rp_config(num_cores: int = 4, arbitration: str = "random_permutations") -> PlatformConfig:
+    """Baseline configuration: request-fair arbitration, no CBA."""
+    timings = paper_bus_timings()
+    return PlatformConfig(
+        num_cores=num_cores,
+        arbitration=arbitration,
+        use_cba=False,
+        cba=CBAParameters(max_latency=timings.max_latency, num_cores=num_cores),
+        bus_timings=timings,
+    )
+
+
+def cba_config(num_cores: int = 4, arbitration: str = "random_permutations") -> PlatformConfig:
+    """Homogeneous CBA on top of the chosen base policy (paper default: RP)."""
+    timings = paper_bus_timings()
+    return PlatformConfig(
+        num_cores=num_cores,
+        arbitration=arbitration,
+        use_cba=True,
+        cba=CBAParameters(max_latency=timings.max_latency, num_cores=num_cores),
+        bus_timings=timings,
+    )
+
+
+def hcba_config(
+    num_cores: int = 4,
+    favoured_core: int = 0,
+    favoured_fraction: Fraction | float = Fraction(1, 2),
+    arbitration: str = "random_permutations",
+) -> PlatformConfig:
+    """Heterogeneous CBA: ``favoured_core`` gets ``favoured_fraction`` of the bandwidth."""
+    timings = paper_bus_timings()
+    params = heterogeneous_share_parameters(
+        num_cores=num_cores,
+        max_latency=timings.max_latency,
+        favoured_core=favoured_core,
+        favoured_fraction=favoured_fraction,
+    )
+    return PlatformConfig(
+        num_cores=num_cores,
+        arbitration=arbitration,
+        use_cba=True,
+        cba=params,
+        bus_timings=timings,
+    )
+
+
+def config_by_label(label: str, num_cores: int = 4, tua_core: int = 0) -> PlatformConfig:
+    """Return the platform configuration for one of the paper's labels."""
+    normalized = label.strip().upper().replace("_", "-")
+    if normalized == "RP":
+        return rp_config(num_cores)
+    if normalized == "CBA":
+        return cba_config(num_cores)
+    if normalized in ("H-CBA", "HCBA"):
+        return hcba_config(num_cores, favoured_core=tua_core)
+    raise ConfigurationError(
+        f"unknown configuration label {label!r}; expected one of {PAPER_CONFIG_LABELS}"
+    )

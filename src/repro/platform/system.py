@@ -1,0 +1,263 @@
+"""Platform assembly: the simulated 4-core LEON3-like system.
+
+:class:`MulticoreSystem` wires together everything the paper's platform
+contains: trace-driven cores with private L1 caches, the shared non-split bus
+with its arbiter (optionally wrapped by CBA), the partitioned write-back L2,
+the memory controller and the DRAM.  Experiments create a system from a
+:class:`~repro.sim.config.PlatformConfig`, place workloads and contenders on
+cores, run it, and read back a :class:`SystemResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arbiters.base import Arbiter
+from ..arbiters.registry import create_arbiter
+from ..bus.bus import SharedBus
+from ..bus.latency import LatencyTable
+from ..bus.monitor import BusMonitor
+from ..cache.l1 import build_l1_cache
+from ..cache.l2 import L2BusSlave, build_l2
+from ..core.cba import CreditBasedArbiter
+from ..cpu.core_model import CoreModel
+from ..cpu.counters import CoreCounters
+from ..memory.controller import MemoryController
+from ..memory.dram import DRAM
+from ..sim.config import CBAParameters, PlatformConfig
+from ..sim.errors import ConfigurationError
+from ..sim.kernel import Kernel
+from ..sim.trace import TraceRecorder
+from ..workloads.base import WorkloadSpec
+from ..workloads.contender import GreedyContender, WCETModeContender
+
+__all__ = ["MulticoreSystem", "SystemResult"]
+
+
+@dataclass
+class SystemResult:
+    """Everything an experiment needs to know about one finished run."""
+
+    config_label: str
+    total_cycles: int
+    core_counters: dict[int, CoreCounters]
+    bus_utilization: float
+    bandwidth_shares: list[float]
+    grants_per_core: list[int]
+    cycles_per_core: list[int]
+    cba_blocked_cycles: int = 0
+    l1_miss_rates: dict[int, float] = field(default_factory=dict)
+    l2_miss_rate: float = 0.0
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def execution_cycles(self, core_id: int) -> int:
+        """Execution time (cycles) of the task that ran on ``core_id``."""
+        return self.core_counters[core_id].execution_cycles
+
+
+class MulticoreSystem:
+    """Builder and runner for one simulated multicore platform instance."""
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        seed: int = 0,
+        run_index: int = 0,
+        trace: TraceRecorder | None = None,
+        label: str = "",
+    ) -> None:
+        self.config = config
+        self.label = label or config.arbitration
+        self.kernel = Kernel(
+            seed=seed,
+            run_index=run_index,
+            frequency_hz=config.frequency_hz,
+            trace=trace,
+        )
+        streams = self.kernel.streams
+        self.latency_table = LatencyTable(config.bus_timings)
+
+        # Memory side (bus slave): partitioned L2 -> controller -> DRAM.
+        dram = DRAM(access_latency=config.bus_timings.memory_latency)
+        self.memory_controller = MemoryController(dram)
+        self.l2 = build_l2(
+            geometry=config.l2_geometry,
+            num_cores=config.num_cores,
+            partitioned=config.l2_partitioned,
+            random_caches=config.random_caches,
+            rng=streams.stream("l2"),
+        )
+        self.l2_slave = L2BusSlave(self.l2, self.memory_controller, self.latency_table)
+
+        # Arbiter, optionally wrapped by CBA.
+        base_arbiter = create_arbiter(
+            config.arbitration,
+            config.num_cores,
+            rng=streams.stream("arbiter"),
+            slot_cycles=config.bus_timings.max_latency,
+        )
+        self.base_arbiter: Arbiter = base_arbiter
+        self.cba: CreditBasedArbiter | None = None
+        arbiter: Arbiter = base_arbiter
+        if config.use_cba:
+            self.cba = CreditBasedArbiter(base_arbiter, config.cba)
+            arbiter = self.cba
+        self.arbiter = arbiter
+
+        self.bus = SharedBus(
+            name="bus",
+            num_masters=config.num_cores,
+            arbiter=arbiter,
+            slave=self.l2_slave,
+            max_latency=config.bus_timings.max_latency,
+        )
+        self.monitor = BusMonitor("bus_monitor", self.bus, window_cycles=1000)
+
+        self.cores: dict[int, CoreModel] = {}
+        self.contenders: dict[int, GreedyContender | WCETModeContender] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def _check_core_slot(self, core_id: int) -> None:
+        if self._finalized:
+            raise ConfigurationError("cannot add components after the system was finalized")
+        if not 0 <= core_id < self.config.num_cores:
+            raise ConfigurationError(f"core id {core_id} out of range")
+        if core_id in self.cores or core_id in self.contenders:
+            raise ConfigurationError(f"core {core_id} is already occupied")
+
+    def add_task(self, core_id: int, workload: WorkloadSpec) -> CoreModel:
+        """Place ``workload`` on ``core_id`` and return the core model."""
+        self._check_core_slot(core_id)
+        streams = self.kernel.streams
+        l1 = build_l1_cache(
+            name=f"core{core_id}.l1d",
+            geometry=self.config.l1_geometry,
+            random_caches=self.config.random_caches,
+            rng=streams.stream(f"l1d.core{core_id}"),
+        )
+        # Give each core a private address range so tasks do not share data:
+        # the paper's workloads are independent programs consolidated on the
+        # multicore, interfering only through the bus (the L2 is partitioned).
+        spec = workload.with_updates(
+            base_address=workload.base_address + core_id * 0x0100_0000
+        )
+        trace = spec.build_trace(streams.stream(f"workload.core{core_id}"))
+        core = CoreModel(
+            name=f"core{core_id}",
+            core_id=core_id,
+            trace=trace,
+            l1_data=l1,
+            bus=self.bus,
+            store_buffer_entries=self.config.store_buffer_entries,
+        )
+        self.cores[core_id] = core
+        return core
+
+    def add_greedy_contender(self, core_id: int) -> GreedyContender:
+        """Place an operation-mode worst-case contender on ``core_id``."""
+        self._check_core_slot(core_id)
+        contender = GreedyContender(
+            name=f"contender{core_id}",
+            core_id=core_id,
+            bus=self.bus,
+            address=0x6000_0000 + core_id * 0x0100_0000,
+        )
+        self.contenders[core_id] = contender
+        return contender
+
+    def add_wcet_contender(self, core_id: int, tua_core: int) -> WCETModeContender:
+        """Place a WCET-estimation-mode contender on ``core_id``.
+
+        The contender observes the task under analysis on ``tua_core``
+        (its request-ready line) and its own CBA budget, per Table I.
+        """
+        self._check_core_slot(core_id)
+        if tua_core == core_id:
+            raise ConfigurationError("the contender cannot observe itself as the TuA")
+
+        def tua_request_ready() -> bool:
+            tua = self.cores.get(tua_core)
+            return tua is not None and tua.has_request_ready
+
+        contender = WCETModeContender(
+            name=f"wcet_contender{core_id}",
+            core_id=core_id,
+            bus=self.bus,
+            tua_request_ready=tua_request_ready,
+            cba=self.cba,
+            address=0x7000_0000 + core_id * 0x0100_0000,
+        )
+        self.contenders[core_id] = contender
+        return contender
+
+    def set_tua_initial_budget(self, core_id: int, budget: int = 0) -> None:
+        """Zero (or set) the starting budget of the task under analysis.
+
+        The paper collects analysis-time measurements with the TuA starting
+        at zero budget so the first request is delayed as much as possible.
+        Ignored when CBA is not enabled.
+        """
+        if self.cba is not None:
+            self.cba.set_initial_budget(core_id, budget)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Register every component with the kernel in pipeline order."""
+        if self._finalized:
+            return
+        if not self.cores:
+            raise ConfigurationError("the system has no task to run")
+        for core_id in sorted(self.cores):
+            self.kernel.register(self.cores[core_id])
+        for core_id in sorted(self.contenders):
+            self.kernel.register(self.contenders[core_id])
+        self.kernel.register(self.bus)
+        self.kernel.register(self.monitor)
+        self.kernel.add_stop_condition(self._all_tasks_finished)
+        self._finalized = True
+
+    def _all_tasks_finished(self) -> bool:
+        return all(core.finished for core in self.cores.values())
+
+    def run(self, max_cycles: int = 5_000_000) -> SystemResult:
+        """Run until every task finishes (or ``max_cycles``) and summarise."""
+        self.finalize()
+        self.kernel.run(max_cycles=max_cycles)
+        if not self._all_tasks_finished():
+            raise ConfigurationError(
+                f"simulation hit the {max_cycles}-cycle limit before all tasks finished; "
+                "increase max_cycles or shrink the workload"
+            )
+        return self._collect_result()
+
+    def _collect_result(self) -> SystemResult:
+        num_cores = self.config.num_cores
+        counters = {core_id: core.counters for core_id, core in self.cores.items()}
+        l1_miss_rates = {
+            core_id: core.l1_data.miss_rate() for core_id, core in self.cores.items()
+        }
+        return SystemResult(
+            config_label=self.label,
+            total_cycles=self.kernel.clock.cycle,
+            core_counters=counters,
+            bus_utilization=self.bus.utilization(),
+            bandwidth_shares=self.bus.bandwidth_shares(),
+            grants_per_core=[self.bus.grants(m) for m in range(num_cores)],
+            cycles_per_core=[self.bus.cycles_granted(m) for m in range(num_cores)],
+            cba_blocked_cycles=self.cba.blocked_cycles if self.cba else 0,
+            l1_miss_rates=l1_miss_rates,
+            l2_miss_rate=self.l2.miss_rate(),
+            extra={
+                "arbitration": self.config.arbitration,
+                "use_cba": self.config.use_cba,
+                "contender_requests": {
+                    core_id: contender.requests_completed
+                    for core_id, contender in self.contenders.items()
+                },
+            },
+        )

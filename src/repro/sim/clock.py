@@ -1,0 +1,61 @@
+"""Simulation clock.
+
+The simulator is cycle driven: a single global clock advances one cycle at a
+time and every registered component is ticked once per cycle.  The clock keeps
+the current cycle number and exposes helpers to convert cycles to wall-clock
+time for a given operating frequency (the paper's FPGA prototype runs at
+100 MHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Clock"]
+
+
+@dataclass
+class Clock:
+    """A monotonically increasing cycle counter.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Nominal operating frequency, only used to convert cycle counts into
+        seconds for reporting.  Defaults to the paper's 100 MHz.
+    """
+
+    frequency_hz: float = 100_000_000.0
+    _cycle: int = 0
+
+    @property
+    def cycle(self) -> int:
+        """The current cycle number (0 before the first tick)."""
+        return self._cycle
+
+    @property
+    def now(self) -> int:
+        """Alias of :attr:`cycle`, reads naturally at call sites."""
+        return self._cycle
+
+    def advance(self, cycles: int = 1) -> int:
+        """Advance the clock by ``cycles`` and return the new cycle number."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance the clock by {cycles} cycles")
+        self._cycle += cycles
+        return self._cycle
+
+    def reset(self) -> None:
+        """Reset the clock to cycle 0."""
+        self._cycle = 0
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        """Convert a number of cycles to seconds at :attr:`frequency_hz`."""
+        return cycles / self.frequency_hz
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        """Convert seconds to a whole number of cycles (rounded down)."""
+        return int(seconds * self.frequency_hz)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(cycle={self._cycle}, frequency_hz={self.frequency_hz:g})"

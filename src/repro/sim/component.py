@@ -1,0 +1,77 @@
+"""Component base class for the cycle-driven kernel.
+
+Every hardware block in the simulated platform (core, cache, bus, arbiter,
+memory controller, DRAM) derives from :class:`Component`.  The kernel calls
+each component twice per cycle:
+
+* :meth:`Component.tick` — the *evaluate* phase.  Components read the state
+  published by other components during the previous cycle and compute their
+  new outputs.  Components are ticked in registration order.
+* :meth:`Component.post_tick` — the *commit* phase.  Components latch new
+  state so that the next cycle's evaluate phase sees a consistent snapshot.
+
+This two-phase scheme mirrors how synchronous RTL behaves (combinational
+evaluation followed by the clock edge) and removes ordering sensitivity
+between components within a cycle for state that is latched in
+:meth:`post_tick`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .clock import Clock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for type hints
+    from .kernel import Kernel
+
+__all__ = ["Component"]
+
+
+class Component:
+    """Base class for everything that is ticked by the kernel."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._kernel: "Kernel | None" = None
+
+    # ------------------------------------------------------------------
+    # Kernel wiring
+    # ------------------------------------------------------------------
+    def bind(self, kernel: "Kernel") -> None:
+        """Attach this component to a kernel.  Called by ``Kernel.register``."""
+        self._kernel = kernel
+
+    @property
+    def kernel(self) -> "Kernel":
+        """The kernel this component is registered with."""
+        if self._kernel is None:
+            raise RuntimeError(
+                f"component {self.name!r} is not registered with a kernel"
+            )
+        return self._kernel
+
+    @property
+    def clock(self) -> Clock:
+        """The kernel's clock."""
+        return self.kernel.clock
+
+    @property
+    def now(self) -> int:
+        """Current cycle number."""
+        return self.kernel.clock.cycle
+
+    # ------------------------------------------------------------------
+    # Per-cycle hooks
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Evaluate phase — override in subclasses.  Default: do nothing."""
+
+    def post_tick(self) -> None:
+        """Commit phase — override in subclasses.  Default: do nothing."""
+
+    def reset(self) -> None:
+        """Return the component to its power-on state.  Default: do nothing."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the simulator.
+
+All errors raised by :mod:`repro` derive from :class:`SimulationError` so
+callers can catch a single exception type at the library boundary.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the repro simulator."""
+
+
+class ConfigurationError(SimulationError):
+    """Raised when a component or platform is configured inconsistently."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when the kernel detects an invalid scheduling operation.
+
+    Examples include registering a component twice, running a kernel that has
+    already finished, or ticking components outside a running simulation.
+    """
+
+
+class ProtocolError(SimulationError):
+    """Raised when a component violates a hardware protocol invariant.
+
+    For instance, a bus master issuing a new request while a previous one is
+    still outstanding on a blocking port, or an arbiter granting a requestor
+    that did not assert its request line.
+    """
+
+
+class ArbitrationError(ProtocolError):
+    """Raised when an arbiter produces an invalid grant decision."""
+
+
+class BudgetError(ProtocolError):
+    """Raised when a credit/budget account is driven outside its legal range."""
+
+
+class AnalysisError(SimulationError):
+    """Raised by the MBPTA / statistics layer on invalid analysis inputs."""
+
+
+class WorkloadError(SimulationError):
+    """Raised when a workload description cannot be generated or replayed."""

@@ -1,0 +1,136 @@
+"""Cycle-driven simulation kernel.
+
+The kernel owns the clock, the component list, the trace recorder and the
+per-run random streams.  One call to :meth:`Kernel.step` advances the
+simulated platform by exactly one cycle:
+
+1. every component's :meth:`~repro.sim.component.Component.tick` runs
+   (evaluate phase, registration order);
+2. every component's :meth:`~repro.sim.component.Component.post_tick` runs
+   (commit phase, registration order);
+3. the clock advances.
+
+:meth:`Kernel.run` steps until a stop condition (cycle limit or a registered
+completion predicate) is met.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .clock import Clock
+from .component import Component
+from .errors import SchedulingError
+from .rng import RandomStreams
+from .trace import NullTraceRecorder, TraceRecorder
+
+__all__ = ["Kernel"]
+
+
+class Kernel:
+    """The cycle-driven simulation engine."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        run_index: int = 0,
+        frequency_hz: float = 100_000_000.0,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.clock = Clock(frequency_hz=frequency_hz)
+        self.streams = RandomStreams(seed=seed, run_index=run_index)
+        self.trace = trace if trace is not None else NullTraceRecorder()
+        self._components: list[Component] = []
+        self._names: set[str] = set()
+        self._stop_conditions: list[Callable[[], bool]] = []
+        self._running = False
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, component: Component) -> Component:
+        """Register ``component`` so it is ticked every cycle.
+
+        Components are ticked in registration order; the platform builder
+        registers them in pipeline order (cores, caches, arbiter, bus, memory)
+        so that requests issued in a cycle can be observed by the arbiter in
+        the same cycle, matching the single-cycle arbitration of the paper.
+        """
+        if component.name in self._names:
+            raise SchedulingError(f"a component named {component.name!r} is already registered")
+        component.bind(self)
+        self._components.append(component)
+        self._names.add(component.name)
+        return component
+
+    def register_all(self, components: Iterable[Component]) -> None:
+        """Register several components in order."""
+        for component in components:
+            self.register(component)
+
+    @property
+    def components(self) -> tuple[Component, ...]:
+        return tuple(self._components)
+
+    def component(self, name: str) -> Component:
+        """Return the registered component called ``name``."""
+        for comp in self._components:
+            if comp.name == name:
+                return comp
+        raise KeyError(f"no component named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Stop conditions
+    # ------------------------------------------------------------------
+    def add_stop_condition(self, predicate: Callable[[], bool]) -> None:
+        """Stop the run as soon as ``predicate()`` returns True (checked once per cycle)."""
+        self._stop_conditions.append(predicate)
+
+    def _should_stop(self) -> bool:
+        return any(predicate() for predicate in self._stop_conditions)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self, cycles: int = 1) -> int:
+        """Advance the simulation by ``cycles`` cycles and return the new time."""
+        if self.finished:
+            raise SchedulingError("cannot step a kernel that has already finished")
+        for _ in range(cycles):
+            self._running = True
+            for component in self._components:
+                component.tick()
+            for component in self._components:
+                component.post_tick()
+            self.clock.advance()
+            self._running = False
+        return self.clock.cycle
+
+    def run(self, max_cycles: int = 1_000_000) -> int:
+        """Run until a stop condition fires or ``max_cycles`` is reached.
+
+        Returns the number of cycles executed by this call.
+        """
+        if self.finished:
+            raise SchedulingError("cannot run a kernel that has already finished")
+        start = self.clock.cycle
+        while self.clock.cycle - start < max_cycles:
+            if self._should_stop():
+                break
+            self.step()
+        self.finished = True
+        return self.clock.cycle - start
+
+    def reset(self) -> None:
+        """Reset the clock and every component to its power-on state."""
+        self.clock.reset()
+        self.finished = False
+        for component in self._components:
+            component.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Kernel(cycle={self.clock.cycle}, components={len(self._components)}, "
+            f"finished={self.finished})"
+        )

@@ -1,0 +1,220 @@
+"""Statistics primitives used throughout the simulator.
+
+Components accumulate counters and samples while the simulation runs;
+experiments then summarise them.  Three small building blocks cover every
+need in the library:
+
+* :class:`Counter` — a named monotonically increasing event count;
+* :class:`RunningStats` — streaming mean / variance / min / max (Welford);
+* :class:`Histogram` — integer-valued histogram with percentile queries;
+* :class:`StatGroup` — a named collection of the above attached to one
+  component, convertible to a plain ``dict`` for reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "RunningStats", "Histogram", "StatGroup"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max using Welford's algorithm."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self._total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: list[float] | tuple[float, ...]) -> None:
+        """Record several samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0 when fewer than two samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.count else 0.0
+
+    def reset(self) -> None:
+        self.__init__(self.name)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "total": self.total,
+        }
+
+
+class Histogram:
+    """Histogram over integer sample values (e.g. latencies in cycles)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._bins: dict[int, int] = {}
+        self.count = 0
+
+    def add(self, value: int, weight: int = 1) -> None:
+        """Record ``weight`` occurrences of ``value``."""
+        if weight <= 0:
+            raise ValueError("histogram weight must be positive")
+        self._bins[int(value)] = self._bins.get(int(value), 0) + weight
+        self.count += weight
+
+    def frequency(self, value: int) -> int:
+        return self._bins.get(int(value), 0)
+
+    def items(self) -> list[tuple[int, int]]:
+        """Sorted (value, count) pairs."""
+        return sorted(self._bins.items())
+
+    @property
+    def mean(self) -> float:
+        if not self.count:
+            return 0.0
+        return sum(v * c for v, c in self._bins.items()) / self.count
+
+    @property
+    def maximum(self) -> int:
+        return max(self._bins) if self._bins else 0
+
+    @property
+    def minimum(self) -> int:
+        return min(self._bins) if self._bins else 0
+
+    def percentile(self, q: float) -> int:
+        """Return the smallest value whose cumulative frequency reaches ``q``.
+
+        ``q`` is a fraction in ``[0, 1]``.  With no samples the result is 0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("percentile fraction must be in [0, 1]")
+        if not self.count:
+            return 0
+        threshold = q * self.count
+        cumulative = 0
+        for value, count in self.items():
+            cumulative += count
+            if cumulative >= threshold:
+                return value
+        return self.maximum
+
+    def reset(self) -> None:
+        self._bins.clear()
+        self.count = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+@dataclass
+class StatGroup:
+    """A named collection of counters and sample statistics."""
+
+    name: str
+    counters: dict[str, Counter] = field(default_factory=dict)
+    samples: dict[str, RunningStats] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter called ``name``."""
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def sample(self, name: str) -> RunningStats:
+        """Return (creating if needed) the running statistics called ``name``."""
+        if name not in self.samples:
+            self.samples[name] = RunningStats(name)
+        return self.samples[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Return (creating if needed) the histogram called ``name``."""
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+        for stats in self.samples.values():
+            stats.reset()
+        for histogram in self.histograms.values():
+            histogram.reset()
+
+    def as_dict(self) -> dict[str, object]:
+        """Flatten everything into a plain dictionary for reporting."""
+        out: dict[str, object] = {}
+        for name, counter in self.counters.items():
+            out[name] = counter.value
+        for name, stats in self.samples.items():
+            out[name] = stats.as_dict()
+        for name, histogram in self.histograms.items():
+            out[name] = histogram.as_dict()
+        return out

@@ -1,0 +1,101 @@
+"""Lightweight event tracing.
+
+A :class:`TraceRecorder` collects timestamped events emitted by components
+(bus grants, cache misses, budget updates...).  Tracing is disabled by default
+because recording every bus cycle of a long run is expensive; experiments and
+tests enable it selectively to inspect fine-grained behaviour, e.g. to verify
+the per-cycle signal behaviour of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = ["TraceEvent", "TraceRecorder", "NullTraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event.
+
+    Attributes
+    ----------
+    cycle:
+        Cycle at which the event occurred.
+    source:
+        Name of the component that emitted the event.
+    kind:
+        Short event-type string, e.g. ``"bus.grant"`` or ``"cache.miss"``.
+    payload:
+        Free-form event data (small dictionary of plain values).
+    """
+
+    cycle: int
+    source: str
+    kind: str
+    payload: dict[str, object] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects with optional kind filtering."""
+
+    def __init__(self, kinds: Iterable[str] | None = None, capacity: int | None = None):
+        """Create a recorder.
+
+        Parameters
+        ----------
+        kinds:
+            If given, only events whose ``kind`` is in this set are kept.
+        capacity:
+            If given, only the most recent ``capacity`` events are kept.
+        """
+        self._kinds = set(kinds) if kinds is not None else None
+        self._capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.enabled = True
+
+    def record(self, cycle: int, source: str, kind: str, **payload: object) -> None:
+        """Record one event (no-op when disabled or filtered out)."""
+        if not self.enabled:
+            return
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self.events.append(TraceEvent(cycle=cycle, source=source, kind=kind, payload=payload))
+        if self._capacity is not None and len(self.events) > self._capacity:
+            del self.events[: len(self.events) - self._capacity]
+
+    def filter(
+        self,
+        kind: str | None = None,
+        source: str | None = None,
+        predicate: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        """Return events matching all given criteria."""
+        out = []
+        for event in self.events:
+            if kind is not None and event.kind != kind:
+                continue
+            if source is not None and event.source != source:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTraceRecorder(TraceRecorder):
+    """A recorder that drops everything — used when tracing is disabled."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = False
+
+    def record(self, cycle: int, source: str, kind: str, **payload: object) -> None:  # noqa: D102
+        return

@@ -1,0 +1,38 @@
+"""Workload generators: parametric synthetic tasks, EEMBC Autobench-like
+profiles and the contender agents used for maximum-contention scenarios."""
+
+from .base import AddressPattern, WorkloadSpec
+from .contender import GreedyContender, WCETModeContender
+from .eembc import (
+    EEMBC_AUTOBENCH,
+    FIGURE1_BENCHMARKS,
+    available_benchmarks,
+    eembc_workload,
+)
+from .registry import SYNTHETIC_WORKLOADS, available_workloads, workload_by_name
+from .synthetic import (
+    bus_hog_workload,
+    cpu_bound_workload,
+    mixed_workload,
+    short_request_workload,
+    streaming_workload,
+)
+
+__all__ = [
+    "AddressPattern",
+    "WorkloadSpec",
+    "GreedyContender",
+    "WCETModeContender",
+    "EEMBC_AUTOBENCH",
+    "FIGURE1_BENCHMARKS",
+    "available_benchmarks",
+    "eembc_workload",
+    "SYNTHETIC_WORKLOADS",
+    "available_workloads",
+    "workload_by_name",
+    "streaming_workload",
+    "cpu_bound_workload",
+    "bus_hog_workload",
+    "short_request_workload",
+    "mixed_workload",
+]

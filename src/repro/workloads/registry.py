@@ -1,0 +1,49 @@
+"""Registry of every named workload in the library.
+
+Experiments and the command-line examples refer to workloads by name; this
+module maps names to :class:`~repro.workloads.base.WorkloadSpec` objects,
+covering both the EEMBC-like suite and the generic synthetic profiles.
+"""
+
+from __future__ import annotations
+
+from ..sim.errors import WorkloadError
+from .base import WorkloadSpec
+from .eembc import EEMBC_AUTOBENCH
+from .synthetic import (
+    bus_hog_workload,
+    cpu_bound_workload,
+    mixed_workload,
+    short_request_workload,
+    streaming_workload,
+)
+
+__all__ = ["workload_by_name", "available_workloads", "SYNTHETIC_WORKLOADS"]
+
+
+SYNTHETIC_WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        streaming_workload(),
+        cpu_bound_workload(),
+        bus_hog_workload(),
+        short_request_workload(),
+        mixed_workload(),
+    )
+}
+
+
+def available_workloads() -> list[str]:
+    """All workload names known to the registry."""
+    return sorted(set(EEMBC_AUTOBENCH) | set(SYNTHETIC_WORKLOADS))
+
+
+def workload_by_name(name: str) -> WorkloadSpec:
+    """Look up a workload by name (EEMBC benchmark or synthetic profile)."""
+    if name in EEMBC_AUTOBENCH:
+        return EEMBC_AUTOBENCH[name]
+    if name in SYNTHETIC_WORKLOADS:
+        return SYNTHETIC_WORKLOADS[name]
+    raise WorkloadError(
+        f"unknown workload {name!r}; available: {available_workloads()}"
+    )

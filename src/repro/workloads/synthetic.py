@@ -1,0 +1,132 @@
+"""Generic synthetic workloads.
+
+Besides the EEMBC-like profiles (:mod:`repro.workloads.eembc`), experiments
+need a few archetypal traffic patterns:
+
+* :func:`streaming_workload` — a memory-streaming task that misses in every
+  cache level (large sequential working set, no reuse).  This is the
+  "contender issuing constantly read requests to memory" of the paper's
+  illustrative example.
+* :func:`cpu_bound_workload` — long compute gaps, tiny working set, so the
+  bus is touched rarely.
+* :func:`bus_hog_workload` — back-to-back long requests (atomics / misses
+  with writebacks) with no compute gap, the worst neighbour imaginable.
+* :func:`short_request_workload` — frequent short requests (L2 hits), the
+  victim profile of the illustrative example.
+"""
+
+from __future__ import annotations
+
+from .base import AddressPattern, WorkloadSpec
+
+__all__ = [
+    "streaming_workload",
+    "cpu_bound_workload",
+    "bus_hog_workload",
+    "short_request_workload",
+    "mixed_workload",
+]
+
+
+def streaming_workload(
+    num_accesses: int = 2000,
+    working_set_bytes: int = 4 * 1024 * 1024,
+    name: str = "streaming",
+) -> WorkloadSpec:
+    """A streaming task: sequential reads over a working set far larger than
+    the caches, so essentially every access misses and goes to memory."""
+    return WorkloadSpec(
+        name=name,
+        num_accesses=num_accesses,
+        working_set_bytes=working_set_bytes,
+        mean_compute_gap=0.0,
+        gap_variability=0.0,
+        pattern=AddressPattern.SEQUENTIAL,
+        stride_bytes=32,
+        write_fraction=0.0,
+        atomic_fraction=0.0,
+        description="memory-streaming reads, every access misses",
+        tags=("synthetic", "streaming"),
+    )
+
+
+def cpu_bound_workload(
+    num_accesses: int = 500,
+    name: str = "cpu_bound",
+) -> WorkloadSpec:
+    """A compute-bound task touching a tiny, cache-resident working set."""
+    return WorkloadSpec(
+        name=name,
+        num_accesses=num_accesses,
+        working_set_bytes=2 * 1024,
+        mean_compute_gap=40.0,
+        gap_variability=0.3,
+        pattern=AddressPattern.SEQUENTIAL,
+        write_fraction=0.1,
+        hot_fraction=0.6,
+        hot_region_bytes=512,
+        description="compute bound, seldom uses the bus",
+        tags=("synthetic", "cpu-bound"),
+    )
+
+
+def bus_hog_workload(
+    num_accesses: int = 2000,
+    name: str = "bus_hog",
+) -> WorkloadSpec:
+    """A pathological neighbour: back-to-back atomic/missing accesses."""
+    return WorkloadSpec(
+        name=name,
+        num_accesses=num_accesses,
+        working_set_bytes=8 * 1024 * 1024,
+        mean_compute_gap=0.0,
+        gap_variability=0.0,
+        pattern=AddressPattern.RANDOM,
+        write_fraction=0.4,
+        atomic_fraction=0.2,
+        description="back-to-back long requests (misses, writebacks, atomics)",
+        tags=("synthetic", "hog"),
+    )
+
+
+def short_request_workload(
+    num_accesses: int = 1000,
+    mean_compute_gap: float = 4.0,
+    name: str = "short_requests",
+) -> WorkloadSpec:
+    """Frequent short requests that mostly hit in the L2 (the TuA profile of
+    the paper's illustrative example: 6-cycle turnarounds, issued often)."""
+    return WorkloadSpec(
+        name=name,
+        num_accesses=num_accesses,
+        working_set_bytes=6 * 1024,
+        mean_compute_gap=mean_compute_gap,
+        gap_variability=0.2,
+        pattern=AddressPattern.SEQUENTIAL,
+        write_fraction=0.0,
+        hot_fraction=0.5,
+        hot_region_bytes=2 * 1024,
+        description="frequent short (L2-hit) requests",
+        tags=("synthetic", "short-requests"),
+    )
+
+
+def mixed_workload(
+    num_accesses: int = 1500,
+    name: str = "mixed",
+) -> WorkloadSpec:
+    """A balanced task mixing locality, strided misses and occasional writes."""
+    return WorkloadSpec(
+        name=name,
+        num_accesses=num_accesses,
+        working_set_bytes=64 * 1024,
+        mean_compute_gap=8.0,
+        gap_variability=0.6,
+        pattern=AddressPattern.STRIDED,
+        write_fraction=0.25,
+        atomic_fraction=0.01,
+        hot_fraction=0.3,
+        hot_region_bytes=4 * 1024,
+        description="mixed locality and miss traffic",
+        tags=("synthetic", "mixed"),
+    )

@@ -1,0 +1,47 @@
+"""Tests for the fairness indices."""
+
+import pytest
+
+from repro.analysis.fairness import fairness_report, jain_index, max_min_ratio
+from repro.sim.errors import AnalysisError
+
+
+def test_jain_index_perfectly_fair_and_unfair():
+    assert jain_index([10, 10, 10, 10]) == pytest.approx(1.0)
+    assert jain_index([100, 0, 0, 0]) == pytest.approx(0.25)
+
+
+def test_jain_index_intermediate_value():
+    assert jain_index([1, 2, 3, 4]) == pytest.approx(100 / (4 * 30))
+
+
+def test_jain_index_edge_cases():
+    assert jain_index([0, 0, 0]) == 1.0
+    with pytest.raises(AnalysisError):
+        jain_index([])
+    with pytest.raises(AnalysisError):
+        jain_index([-1, 2])
+
+
+def test_max_min_ratio():
+    assert max_min_ratio([10, 10]) == 1.0
+    assert max_min_ratio([90, 10]) == 9.0
+    assert max_min_ratio([10, 0]) == float("inf")
+    assert max_min_ratio([0, 0]) == 1.0
+    with pytest.raises(AnalysisError):
+        max_min_ratio([])
+
+
+def test_fairness_report_contrasts_slots_and_cycles():
+    """The paper's motivating imbalance: equal slots, 10%/90% cycles."""
+    report = fairness_report(grants_per_core=[100, 100], cycles_per_core=[500, 4500])
+    assert report.slot_jain == pytest.approx(1.0)
+    assert report.cycle_jain < 0.7
+    assert report.slot_max_min == 1.0
+    assert report.cycle_max_min == 9.0
+    assert report.as_dict()["cycles_per_core"] == [500, 4500]
+
+
+def test_fairness_report_requires_matching_lengths():
+    with pytest.raises(AnalysisError):
+        fairness_report([1, 2], [1, 2, 3])

@@ -1,0 +1,58 @@
+"""Tests for the performance metrics helpers."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    bandwidth_shares_from_cycles,
+    mean_with_confidence,
+    normalised_execution_times,
+    slot_shares_from_grants,
+    slowdown,
+)
+from repro.sim.errors import AnalysisError
+
+
+def test_slowdown_is_a_simple_ratio():
+    assert slowdown(28_000, 10_000) == pytest.approx(2.8)
+    with pytest.raises(AnalysisError):
+        slowdown(1.0, 0.0)
+
+
+def test_normalised_execution_times_uses_the_named_baseline():
+    values = {"RP-ISO": 10_000.0, "RP-CON": 33_400.0, "CBA-CON": 23_400.0}
+    normalised = normalised_execution_times(values, "RP-ISO")
+    assert normalised["RP-ISO"] == 1.0
+    assert normalised["RP-CON"] == pytest.approx(3.34)
+    with pytest.raises(AnalysisError):
+        normalised_execution_times(values, "missing")
+
+
+def test_mean_with_confidence_basic_properties():
+    stats = mean_with_confidence([10.0, 12.0, 8.0, 10.0])
+    assert stats.mean == pytest.approx(10.0)
+    assert stats.count == 4
+    assert stats.low < stats.mean < stats.high
+
+
+def test_mean_with_confidence_single_sample_has_zero_width():
+    stats = mean_with_confidence([5.0])
+    assert stats.half_width == 0.0
+
+
+def test_mean_with_confidence_empty_rejected():
+    with pytest.raises(AnalysisError):
+        mean_with_confidence([])
+
+
+def test_shares_sum_to_one_and_handle_zero_totals():
+    assert sum(bandwidth_shares_from_cycles([10, 30, 60, 0])) == pytest.approx(1.0)
+    assert bandwidth_shares_from_cycles([0, 0]) == [0.0, 0.0]
+    assert slot_shares_from_grants([5, 5]) == [0.5, 0.5]
+    assert slot_shares_from_grants([0, 0, 0]) == [0.0, 0.0, 0.0]
+
+
+def test_paper_example_shares():
+    """The Section II example: alternating 5-cycle and 45-cycle requests give
+    a 10% / 90% cycle split despite a 50% / 50% slot split."""
+    assert bandwidth_shares_from_cycles([5 * 100, 45 * 100]) == [0.1, 0.9]
+    assert slot_shares_from_grants([100, 100]) == [0.5, 0.5]

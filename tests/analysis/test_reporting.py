@@ -1,0 +1,41 @@
+"""Tests for the text report formatting."""
+
+from repro.analysis.reporting import format_figure1_table, format_key_values, format_table
+
+
+def test_format_table_aligns_columns_and_formats_floats():
+    text = format_table(["name", "value"], [["a", 1.23456], ["long-name", 2.0]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.235" in text
+    assert "2.000" in text
+    assert len(lines) == 4  # header, separator, two rows
+
+
+def test_format_table_handles_non_float_cells():
+    text = format_table(["k", "v"], [["x", 10], ["y", "text"]])
+    assert "text" in text
+    assert "10" in text
+
+
+def test_format_figure1_table_has_one_row_per_benchmark():
+    slowdowns = {
+        "matrix": {"RP-ISO": 1.0, "RP-CON": 3.34},
+        "canrdr": {"RP-ISO": 1.0, "RP-CON": 1.80},
+    }
+    text = format_figure1_table(slowdowns, ["RP-ISO", "RP-CON"])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[2].startswith("canrdr")  # rows sorted by benchmark name
+    assert "3.340" in text
+
+
+def test_format_figure1_table_missing_config_shows_nan():
+    text = format_figure1_table({"matrix": {"RP-ISO": 1.0}}, ["RP-ISO", "CBA-CON"])
+    assert "nan" in text
+
+
+def test_format_key_values_with_title():
+    text = format_key_values({"runs": 100, "iid_ok": True}, title="summary")
+    assert text.splitlines()[0] == "summary"
+    assert "runs" in text and "100" in text

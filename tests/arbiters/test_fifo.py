@@ -1,0 +1,66 @@
+"""Tests for FIFO arbitration."""
+
+from repro.arbiters.fifo import FIFOArbiter
+
+
+def test_grants_oldest_request_first():
+    arbiter = FIFOArbiter(3)
+    arbiter.on_request(2, cycle=1)
+    arbiter.on_request(0, cycle=3)
+    arbiter.on_request(1, cycle=5)
+    assert arbiter.arbitrate([0, 1, 2], 6) == 2
+    arbiter.on_grant(2, 4, 6)
+    assert arbiter.arbitrate([0, 1], 7) == 0
+    arbiter.on_grant(0, 4, 7)
+    assert arbiter.arbitrate([1], 8) == 1
+
+
+def test_ties_broken_by_arrival_order_then_index():
+    arbiter = FIFOArbiter(3)
+    arbiter.on_request(1, cycle=2)
+    arbiter.on_request(0, cycle=2)
+    # Master 1 asserted its request first within the same cycle.
+    assert arbiter.arbitrate([0, 1], 3) == 1
+
+
+def test_unreported_requestor_treated_as_new_arrival():
+    arbiter = FIFOArbiter(2)
+    arbiter.on_request(1, cycle=0)
+    # Master 0 never reported via on_request: it is treated as arriving now,
+    # so the older request from master 1 wins.
+    assert arbiter.arbitrate([0, 1], 10) == 1
+
+
+def test_duplicate_on_request_keeps_original_arrival():
+    arbiter = FIFOArbiter(2)
+    arbiter.on_request(0, cycle=1)
+    arbiter.on_request(1, cycle=2)
+    arbiter.on_request(0, cycle=9)  # re-assertion must not refresh the arrival
+    assert arbiter.arbitrate([0, 1], 10) == 0
+
+
+def test_grant_clears_arrival_record():
+    arbiter = FIFOArbiter(2)
+    arbiter.on_request(0, cycle=0)
+    arbiter.on_request(1, cycle=1)
+    arbiter.on_grant(0, 4, 2)
+    arbiter.on_request(0, cycle=8)
+    assert arbiter.arbitrate([0, 1], 9) == 1
+
+
+def test_no_requestors_returns_none():
+    assert FIFOArbiter(2).arbitrate([], 0) is None
+
+
+def test_reset_clears_queue_state():
+    arbiter = FIFOArbiter(2)
+    arbiter.on_request(1, cycle=0)
+    arbiter.reset()
+    arbiter.on_request(0, cycle=5)
+    assert arbiter.arbitrate([0, 1], 6) == 0
+
+
+def test_note_request_alias_still_works():
+    arbiter = FIFOArbiter(2)
+    arbiter.note_request(1, cycle=0)
+    assert arbiter.arbitrate([0, 1], 3) == 1

@@ -1,0 +1,53 @@
+"""Tests for lottery arbitration."""
+
+import numpy as np
+import pytest
+
+from repro.arbiters.lottery import LotteryArbiter
+from repro.sim.errors import ArbitrationError
+
+
+def test_only_requesting_masters_can_win(rng):
+    arbiter = LotteryArbiter(4, rng)
+    for _ in range(50):
+        assert arbiter.arbitrate([1, 3], 0) in (1, 3)
+
+
+def test_no_requestors_returns_none(rng):
+    assert LotteryArbiter(4, rng).arbitrate([], 0) is None
+
+
+def test_single_requestor_always_wins(rng):
+    arbiter = LotteryArbiter(4, rng)
+    assert all(arbiter.arbitrate([2], 0) == 2 for _ in range(10))
+
+
+def test_uniform_tickets_give_roughly_equal_slots(rng):
+    arbiter = LotteryArbiter(2, rng)
+    wins = [0, 0]
+    for _ in range(2000):
+        wins[arbiter.arbitrate([0, 1], 0)] += 1
+    assert abs(wins[0] - wins[1]) < 250  # ~5 sigma for a fair coin over 2000 draws
+
+
+def test_ticket_weights_bias_the_draw(rng):
+    arbiter = LotteryArbiter(2, rng, tickets=[9, 1])
+    wins = [0, 0]
+    for _ in range(2000):
+        wins[arbiter.arbitrate([0, 1], 0)] += 1
+    assert wins[0] > 1600  # expectation 1800
+
+
+def test_draws_are_reproducible_for_a_fixed_seed():
+    a = LotteryArbiter(3, np.random.default_rng(7))
+    b = LotteryArbiter(3, np.random.default_rng(7))
+    seq_a = [a.arbitrate([0, 1, 2], 0) for _ in range(20)]
+    seq_b = [b.arbitrate([0, 1, 2], 0) for _ in range(20)]
+    assert seq_a == seq_b
+
+
+def test_invalid_ticket_configuration_rejected(rng):
+    with pytest.raises(ArbitrationError):
+        LotteryArbiter(2, rng, tickets=[1])
+    with pytest.raises(ArbitrationError):
+        LotteryArbiter(2, rng, tickets=[1, 0])

@@ -1,0 +1,39 @@
+"""Tests for fixed-priority arbitration."""
+
+import pytest
+
+from repro.arbiters.priority import FixedPriorityArbiter
+from repro.sim.errors import ArbitrationError
+
+
+def test_highest_priority_requestor_wins():
+    arbiter = FixedPriorityArbiter(4)
+    assert arbiter.arbitrate([0, 1, 2, 3], 0) == 0
+    assert arbiter.arbitrate([2, 3], 0) == 2
+
+
+def test_custom_priorities_respected():
+    arbiter = FixedPriorityArbiter(3, priorities=[1, 3, 2])
+    assert arbiter.arbitrate([0, 1, 2], 0) == 1
+    assert arbiter.arbitrate([0, 2], 0) == 2
+
+
+def test_no_requestors_returns_none():
+    assert FixedPriorityArbiter(2).arbitrate([], 0) is None
+
+
+def test_low_priority_master_starves_under_saturation():
+    """The starvation argument of Section II: with core 0 always requesting,
+    core 1 is never granted under fixed priority."""
+    arbiter = FixedPriorityArbiter(2)
+    for _ in range(100):
+        choice = arbiter.arbitrate([0, 1], 0)
+        arbiter.on_grant(choice, 1, 0)
+    assert arbiter.grants_per_master == [100, 0]
+
+
+def test_invalid_priorities_rejected():
+    with pytest.raises(ArbitrationError):
+        FixedPriorityArbiter(3, priorities=[1, 2])
+    with pytest.raises(ArbitrationError):
+        FixedPriorityArbiter(3, priorities=[1, 1, 2])

@@ -1,0 +1,88 @@
+"""Property-based tests over all arbitration policies.
+
+Whatever the policy, two invariants must hold:
+
+* an arbiter only ever grants a master that is actually requesting (or grants
+  nobody);
+* under saturation, work-conserving policies (everything except TDMA with
+  issue-at-slot-start semantics) always grant somebody.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.arbiters.fifo import FIFOArbiter
+from repro.arbiters.lottery import LotteryArbiter
+from repro.arbiters.priority import FixedPriorityArbiter
+from repro.arbiters.random_permutations import RandomPermutationsArbiter
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.arbiters.tdma import TDMAArbiter
+
+
+def build_all_arbiters(num_masters: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return [
+        RoundRobinArbiter(num_masters),
+        FIFOArbiter(num_masters),
+        TDMAArbiter(num_masters, slot_cycles=8),
+        LotteryArbiter(num_masters, np.random.default_rng(seed)),
+        RandomPermutationsArbiter(num_masters, rng),
+        FixedPriorityArbiter(num_masters),
+    ]
+
+
+requestor_sets = st.lists(
+    st.lists(st.integers(min_value=0, max_value=3), min_size=0, max_size=4, unique=True),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(requestor_sets, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_grant_is_always_a_requestor_or_none(request_sequences, seed):
+    for arbiter in build_all_arbiters(4, seed):
+        cycle = 0
+        for requestors in request_sequences:
+            for master in requestors:
+                arbiter.on_request(master, cycle)
+            choice = arbiter.arbitrate(requestors, cycle)
+            assert choice is None or choice in requestors
+            if choice is not None:
+                arbiter.on_grant(choice, 1, cycle)
+            cycle += 1
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1), st.integers(min_value=2, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_work_conserving_policies_grant_under_saturation(seed, num_masters):
+    rng = np.random.default_rng(seed)
+    arbiters = [
+        RoundRobinArbiter(num_masters),
+        FIFOArbiter(num_masters),
+        LotteryArbiter(num_masters, np.random.default_rng(seed)),
+        RandomPermutationsArbiter(num_masters, rng),
+        FixedPriorityArbiter(num_masters),
+    ]
+    everyone = list(range(num_masters))
+    for arbiter in arbiters:
+        for cycle in range(20):
+            choice = arbiter.arbitrate(everyone, cycle)
+            assert choice is not None
+            arbiter.on_grant(choice, 1, cycle)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_grant_accounting_matches_number_of_grants(seed):
+    rng = np.random.default_rng(seed)
+    arbiter = RandomPermutationsArbiter(4, rng)
+    grants = 0
+    for cycle in range(100):
+        choice = arbiter.arbitrate([0, 1, 2, 3], cycle)
+        arbiter.on_grant(choice, 3, cycle)
+        grants += 1
+    assert sum(arbiter.grants_per_master) == grants
+    assert sum(arbiter.cycles_granted_per_master) == 3 * grants

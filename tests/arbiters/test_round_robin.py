@@ -1,0 +1,67 @@
+"""Tests for round-robin arbitration."""
+
+import pytest
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.sim.errors import ArbitrationError
+
+
+def grant(arbiter, requestors, cycle=0, duration=1):
+    choice = arbiter.arbitrate(requestors, cycle)
+    if choice is not None:
+        arbiter.on_grant(choice, duration, cycle)
+    return choice
+
+
+def test_rotates_through_all_requestors():
+    arbiter = RoundRobinArbiter(4)
+    order = [grant(arbiter, [0, 1, 2, 3]) for _ in range(8)]
+    assert order == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_skips_non_requesting_masters():
+    arbiter = RoundRobinArbiter(4)
+    assert grant(arbiter, [2]) == 2
+    assert grant(arbiter, [0, 1]) == 0
+    assert grant(arbiter, [1, 3]) == 1
+    assert grant(arbiter, [3]) == 3
+
+
+def test_no_requestors_returns_none():
+    assert RoundRobinArbiter(4).arbitrate([], 0) is None
+
+
+def test_single_requestor_repeatedly_granted():
+    arbiter = RoundRobinArbiter(4)
+    assert [grant(arbiter, [2]) for _ in range(3)] == [2, 2, 2]
+
+
+def test_accounts_grants_and_cycles():
+    arbiter = RoundRobinArbiter(2)
+    grant(arbiter, [0], duration=5)
+    grant(arbiter, [1], duration=7)
+    grant(arbiter, [0], duration=5)
+    assert arbiter.grants_per_master == [2, 1]
+    assert arbiter.cycles_granted_per_master == [10, 7]
+
+
+def test_invalid_requestor_rejected():
+    with pytest.raises(ArbitrationError):
+        RoundRobinArbiter(2).arbitrate([5], 0)
+
+
+def test_reset_restores_rotation_start():
+    arbiter = RoundRobinArbiter(3)
+    grant(arbiter, [0, 1, 2])
+    grant(arbiter, [0, 1, 2])
+    arbiter.reset()
+    assert grant(arbiter, [0, 1, 2]) == 0
+    assert arbiter.grants_per_master == [1, 0, 0]
+
+
+def test_fairness_under_saturation():
+    """With every master always requesting, slots are shared exactly evenly."""
+    arbiter = RoundRobinArbiter(4)
+    for _ in range(400):
+        grant(arbiter, [0, 1, 2, 3])
+    assert arbiter.grants_per_master == [100, 100, 100, 100]

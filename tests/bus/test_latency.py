@@ -1,0 +1,37 @@
+"""Tests for the transaction latency table."""
+
+import pytest
+
+from repro.bus.latency import LatencyTable, TransactionClass
+from repro.sim.config import BusTimings
+
+
+@pytest.fixture
+def table(paper_timings):
+    return LatencyTable(paper_timings)
+
+
+def test_paper_durations(table):
+    assert table.duration(TransactionClass.L2_HIT_READ) == 5
+    assert table.duration(TransactionClass.L2_HIT_WRITE) == 6
+    assert table.duration(TransactionClass.L2_MISS_CLEAN) == 28
+    assert table.duration(TransactionClass.L2_MISS_DIRTY) == 56
+    assert table.duration(TransactionClass.ATOMIC) == 56
+
+
+def test_max_latency_is_56_for_paper_platform(table):
+    assert table.max_latency == 56
+    assert table.min_latency == 5
+
+
+def test_bus_overhead_applies_to_every_class():
+    table = LatencyTable(BusTimings(bus_overhead=2))
+    assert table.duration(TransactionClass.L2_HIT_READ) == 7
+    assert table.duration(TransactionClass.L2_MISS_CLEAN) == 30
+    assert table.duration(TransactionClass.L2_MISS_DIRTY) == 58
+
+
+def test_as_dict_lists_every_class(table):
+    durations = table.as_dict()
+    assert set(durations) == {kind.value for kind in TransactionClass}
+    assert durations["atomic"] == 56

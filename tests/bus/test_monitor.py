@@ -1,0 +1,71 @@
+"""Tests for the passive bus monitor."""
+
+import pytest
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.bus.bus import SharedBus
+from repro.bus.monitor import BusMonitor
+from repro.bus.ports import FixedLatencySlave
+from repro.bus.transaction import BusRequest
+from repro.sim.kernel import Kernel
+
+
+def make_monitored_bus(window=10, latency=4):
+    kernel = Kernel()
+    bus = SharedBus(
+        "bus",
+        num_masters=2,
+        arbiter=RoundRobinArbiter(2),
+        slave=FixedLatencySlave(latency),
+        max_latency=56,
+    )
+    monitor = BusMonitor("monitor", bus, window_cycles=window)
+    kernel.register(bus)
+    kernel.register(monitor)
+    return kernel, bus, monitor
+
+
+def test_window_length_must_be_positive():
+    kernel, bus, _ = make_monitored_bus()
+    with pytest.raises(ValueError):
+        BusMonitor("bad", bus, window_cycles=0)
+
+
+def test_idle_bus_produces_idle_windows():
+    kernel, bus, monitor = make_monitored_bus(window=5)
+    kernel.step(10)
+    assert len(monitor.windows) == 2
+    assert monitor.windows[0].idle_cycles == 5
+    assert monitor.windows[0].utilization == 0.0
+    assert monitor.overall_shares() == [0.0, 0.0]
+
+
+def test_busy_cycles_attributed_to_holder():
+    kernel, bus, monitor = make_monitored_bus(window=10, latency=4)
+    bus.submit(BusRequest(master_id=1, address=0, issue_cycle=0))
+    kernel.step(10)
+    window = monitor.windows[0]
+    assert window.busy_cycles_per_master == (0, 4)
+    assert window.shares == (0.0, 1.0)
+    assert window.utilization == pytest.approx(0.4)
+    assert monitor.overall_shares() == [0.0, 1.0]
+
+
+def test_windows_cover_consecutive_ranges():
+    kernel, bus, monitor = make_monitored_bus(window=7)
+    kernel.step(21)
+    starts = [w.start_cycle for w in monitor.windows]
+    ends = [w.end_cycle for w in monitor.windows]
+    assert starts == [0, 7, 14]
+    assert ends == [7, 14, 21]
+    assert all(w.length == 7 for w in monitor.windows)
+
+
+def test_reset_clears_windows_and_totals():
+    kernel, bus, monitor = make_monitored_bus(window=5)
+    bus.submit(BusRequest(master_id=0, address=0, issue_cycle=0))
+    kernel.step(10)
+    monitor.reset()
+    assert monitor.windows == []
+    assert monitor.total_busy_per_master == [0, 0]
+    assert monitor.total_cycles_observed == 0

@@ -1,0 +1,39 @@
+"""Tests for the bus port helpers."""
+
+import pytest
+
+from repro.bus.ports import CallbackMaster, FixedLatencySlave
+from repro.bus.transaction import BusRequest
+
+
+def test_callback_master_forwards_notifications():
+    events = []
+    master = CallbackMaster(
+        on_grant=lambda req, cycle: events.append(("grant", cycle)),
+        on_complete=lambda req, cycle: events.append(("complete", cycle)),
+    )
+    request = BusRequest(master_id=0, address=0)
+    master.on_grant(request, 3)
+    master.on_complete(request, 9)
+    assert events == [("grant", 3), ("complete", 9)]
+
+
+def test_callback_master_tolerates_missing_callbacks():
+    master = CallbackMaster()
+    request = BusRequest(master_id=0, address=0)
+    master.on_grant(request, 1)
+    master.on_complete(request, 2)
+
+
+def test_fixed_latency_slave_returns_constant_duration():
+    slave = FixedLatencySlave(latency=28)
+    request = BusRequest(master_id=2, address=0x40)
+    assert slave.resolve(request, cycle=0) == 28
+    assert slave.resolve(request, cycle=10) == 28
+    assert slave.requests_served == 2
+    assert request.annotations["slave"] == "fixed"
+
+
+def test_fixed_latency_slave_rejects_nonpositive_latency():
+    with pytest.raises(ValueError):
+        FixedLatencySlave(latency=0)

@@ -1,0 +1,44 @@
+"""Tests for bus request descriptors."""
+
+from repro.bus.transaction import AccessType, BusRequest
+
+
+def test_access_type_predicates():
+    assert AccessType.WRITE.is_write
+    assert not AccessType.READ.is_write
+    assert AccessType.ATOMIC.is_atomic
+    assert not AccessType.WRITE.is_atomic
+
+
+def test_request_ids_are_unique_and_increasing():
+    first = BusRequest(master_id=0, address=0)
+    second = BusRequest(master_id=0, address=0)
+    assert second.request_id > first.request_id
+
+
+def test_lifecycle_flags_and_latencies():
+    request = BusRequest(master_id=1, address=0x100, issue_cycle=10)
+    assert not request.granted
+    assert not request.completed
+    assert request.wait_cycles == 0
+    assert request.total_latency == 0
+
+    request.grant_cycle = 15
+    request.duration = 6
+    assert request.granted
+    assert request.wait_cycles == 5
+
+    request.complete_cycle = 21
+    assert request.completed
+    assert request.total_latency == 11
+
+
+def test_annotate_chains_and_merges():
+    request = BusRequest(master_id=0, address=0)
+    same = request.annotate(transaction_class="l2_hit_read").annotate(extra=1)
+    assert same is request
+    assert request.annotations == {"transaction_class": "l2_hit_read", "extra": 1}
+
+
+def test_default_access_is_read():
+    assert BusRequest(master_id=0, address=0).access is AccessType.READ

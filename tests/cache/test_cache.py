@@ -1,0 +1,117 @@
+"""Tests for the generic set-associative cache."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.placement import ModuloPlacement
+from repro.cache.replacement import LRUReplacement
+from repro.sim.config import CacheGeometry
+from repro.sim.errors import ConfigurationError
+
+
+def make_cache(write_back=True, write_allocate=None, size=1024, assoc=2, line=32):
+    geometry = CacheGeometry(size_bytes=size, line_bytes=line, associativity=assoc)
+    return SetAssociativeCache(
+        name="test",
+        geometry=geometry,
+        placement=ModuloPlacement(geometry.num_sets, line),
+        replacement=LRUReplacement(),
+        write_back=write_back,
+        write_allocate=write_allocate,
+    )
+
+
+def test_placement_geometry_mismatch_rejected():
+    geometry = CacheGeometry(size_bytes=1024, line_bytes=32, associativity=2)
+    with pytest.raises(ConfigurationError):
+        SetAssociativeCache(
+            "bad", geometry, ModuloPlacement(4, 32), LRUReplacement(), write_back=True
+        )
+
+
+def test_first_access_misses_then_hits():
+    cache = make_cache()
+    assert not cache.access(0x100, is_write=False, cycle=0).hit
+    assert cache.access(0x100, is_write=False, cycle=1).hit
+    assert cache.access(0x11F, is_write=False, cycle=2).hit  # same line
+    assert cache.miss_rate() == pytest.approx(1 / 3)
+
+
+def test_eviction_when_set_overflows():
+    cache = make_cache(size=1024, assoc=2, line=32)  # 16 sets
+    set_span = 16 * 32
+    addresses = [0x0, set_span, 2 * set_span]  # three blocks, same set
+    for address in addresses:
+        cache.access(address, is_write=False, cycle=address)
+    assert cache.stats.counter("evictions").value == 1
+    assert not cache.contains(addresses[0])  # LRU victim
+    assert cache.contains(addresses[1])
+    assert cache.contains(addresses[2])
+
+
+def test_write_back_cache_marks_dirty_and_writes_back():
+    cache = make_cache(write_back=True)
+    set_span = 16 * 32
+    cache.access(0x0, is_write=True, cycle=0)
+    assert cache.is_dirty(0x0)
+    # Evict the dirty line by filling the set with two more blocks.
+    cache.access(set_span, is_write=False, cycle=1)
+    result = cache.access(2 * set_span, is_write=False, cycle=2)
+    assert result.writeback
+    assert cache.stats.counter("writebacks").value == 1
+
+
+def test_write_through_cache_never_dirty():
+    cache = make_cache(write_back=False, write_allocate=True)
+    cache.access(0x0, is_write=True, cycle=0)
+    assert not cache.is_dirty(0x0)
+
+
+def test_no_write_allocate_write_miss_does_not_install():
+    cache = make_cache(write_back=False, write_allocate=False)
+    result = cache.access(0x200, is_write=True, cycle=0)
+    assert not result.hit
+    assert not cache.contains(0x200)
+    # A read of the same line still misses afterwards.
+    assert not cache.access(0x200, is_write=False, cycle=1).hit
+
+
+def test_write_allocate_default_follows_write_policy():
+    assert make_cache(write_back=True).write_allocate is True
+    assert make_cache(write_back=False).write_allocate is False
+
+
+def test_hit_and_miss_counters():
+    cache = make_cache()
+    cache.access(0x0, is_write=False, cycle=0)   # read miss
+    cache.access(0x0, is_write=False, cycle=1)   # read hit
+    cache.access(0x0, is_write=True, cycle=2)    # write hit
+    cache.access(0x400, is_write=True, cycle=3)  # write miss
+    assert cache.stats.counter("read_misses").value == 1
+    assert cache.stats.counter("read_hits").value == 1
+    assert cache.stats.counter("write_hits").value == 1
+    assert cache.stats.counter("write_misses").value == 1
+    assert cache.accesses == 4
+    assert cache.hits == 2
+
+
+def test_occupancy_and_flush():
+    cache = make_cache()
+    for i in range(8):
+        cache.access(i * 32, is_write=True, cycle=i)
+    assert cache.occupancy() == pytest.approx(8 / 32)
+    dirty_dropped = cache.flush()
+    assert dirty_dropped == 8
+    assert cache.occupancy() == 0.0
+
+
+def test_reset_clears_contents_and_stats():
+    cache = make_cache()
+    cache.access(0x0, is_write=False, cycle=0)
+    cache.reset()
+    assert cache.accesses == 0
+    assert not cache.contains(0x0)
+
+
+def test_miss_rate_of_empty_cache_is_zero():
+    assert make_cache().miss_rate() == 0.0

@@ -1,0 +1,77 @@
+"""Tests for the private L1 cache wrapper."""
+
+import pytest
+
+from repro.cache.l1 import build_l1_cache
+from repro.cache.placement import ModuloPlacement, RandomPlacement
+from repro.cache.replacement import LRUReplacement, RandomReplacement
+from repro.sim.config import CacheGeometry
+
+
+@pytest.fixture
+def geometry():
+    return CacheGeometry(size_bytes=1024, line_bytes=32, associativity=2)
+
+
+def test_write_through_data_cache_always_uses_bus_for_stores(geometry, rng):
+    l1 = build_l1_cache("l1d", geometry, random_caches=False, rng=rng)
+    outcome = l1.access(0x100, is_write=True, cycle=0)
+    assert outcome.needs_bus
+    # Even after the line is resident, a store still propagates (write-through).
+    l1.access(0x100, is_write=False, cycle=1)
+    outcome = l1.access(0x100, is_write=True, cycle=2)
+    assert outcome.needs_bus
+
+
+def test_read_hit_does_not_use_bus(geometry, rng):
+    l1 = build_l1_cache("l1d", geometry, random_caches=False, rng=rng)
+    first = l1.access(0x200, is_write=False, cycle=0)
+    assert first.needs_bus and not first.hit
+    second = l1.access(0x200, is_write=False, cycle=1)
+    assert second.hit and not second.needs_bus
+    assert second.latency == 1
+
+
+def test_random_configuration_uses_random_policies(geometry, rng):
+    l1 = build_l1_cache("l1d", geometry, random_caches=True, rng=rng)
+    assert isinstance(l1.cache.placement, RandomPlacement)
+    assert isinstance(l1.cache.replacement, RandomReplacement)
+
+
+def test_conventional_configuration_uses_modulo_and_lru(geometry, rng):
+    l1 = build_l1_cache("l1d", geometry, random_caches=False, rng=rng)
+    assert isinstance(l1.cache.placement, ModuloPlacement)
+    assert isinstance(l1.cache.replacement, LRUReplacement)
+
+
+def test_custom_hit_latency_propagates(geometry, rng):
+    l1 = build_l1_cache("l1d", geometry, random_caches=False, rng=rng, hit_latency=2)
+    assert l1.access(0x0, is_write=False, cycle=0).latency == 2
+
+
+def test_invalid_hit_latency_rejected(geometry, rng):
+    with pytest.raises(ValueError):
+        build_l1_cache("l1d", geometry, random_caches=False, rng=rng, hit_latency=0)
+
+
+def test_miss_rate_and_reset(geometry, rng):
+    l1 = build_l1_cache("l1d", geometry, random_caches=False, rng=rng)
+    l1.access(0x0, is_write=False, cycle=0)
+    l1.access(0x0, is_write=False, cycle=1)
+    assert l1.miss_rate() == pytest.approx(0.5)
+    l1.reset()
+    assert l1.miss_rate() == 0.0
+
+
+def test_different_runs_see_different_random_placements(geometry):
+    """Random placement must change with the seed — the property MBPTA needs."""
+    import numpy as np
+
+    l1_a = build_l1_cache("a", geometry, random_caches=True, rng=np.random.default_rng(1))
+    l1_b = build_l1_cache("b", geometry, random_caches=True, rng=np.random.default_rng(2))
+    addresses = range(0, 1024 * 8, 32)
+    diff = sum(
+        l1_a.cache.placement.set_index(x) != l1_b.cache.placement.set_index(x)
+        for x in addresses
+    )
+    assert diff > len(list(addresses)) // 2

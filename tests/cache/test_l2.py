@@ -1,0 +1,97 @@
+"""Tests for the partitioned L2 and the bus-slave adapter."""
+
+import pytest
+
+from repro.bus.latency import LatencyTable, TransactionClass
+from repro.bus.transaction import AccessType, BusRequest
+from repro.cache.l2 import L2BusSlave, build_l2
+from repro.memory.controller import MemoryController
+from repro.sim.config import BusTimings, CacheGeometry
+from repro.sim.errors import ConfigurationError
+
+
+@pytest.fixture
+def l2_geometry():
+    return CacheGeometry(size_bytes=8 * 1024, line_bytes=32, associativity=2)
+
+
+@pytest.fixture
+def slave(l2_geometry, rng):
+    l2 = build_l2(l2_geometry, num_cores=4, partitioned=True, random_caches=False, rng=rng)
+    return L2BusSlave(l2, MemoryController(), LatencyTable(BusTimings()))
+
+
+class TestBuildL2:
+    def test_partitioned_l2_has_one_partition_per_core(self, l2_geometry, rng):
+        l2 = build_l2(l2_geometry, 4, partitioned=True, random_caches=False, rng=rng)
+        assert l2.num_partitions == 4
+        assert l2.partitions[0].geometry.size_bytes == 2 * 1024
+
+    def test_unified_l2_has_single_partition(self, l2_geometry, rng):
+        l2 = build_l2(l2_geometry, 4, partitioned=False, random_caches=False, rng=rng)
+        assert l2.num_partitions == 1
+        assert l2.partition_for(0) is l2.partition_for(3)
+
+    def test_partition_isolation(self, l2_geometry, rng):
+        """A core's accesses never evict another core's lines."""
+        l2 = build_l2(l2_geometry, 2, partitioned=True, random_caches=False, rng=rng)
+        l2.access(0, 0x1000, is_write=False, cycle=0)
+        # Core 1 sweeps far more data than its own partition holds.
+        for i in range(1000):
+            l2.access(1, 0x8000 + i * 32, is_write=False, cycle=i)
+        assert l2.partition_for(0).contains(0x1000)
+
+    def test_too_small_l2_for_partitioning_rejected(self, rng):
+        tiny = CacheGeometry(size_bytes=128, line_bytes=32, associativity=2)
+        with pytest.raises(ConfigurationError):
+            build_l2(tiny, 4, partitioned=True, random_caches=False, rng=rng)
+
+
+class TestL2BusSlave:
+    def test_l2_read_hit_takes_5_cycles(self, slave):
+        request = BusRequest(master_id=0, address=0x100, access=AccessType.READ)
+        slave.resolve(request, cycle=0)  # miss, installs the line
+        repeat = BusRequest(master_id=0, address=0x100, access=AccessType.READ)
+        assert slave.resolve(repeat, cycle=1) == 5
+        assert repeat.annotations["transaction_class"] == TransactionClass.L2_HIT_READ.value
+
+    def test_l2_write_hit_takes_6_cycles(self, slave):
+        slave.resolve(BusRequest(master_id=0, address=0x100), cycle=0)
+        write = BusRequest(master_id=0, address=0x100, access=AccessType.WRITE)
+        assert slave.resolve(write, cycle=1) == 6
+
+    def test_clean_miss_takes_28_cycles_and_accesses_memory(self, slave):
+        request = BusRequest(master_id=0, address=0x2000, access=AccessType.READ)
+        assert slave.resolve(request, cycle=0) == 28
+        assert request.annotations["transaction_class"] == TransactionClass.L2_MISS_CLEAN.value
+        assert slave.memory.total_accesses == 1
+
+    def test_dirty_eviction_takes_56_cycles(self, slave, l2_geometry):
+        """A miss that evicts a dirty victim performs two memory accesses."""
+        partition_sets = slave.l2.partition_for(0).geometry.num_sets
+        set_span = partition_sets * 32
+        # Dirty a line, then force two more blocks into the same set.
+        slave.resolve(BusRequest(master_id=0, address=0x0, access=AccessType.WRITE), 0)
+        slave.resolve(BusRequest(master_id=0, address=set_span, access=AccessType.READ), 1)
+        request = BusRequest(master_id=0, address=2 * set_span, access=AccessType.READ)
+        duration = slave.resolve(request, cycle=2)
+        assert duration == 56
+        assert request.annotations["transaction_class"] == TransactionClass.L2_MISS_DIRTY.value
+
+    def test_atomic_always_takes_56_cycles_and_two_memory_accesses(self, slave):
+        request = BusRequest(master_id=0, address=0x3000, access=AccessType.ATOMIC)
+        assert slave.resolve(request, cycle=0) == 56
+        assert slave.memory.total_accesses == 2
+
+    def test_requests_from_different_cores_use_their_own_partition(self, slave):
+        slave.resolve(BusRequest(master_id=0, address=0x100), cycle=0)
+        # The same address from another core misses: partitions are private.
+        other = BusRequest(master_id=1, address=0x100)
+        assert slave.resolve(other, cycle=1) == 28
+
+    def test_stats_and_reset(self, slave):
+        slave.resolve(BusRequest(master_id=0, address=0x100), cycle=0)
+        assert slave.stats.counter("requests").value == 1
+        slave.reset()
+        assert slave.stats.counter("requests").value == 0
+        assert slave.memory.total_accesses == 0

@@ -1,0 +1,70 @@
+"""Tests for cache placement functions."""
+
+import pytest
+
+from repro.cache.placement import ModuloPlacement, RandomPlacement
+
+
+class TestModuloPlacement:
+    def test_consecutive_blocks_map_to_consecutive_sets(self):
+        placement = ModuloPlacement(num_sets=8, line_bytes=32)
+        indices = [placement.set_index(addr) for addr in range(0, 8 * 32, 32)]
+        assert indices == list(range(8))
+
+    def test_offset_within_line_does_not_change_set(self):
+        placement = ModuloPlacement(num_sets=8, line_bytes=32)
+        assert placement.set_index(0x100) == placement.set_index(0x11F)
+
+    def test_tag_identifies_the_block(self):
+        placement = ModuloPlacement(num_sets=8, line_bytes=32)
+        assert placement.tag(0x100) == 0x100 // 32
+        assert placement.tag(0x100) != placement.tag(0x100 + 32)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ModuloPlacement(num_sets=0, line_bytes=32)
+
+
+class TestRandomPlacement:
+    def test_deterministic_for_fixed_seed(self):
+        a = RandomPlacement(num_sets=16, line_bytes=32, seed=7)
+        b = RandomPlacement(num_sets=16, line_bytes=32, seed=7)
+        for address in range(0, 4096, 32):
+            assert a.set_index(address) == b.set_index(address)
+
+    def test_different_seeds_give_different_mappings(self):
+        a = RandomPlacement(num_sets=64, line_bytes=32, seed=1)
+        b = RandomPlacement(num_sets=64, line_bytes=32, seed=2)
+        addresses = range(0, 64 * 32 * 4, 32)
+        differences = sum(a.set_index(x) != b.set_index(x) for x in addresses)
+        assert differences > len(list(addresses)) // 2
+
+    def test_indices_stay_in_range(self):
+        placement = RandomPlacement(num_sets=16, line_bytes=32, seed=3)
+        for address in range(0, 10_000, 32):
+            assert 0 <= placement.set_index(address) < 16
+
+    def test_offset_within_line_does_not_change_set(self):
+        placement = RandomPlacement(num_sets=16, line_bytes=32, seed=3)
+        assert placement.set_index(0x200) == placement.set_index(0x21F)
+
+    def test_distribution_is_roughly_uniform(self):
+        placement = RandomPlacement(num_sets=8, line_bytes=32, seed=11)
+        counts = [0] * 8
+        num_blocks = 8000
+        for block in range(num_blocks):
+            counts[placement.set_index(block * 32)] += 1
+        expected = num_blocks / 8
+        for count in counts:
+            assert abs(count - expected) < 0.25 * expected
+
+    def test_tags_never_alias_within_a_set(self):
+        """Two different blocks mapping to the same set must have different
+        tags — the property that keeps random placement functionally correct."""
+        placement = RandomPlacement(num_sets=4, line_bytes=32, seed=5)
+        seen: dict[tuple[int, int], int] = {}
+        for block in range(2000):
+            address = block * 32
+            key = (placement.set_index(address), placement.tag(address))
+            assert key not in seen or seen[key] == address
+            seen[key] = address

@@ -1,0 +1,76 @@
+"""Property-based tests of cache invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.placement import ModuloPlacement, RandomPlacement
+from repro.cache.replacement import LRUReplacement, RandomReplacement
+from repro.sim.config import CacheGeometry
+
+
+def build_cache(random_policies: bool, seed: int) -> SetAssociativeCache:
+    geometry = CacheGeometry(size_bytes=512, line_bytes=32, associativity=2)
+    if random_policies:
+        placement = RandomPlacement(geometry.num_sets, 32, seed=seed)
+        replacement = RandomReplacement(np.random.default_rng(seed))
+    else:
+        placement = ModuloPlacement(geometry.num_sets, 32)
+        replacement = LRUReplacement()
+    return SetAssociativeCache(
+        "prop", geometry, placement, replacement, write_back=True
+    )
+
+
+accesses = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=4095), st.booleans()),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(accesses, st.booleans(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_occupancy_never_exceeds_capacity_and_counters_balance(seq, random_policies, seed):
+    cache = build_cache(random_policies, seed)
+    for address, is_write in seq:
+        cache.access(address, is_write, cycle=0)
+    assert 0.0 <= cache.occupancy() <= 1.0
+    assert cache.hits + cache.misses == len(seq)
+
+
+@given(accesses, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_access_after_access_to_same_line_is_a_hit(seq, seed):
+    """Re-touching the line just accessed always hits (no self-eviction)."""
+    cache = build_cache(True, seed)
+    for address, is_write in seq:
+        cache.access(address, is_write, cycle=0)
+        assert cache.access(address, False, cycle=0).hit
+
+
+@given(accesses, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_writebacks_only_happen_for_previously_written_lines(seq, seed):
+    """Every writeback must correspond to some earlier write (no phantom dirt)."""
+    cache = build_cache(True, seed)
+    writes = 0
+    for address, is_write in seq:
+        if is_write:
+            writes += 1
+        cache.access(address, is_write, cycle=0)
+    assert cache.stats.counter("writebacks").value <= writes
+
+
+@given(accesses)
+@settings(max_examples=40, deadline=None)
+def test_random_and_modulo_placement_agree_on_hit_miss_totals_for_repeats(seq):
+    """The *total* number of accesses recorded is placement independent."""
+    modulo = build_cache(False, 0)
+    random_cache = build_cache(True, 1)
+    for address, is_write in seq:
+        modulo.access(address, is_write, cycle=0)
+        random_cache.access(address, is_write, cycle=0)
+    assert modulo.accesses == random_cache.accesses == len(seq)

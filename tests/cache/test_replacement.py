@@ -1,0 +1,56 @@
+"""Tests for cache replacement policies."""
+
+import numpy as np
+
+from repro.cache.block import CacheLine
+from repro.cache.replacement import LRUReplacement, RandomReplacement
+
+
+def make_ways(last_used):
+    ways = []
+    for i, cycle in enumerate(last_used):
+        line = CacheLine()
+        line.fill(tag=i, cycle=cycle)
+        ways.append(line)
+    return ways
+
+
+class TestLRU:
+    def test_selects_least_recently_used(self):
+        ways = make_ways([10, 3, 7, 9])
+        assert LRUReplacement().select_victim(ways, cycle=20) == 1
+
+    def test_on_access_updates_recency(self):
+        policy = LRUReplacement()
+        ways = make_ways([1, 2, 3, 4])
+        policy.on_access(ways, 0, cycle=100)
+        assert policy.select_victim(ways, cycle=101) == 1
+
+    def test_sequence_of_touches_cycles_through_victims(self):
+        policy = LRUReplacement()
+        ways = make_ways([0, 0, 0, 0])
+        for cycle, way in enumerate([0, 1, 2, 3], start=1):
+            policy.on_access(ways, way, cycle)
+        assert policy.select_victim(ways, cycle=10) == 0
+
+
+class TestRandom:
+    def test_victim_always_in_range(self, rng):
+        policy = RandomReplacement(rng)
+        ways = make_ways([1, 2, 3, 4])
+        for _ in range(100):
+            assert 0 <= policy.select_victim(ways, cycle=5) < 4
+
+    def test_every_way_eventually_chosen(self, rng):
+        policy = RandomReplacement(rng)
+        ways = make_ways([1, 2, 3, 4])
+        chosen = {policy.select_victim(ways, cycle=0) for _ in range(200)}
+        assert chosen == {0, 1, 2, 3}
+
+    def test_reproducible_with_same_seed(self):
+        ways = make_ways([1, 2, 3, 4])
+        a = RandomReplacement(np.random.default_rng(9))
+        b = RandomReplacement(np.random.default_rng(9))
+        seq_a = [a.select_victim(ways, 0) for _ in range(50)]
+        seq_b = [b.select_victim(ways, 0) for _ in range(50)]
+        assert seq_a == seq_b

@@ -1,0 +1,94 @@
+"""Property-based tests of the credit-account invariants.
+
+Whatever sequence of grants the bus produces, three invariants must hold for
+every credit account:
+
+* the balance never leaves ``[0, cap]``;
+* the balance never exceeds what replenishment alone could have produced
+  (no credit is created out of thin air);
+* conservation: balance equals the initial balance plus everything
+  replenished minus everything drained.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.credit import CreditBank
+from repro.sim.config import CBAParameters
+
+
+# A schedule is a list of per-cycle holders (None = bus idle).
+holder_schedules = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+    min_size=1,
+    max_size=400,
+)
+
+
+@given(holder_schedules)
+@settings(max_examples=80, deadline=None)
+def test_balances_stay_within_bounds(schedule):
+    params = CBAParameters(max_latency=56, num_cores=4)
+    bank = CreditBank(params)
+    for holder in schedule:
+        bank.step(holder)
+        for account in bank.accounts:
+            assert 0 <= account.balance <= account.cap
+
+
+@given(holder_schedules)
+@settings(max_examples=80, deadline=None)
+def test_conservation_of_credit(schedule):
+    params = CBAParameters(max_latency=56, num_cores=4)
+    bank = CreditBank(params)
+    initial = bank.balances()
+    for holder in schedule:
+        bank.step(holder)
+    for start, account in zip(initial, bank.accounts):
+        assert account.balance == start + account.total_replenished - account.total_drained
+
+
+@given(holder_schedules, st.integers(min_value=2, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_busy_cycles_bounded_by_replenishment(schedule, num_cores):
+    """A core can never have spent more cycles on the bus than its initial
+    budget plus its replenishment allows — the mechanism that guarantees the
+    cycle-fair bandwidth split."""
+    params = CBAParameters(max_latency=56, num_cores=num_cores)
+    bank = CreditBank(params)
+    busy = [0] * num_cores
+    for holder in schedule:
+        holder = holder if holder is not None and holder < num_cores else None
+        if holder is not None:
+            busy[holder] += 1
+        bank.step(holder)
+    for core, account in enumerate(bank.accounts):
+        spent = busy[core] * params.drain_per_busy_cycle
+        earned = account.total_replenished + params.scaled_full_budget
+        assert account.total_drained <= spent
+        assert account.total_drained <= earned
+
+
+@given(
+    st.integers(min_value=1, max_value=56),
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=1, max_value=56),
+)
+@settings(max_examples=60, deadline=None)
+def test_recovery_time_is_n_minus_one_times_duration(duration, num_cores, max_latency):
+    """After holding the bus for ``d`` cycles from a full budget, a core needs
+    ``(N-1) * d + 1`` idle cycles to become eligible again: the net drain is
+    (N-1)/N per busy cycle, except that in the first busy cycle the +1
+    replenishment is lost to saturation (the counter was already full)."""
+    if duration > max_latency:
+        duration, max_latency = max_latency, duration
+    params = CBAParameters(max_latency=max_latency, num_cores=num_cores)
+    bank = CreditBank(params)
+    for _ in range(duration):
+        bank.step(holder=0)
+    recovery = 0
+    while not bank[0].eligible:
+        bank.step(holder=None)
+        recovery += 1
+    assert recovery == (num_cores - 1) * duration + 1

@@ -1,0 +1,46 @@
+"""Tests for the operating modes and the COMP-bit gate."""
+
+from repro.core.wcet_mode import CompeteGate, OperatingMode
+
+
+def test_operation_mode_gate_is_always_set():
+    gate = CompeteGate(mode=OperatingMode.OPERATION)
+    assert gate.compete
+    gate.update(budget_full=False, tua_request_ready=False)
+    assert gate.compete
+    gate.on_granted()  # no effect outside WCET-estimation mode
+    assert gate.compete
+
+
+def test_wcet_mode_gate_requires_budget_and_tua_request():
+    gate = CompeteGate(mode=OperatingMode.WCET_ESTIMATION, compete=False)
+    gate.update(budget_full=True, tua_request_ready=False)
+    assert not gate.compete
+    gate.update(budget_full=False, tua_request_ready=True)
+    assert not gate.compete
+    gate.update(budget_full=True, tua_request_ready=True)
+    assert gate.compete
+
+
+def test_wcet_mode_gate_latches_until_granted():
+    gate = CompeteGate(mode=OperatingMode.WCET_ESTIMATION, compete=False)
+    gate.update(budget_full=True, tua_request_ready=True)
+    # Conditions go away but the bit stays set until the grant clears it.
+    gate.update(budget_full=False, tua_request_ready=False)
+    assert gate.compete
+    gate.on_granted()
+    assert not gate.compete
+
+
+def test_reset_restores_mode_dependent_default():
+    wcet_gate = CompeteGate(mode=OperatingMode.WCET_ESTIMATION, compete=True)
+    wcet_gate.reset()
+    assert not wcet_gate.compete
+    operation_gate = CompeteGate(mode=OperatingMode.OPERATION, compete=False)
+    operation_gate.reset()
+    assert operation_gate.compete
+
+
+def test_mode_values_are_stable_strings():
+    assert OperatingMode.OPERATION.value == "operation"
+    assert OperatingMode.WCET_ESTIMATION.value == "wcet_estimation"

@@ -1,0 +1,32 @@
+"""Tests for the per-core performance counters."""
+
+from repro.cpu.counters import CoreCounters
+
+
+def test_execution_cycles_defined_only_after_finish():
+    counters = CoreCounters(core_id=0, start_cycle=100)
+    assert not counters.finished
+    assert counters.execution_cycles == 0
+    counters.finish_cycle = 350
+    assert counters.finished
+    assert counters.execution_cycles == 250
+
+
+def test_bus_bound_cycles_sum_wait_and_hold():
+    counters = CoreCounters(core_id=1, bus_wait_cycles=40, bus_hold_cycles=60)
+    assert counters.bus_bound_cycles == 100
+
+
+def test_l1_hit_rate_handles_zero_accesses():
+    counters = CoreCounters(core_id=0)
+    assert counters.l1_hit_rate() == 0.0
+    counters.accesses = 10
+    counters.l1_hits = 7
+    assert counters.l1_hit_rate() == 0.7
+
+
+def test_as_dict_contains_the_reported_fields():
+    counters = CoreCounters(core_id=2)
+    data = counters.as_dict()
+    for key in ("core_id", "accesses", "bus_requests", "execution_cycles", "finished"):
+        assert key in data

@@ -1,0 +1,32 @@
+"""Tests for the trace item descriptors."""
+
+import pytest
+
+from repro.bus.transaction import AccessType
+from repro.cpu.requests import MemoryAccess, TraceItem
+
+
+def test_memory_access_predicates():
+    read = MemoryAccess(address=0x10)
+    write = MemoryAccess(address=0x10, access=AccessType.WRITE)
+    atomic = MemoryAccess(address=0x10, access=AccessType.ATOMIC)
+    assert not read.is_write and not read.is_atomic
+    assert write.is_write
+    assert atomic.is_atomic
+
+
+def test_trace_item_defaults_to_pure_compute():
+    item = TraceItem(compute_cycles=5)
+    assert item.access is None
+    assert item.compute_cycles == 5
+
+
+def test_negative_compute_rejected():
+    with pytest.raises(ValueError):
+        TraceItem(compute_cycles=-1)
+
+
+def test_trace_items_are_immutable():
+    item = TraceItem(compute_cycles=1, access=MemoryAccess(address=4))
+    with pytest.raises(AttributeError):
+        item.compute_cycles = 7

@@ -1,0 +1,71 @@
+"""Tests for the workload trace containers."""
+
+import pytest
+
+from repro.cpu.requests import MemoryAccess, TraceItem
+from repro.cpu.trace import GeneratorTrace, InfiniteTrace, ListTrace
+from repro.sim.errors import WorkloadError
+
+
+def items(n):
+    return [TraceItem(compute_cycles=i, access=MemoryAccess(address=i * 32)) for i in range(n)]
+
+
+class TestListTrace:
+    def test_yields_items_in_order_then_none(self):
+        trace = ListTrace(items(3))
+        got = [trace.next_item() for _ in range(4)]
+        assert [item.compute_cycles for item in got[:3]] == [0, 1, 2]
+        assert got[3] is None
+
+    def test_reset_rewinds(self):
+        trace = ListTrace(items(2))
+        trace.next_item()
+        trace.reset()
+        assert trace.next_item().compute_cycles == 0
+        assert trace.remaining == 1
+
+    def test_len_and_finite(self):
+        trace = ListTrace(items(5))
+        assert len(trace) == 5
+        assert trace.finite
+
+
+class TestGeneratorTrace:
+    def test_consumes_factory_output(self):
+        trace = GeneratorTrace(lambda: iter(items(2)))
+        assert trace.next_item() is not None
+        assert trace.next_item() is not None
+        assert trace.next_item() is None
+
+    def test_reset_restarts_the_factory(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return iter(items(1))
+
+        trace = GeneratorTrace(factory)
+        trace.next_item()
+        trace.reset()
+        assert trace.next_item() is not None
+        assert len(calls) == 2
+
+
+class TestInfiniteTrace:
+    def test_repeats_forever(self):
+        trace = InfiniteTrace(lambda: iter(items(2)))
+        got = [trace.next_item() for _ in range(7)]
+        assert all(item is not None for item in got)
+        assert not trace.finite
+
+    def test_empty_factory_raises(self):
+        trace = InfiniteTrace(lambda: iter([]))
+        with pytest.raises(WorkloadError):
+            trace.next_item()
+
+    def test_reset_restarts(self):
+        trace = InfiniteTrace(lambda: iter(items(3)))
+        trace.next_item()
+        trace.reset()
+        assert trace.next_item().compute_cycles == 0

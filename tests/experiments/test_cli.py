@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_every_command():
+    parser = build_parser()
+    for command in (
+        ["illustrative"],
+        ["table1"],
+        ["figure1"],
+        ["overheads"],
+        ["mbpta"],
+        ["hcba-sweep"],
+        ["policy-sweep"],
+        ["list-workloads"],
+    ):
+        args = parser.parse_args(command)
+        assert args.command == command[0]
+
+
+def test_missing_command_is_an_error():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_benchmark_rejected_by_argparse():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["mbpta", "not_a_benchmark"])
+
+
+def test_list_workloads_prints_registry(capsys):
+    assert main(["list-workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "matrix" in out
+    assert "streaming" in out
+
+
+def test_list_workloads_verbose_includes_parameters(capsys):
+    assert main(["list-workloads", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "working set" in out
+
+
+def test_overheads_command_succeeds_and_reports_claim(capsys):
+    assert main(["overheads"]) == 0
+    out = capsys.readouterr().out
+    assert "addon_vs_platform_percent" in out
+
+
+def test_table1_command_checks_rules(capsys):
+    assert main(["table1", "--tua-requests", "5", "--rows", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "BUDG1" in out
+    assert "rules_hold" in out
+
+
+def test_illustrative_command_small_scenario(capsys):
+    exit_code = main(["illustrative", "--requests", "100", "--isolation-cycles", "1000"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "request-fair slowdown" in out
+    assert "9.40x" in out

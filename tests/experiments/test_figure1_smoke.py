@@ -1,0 +1,49 @@
+"""Smoke test for the Figure 1 experiment driver.
+
+The full regeneration (4 benchmarks x 6 configurations x many runs) lives in
+``benchmarks/``; here a single benchmark with tiny traces checks that the
+driver wires scenarios and normalisation together correctly and that the
+qualitative ordering of the paper holds even at small scale.
+"""
+
+import pytest
+
+from repro.experiments.figure1 import FIGURE1_CONFIGURATIONS, run_figure1
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure1(
+        benchmarks=("canrdr",), num_runs=1, access_scale=0.25, seed=13
+    )
+
+
+def test_all_six_configurations_present(result):
+    assert set(result.slowdowns["canrdr"]) == set(FIGURE1_CONFIGURATIONS)
+
+
+def test_baseline_normalisation_is_one(result):
+    assert result.slowdowns["canrdr"]["RP-ISO"] == pytest.approx(1.0)
+
+
+def test_contention_slows_down_and_cba_helps(result):
+    slowdowns = result.slowdowns["canrdr"]
+    assert slowdowns["RP-CON"] > 1.1
+    assert slowdowns["CBA-CON"] < slowdowns["RP-CON"]
+
+
+def test_hcba_isolation_is_cheaper_than_cba_isolation(result):
+    slowdowns = result.slowdowns["canrdr"]
+    assert slowdowns["H-CBA-ISO"] <= slowdowns["CBA-ISO"] + 0.02
+
+
+def test_table_rendering_contains_benchmark_and_configs(result):
+    table = result.to_table()
+    assert "canrdr" in table
+    for config in FIGURE1_CONFIGURATIONS:
+        assert config in table
+
+
+def test_helper_accessors(result):
+    assert result.worst_contention_slowdown("RP-CON") == result.slowdowns["canrdr"]["RP-CON"]
+    assert result.isolation_overhead("CBA-ISO") >= 0.0

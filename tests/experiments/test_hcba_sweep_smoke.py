@@ -1,0 +1,46 @@
+"""Smoke test for the H-CBA ablation sweep."""
+
+import pytest
+
+from repro.experiments.hcba_sweep import run_hcba_sweep
+from repro.workloads.synthetic import short_request_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_hcba_sweep(
+        fractions=(0.5,),
+        cap_multipliers=(2,),
+        workload=short_request_workload(num_accesses=150),
+        num_runs=1,
+        access_scale=1.0,
+    )
+
+
+def test_reference_points_and_variants_present(result):
+    labels = result.labels()
+    assert "RP" in labels
+    assert "CBA" in labels
+    assert "H-CBA-shares-0.50" in labels
+    assert "H-CBA-cap-x2" in labels
+
+
+def test_cba_improves_on_rp_under_contention(result):
+    assert result.by_label("CBA").tua_slowdown < result.by_label("RP").tua_slowdown
+
+
+def test_hcba_gives_the_favoured_core_a_larger_share_than_cba(result):
+    hcba = result.by_label("H-CBA-shares-0.50")
+    cba = result.by_label("CBA")
+    assert hcba.tua_slowdown <= cba.tua_slowdown + 0.05
+    assert hcba.tua_bandwidth_share >= cba.tua_bandwidth_share - 0.02
+
+
+def test_point_serialisation(result):
+    point = result.by_label("RP").as_dict()
+    assert {"label", "tua_slowdown", "tua_bandwidth_share"} <= set(point)
+
+
+def test_unknown_label_raises(result):
+    with pytest.raises(KeyError):
+        result.by_label("nonexistent")

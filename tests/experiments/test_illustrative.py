@@ -1,0 +1,56 @@
+"""Tests for the Section II illustrative-example experiment."""
+
+import pytest
+
+from repro.core.bounds import ContentionScenario
+from repro.experiments.illustrative import run_illustrative_example
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    """A scaled-down version of the paper scenario (200 requests instead of
+    1,000) so the test runs quickly; ratios are scale invariant."""
+    scenario = ContentionScenario(isolation_cycles=2_000, tua_requests=200)
+    return run_illustrative_example(scenario, seed=3)
+
+
+def test_analytic_numbers_match_the_paper_exactly():
+    result = run_illustrative_example(
+        ContentionScenario(isolation_cycles=10_000, tua_requests=1_000),
+        seed=1,
+    )
+    assert result.analytic_request_fair_cycles == 94_000
+    assert result.analytic_cycle_fair_cycles == 28_000
+    assert result.analytic_request_fair_slowdown == pytest.approx(9.4)
+    assert result.analytic_cycle_fair_slowdown == pytest.approx(2.8)
+
+
+def test_simulated_request_fair_slowdown_is_severe(small_result):
+    """Request-fair arbitration: every short request waits behind three long
+    ones, so the slowdown approaches the paper's ~9x."""
+    assert small_result.simulated_request_fair_slowdown > 6.0
+
+
+def test_simulated_cycle_fair_slowdown_is_much_lower(small_result):
+    assert (
+        small_result.simulated_cycle_fair_slowdown
+        < 0.6 * small_result.simulated_request_fair_slowdown
+    )
+
+
+def test_simulated_cycle_fair_slowdown_roughly_bounded_by_core_count(small_result):
+    """The paper's conclusion: with CBA the slowdown roughly matches the core
+    count (4 here); allow some head-room for grant-boundary effects."""
+    assert small_result.simulated_cycle_fair_slowdown < 4.5
+
+
+def test_isolation_simulation_close_to_analytic(small_result):
+    analytic = small_result.analytic_isolation_cycles
+    simulated = small_result.simulated_isolation_cycles
+    assert simulated == pytest.approx(analytic, rel=0.15)
+
+
+def test_as_dict_round_trip(small_result):
+    data = small_result.as_dict()
+    assert "analytic" in data and "simulated" in data
+    assert data["analytic"]["request_fair_slowdown"] == pytest.approx(9.4)

@@ -1,0 +1,38 @@
+"""Smoke test for the MBPTA experiment driver (small run counts)."""
+
+import pytest
+
+from repro.experiments.mbpta_experiment import run_mbpta_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_mbpta_experiment(
+        benchmark="canrdr",
+        configuration="CBA",
+        num_runs=24,
+        operation_runs=4,
+        access_scale=0.15,
+        block_size=4,
+    )
+
+
+def test_collects_the_requested_number_of_runs(result):
+    assert len(result.mbpta.samples) == 24
+    assert len(result.operation_samples) == 4
+
+
+def test_pwcet_bound_dominates_observed_behaviour(result):
+    assert result.pwcet_bound >= result.mbpta.observed_max
+    assert result.bound_dominates_operation
+
+
+def test_summary_contains_the_key_fields(result):
+    summary = result.summary()
+    for key in ("benchmark", "configuration", "iid_ok", "pwcet_bound"):
+        assert key in summary
+    assert summary["benchmark"] == "canrdr"
+
+
+def test_execution_times_vary_across_runs(result):
+    assert len(set(result.mbpta.samples)) > 1

@@ -1,0 +1,23 @@
+"""Tests for the implementation-overhead experiment."""
+
+from repro.experiments.overheads import run_overheads
+
+
+def test_overhead_result_reproduces_the_paper_claim():
+    result = run_overheads()
+    assert result.claim_holds
+    assert result.addon_vs_platform_percent < result.paper_claim_percent_upper_bound
+    assert result.cba_addon_aluts < 1000
+    assert result.platform_aluts > 100_000
+
+
+def test_overheads_for_other_base_policies_also_small():
+    for policy in ("round_robin", "tdma", "lottery"):
+        result = run_overheads(base_policy=policy)
+        assert result.addon_vs_platform_percent < 0.1
+
+
+def test_summary_is_serialisable():
+    summary = run_overheads().summary()
+    assert summary["claim_holds"] is True
+    assert "addon_vs_platform_percent" in summary

@@ -1,0 +1,45 @@
+"""Tests for the Table I signal-behaviour experiment."""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table1(tua_requests=10, tua_request_duration=6, tua_gap_cycles=4)
+
+
+def test_signal_rules_hold(result):
+    assert result.budget_rule_violations == []
+    assert result.comp_rule_violations == []
+    assert result.rules_hold
+
+
+def test_both_modes_recorded(result):
+    assert len(result.wcet_mode_rows) > 0
+    assert len(result.operation_mode_rows) > 0
+    assert result.tua_execution_cycles_wcet_mode == len(result.wcet_mode_rows)
+
+
+def test_wcet_mode_rows_show_contender_requests_always_set(result):
+    for row in result.wcet_mode_rows:
+        assert row["REQ2"] == 1 and row["REQ3"] == 1 and row["REQ4"] == 1
+
+
+def test_budgets_stay_within_8_bit_range(result):
+    for row in result.wcet_mode_rows + result.operation_mode_rows:
+        for core in range(1, 5):
+            assert 0 <= row[f"BUDG{core}"] <= 224
+
+
+def test_wcet_mode_is_slower_than_operation_mode(result):
+    """Analysis-time contention (greedy MaxL contenders, zero initial budget)
+    must upper-bound the contention-free operation-mode run."""
+    assert len(result.wcet_mode_rows) >= len(result.operation_mode_rows)
+
+
+def test_summary_reports_rule_checks(result):
+    summary = result.summary()
+    assert summary["rules_hold"] is True
+    assert summary["budget_rule_violations"] == 0

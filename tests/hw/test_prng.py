@@ -1,0 +1,88 @@
+"""Tests for the LFSR random bank (APRANDBANK stand-in)."""
+
+import pytest
+
+from repro.hw.prng import MAXIMAL_TAPS, GaloisLFSR, RandomBank
+from repro.sim.errors import ConfigurationError
+
+
+class TestGaloisLFSR:
+    def test_deterministic_sequence_for_fixed_seed(self):
+        a = GaloisLFSR(width=16, seed=0xACE1)
+        b = GaloisLFSR(width=16, seed=0xACE1)
+        assert [a.step() for _ in range(100)] == [b.step() for _ in range(100)]
+
+    def test_zero_seed_is_nudged_to_nonzero(self):
+        lfsr = GaloisLFSR(width=8, seed=0)
+        assert lfsr.state != 0
+        assert all(lfsr.step() != 0 for _ in range(50))
+
+    def test_state_never_becomes_zero(self):
+        lfsr = GaloisLFSR(width=8, seed=0x5A)
+        assert all(lfsr.step() != 0 for _ in range(255))
+
+    def test_maximal_period_for_8_bit(self):
+        lfsr = GaloisLFSR(width=8, seed=1)
+        seen = set()
+        for _ in range(lfsr.period):
+            seen.add(lfsr.step())
+        assert len(seen) == 255  # every non-zero state visited exactly once
+
+    def test_bits_and_uniform_int_ranges(self):
+        lfsr = GaloisLFSR(width=16, seed=3)
+        assert 0 <= lfsr.bits(5) < 32
+        for _ in range(50):
+            assert 0 <= lfsr.uniform_int(7) < 7
+
+    def test_uniform_int_covers_all_values(self):
+        lfsr = GaloisLFSR(width=16, seed=3)
+        assert {lfsr.uniform_int(4) for _ in range(200)} == {0, 1, 2, 3}
+
+    def test_unknown_width_requires_explicit_taps(self):
+        with pytest.raises(ConfigurationError):
+            GaloisLFSR(width=12)
+        GaloisLFSR(width=12, taps=0xC3A)  # fine with explicit taps
+
+    def test_invalid_arguments_rejected(self):
+        lfsr = GaloisLFSR(width=8, seed=1)
+        with pytest.raises(ConfigurationError):
+            lfsr.bits(0)
+        with pytest.raises(ConfigurationError):
+            lfsr.uniform_int(0)
+
+    def test_reset_restores_initial_state(self):
+        lfsr = GaloisLFSR(width=16, seed=0xBEEF)
+        first = [lfsr.step() for _ in range(10)]
+        lfsr.reset()
+        assert [lfsr.step() for _ in range(10)] == first
+
+    def test_default_taps_table_is_sane(self):
+        assert set(MAXIMAL_TAPS) == {8, 16, 24, 32}
+
+
+class TestRandomBank:
+    def test_each_consumer_gets_its_own_lfsr(self):
+        bank = RandomBank()
+        assert bank.lfsr("arbiter") is bank.lfsr("arbiter")
+        assert bank.lfsr("arbiter") is not bank.lfsr("cache")
+
+    def test_random_words_differ_across_consumers(self):
+        bank = RandomBank()
+        assert bank.random_word("a") != bank.random_word("b")
+
+    def test_permutation_is_valid(self):
+        bank = RandomBank()
+        for n in (1, 4, 8):
+            assert sorted(bank.permutation("arbiter", n)) == list(range(n))
+
+    def test_register_bits_grow_with_consumers(self):
+        bank = RandomBank(width=32)
+        bank.lfsr("a")
+        bank.lfsr("b")
+        assert bank.register_bits == 64
+
+    def test_reset_restores_every_lfsr(self):
+        bank = RandomBank()
+        first = bank.random_word("x")
+        bank.reset()
+        assert bank.random_word("x") == first

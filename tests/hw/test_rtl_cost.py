@@ -1,0 +1,71 @@
+"""Tests for the structural RTL cost model."""
+
+import pytest
+
+from repro.hw.rtl_cost import (
+    STRATIX_IV_ALUT_CAPACITY,
+    arbiter_cost,
+    cba_addon_cost,
+    overhead_report,
+    platform_cost,
+)
+from repro.sim.errors import ConfigurationError
+
+
+def test_every_policy_has_a_cost_estimate():
+    for policy in (
+        "round_robin",
+        "fifo",
+        "tdma",
+        "lottery",
+        "random_permutations",
+        "fixed_priority",
+    ):
+        estimate = arbiter_cost(policy)
+        assert estimate.flip_flops >= 0
+        assert estimate.luts > 0
+        assert estimate.alut_equivalent > 0
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ConfigurationError):
+        arbiter_cost("quantum")
+    with pytest.raises(ConfigurationError):
+        arbiter_cost("round_robin", num_masters=0)
+    with pytest.raises(ConfigurationError):
+        cba_addon_cost(num_masters=0)
+
+
+def test_cba_addon_counts_one_budget_counter_per_core():
+    addon = cba_addon_cost(num_masters=4, max_latency=56)
+    # 4 * 56 = 224 fits in 8 bits, as the paper's Table I states.
+    assert addon.breakdown["budget_counters"][0] == 4 * 8
+    assert addon.breakdown["comp_bits"] == (4, 4)
+
+
+def test_addon_scales_with_core_count():
+    assert cba_addon_cost(num_masters=8).flip_flops > cba_addon_cost(num_masters=4).flip_flops
+
+
+def test_platform_cost_matches_reported_occupancy():
+    platform = platform_cost()
+    assert platform.alut_equivalent >= int(0.73 * STRATIX_IV_ALUT_CAPACITY)
+
+
+def test_resource_estimates_can_be_added():
+    total = arbiter_cost("round_robin") + cba_addon_cost()
+    assert total.flip_flops == arbiter_cost("round_robin").flip_flops + cba_addon_cost().flip_flops
+
+
+def test_overhead_report_reproduces_the_paper_claim():
+    """Section IV-B: CBA adds far less than 0.1% to the FPGA occupancy."""
+    report = overhead_report()
+    assert report["claim_holds"] is True
+    assert report["addon_vs_platform_percent"] < 0.1
+    # The add-on is also the same order of magnitude as the arbiter itself —
+    # a handful of counters and comparators, not a redesign.
+    assert report["addon_vs_arbiter"] < 10.0
+
+
+def test_fraction_of_board_is_small_for_arbiters():
+    assert arbiter_cost("random_permutations").fraction_of_board() < 0.01

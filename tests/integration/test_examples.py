@@ -1,0 +1,76 @@
+"""Smoke tests for the example scripts.
+
+Each example is executed as a subprocess with deliberately small parameters
+so the suite stays fast; the goal is to guarantee the documented entry points
+keep working, not to re-check the science (the benchmarks do that).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *args: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contains_documented_scripts():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "illustrative_example.py",
+        "figure1_slowdowns.py",
+        "mbpta_pwcet.py",
+        "hcba_bandwidth_shares.py",
+        "bus_fairness_monitor.py",
+    } <= names
+
+
+def test_quickstart_example_runs(tmp_path):
+    out = run_example("quickstart.py", "canrdr", "--runs", "1")
+    assert "contention slowdown" in out
+    assert "CBA" in out
+
+
+def test_illustrative_example_runs():
+    out = run_example(
+        "illustrative_example.py", "--requests", "150", "--isolation-cycles", "1500"
+    )
+    assert "request-fair slowdown" in out
+    assert "9.4x" in out
+
+
+def test_mbpta_example_runs():
+    out = run_example(
+        "mbpta_pwcet.py", "canrdr", "--runs", "22", "--operation-runs", "2",
+        "--scale", "0.1",
+    )
+    assert "pWCET" in out
+    assert "covers" in out
+
+
+@pytest.mark.parametrize(
+    "script, args",
+    [
+        ("figure1_slowdowns.py", ["--benchmarks", "canrdr", "--runs", "1", "--scale", "0.15"]),
+        ("hcba_bandwidth_shares.py", ["--fractions", "0.5", "--cap-multipliers", "2",
+                                      "--runs", "1", "--scale", "0.25"]),
+    ],
+)
+def test_heavier_examples_run_with_tiny_parameters(script, args):
+    out = run_example(script, *args)
+    assert out.strip()

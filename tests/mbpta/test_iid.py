@@ -1,0 +1,74 @@
+"""Tests for the i.i.d. test battery."""
+
+import numpy as np
+import pytest
+
+from repro.mbpta.iid import (
+    iid_test_battery,
+    ks_identical_distribution_test,
+    ljung_box_test,
+    runs_test,
+)
+from repro.sim.errors import AnalysisError
+
+
+@pytest.fixture
+def iid_sample(rng):
+    return rng.normal(loc=1000.0, scale=50.0, size=400)
+
+
+@pytest.fixture
+def trending_sample():
+    # A strong deterministic trend: clearly not identically distributed.
+    return np.linspace(0.0, 1000.0, 400) + np.random.default_rng(0).normal(0, 1, 400)
+
+
+def test_iid_sample_passes_all_tests(iid_sample):
+    results = iid_test_battery(iid_sample)
+    assert len(results) == 3
+    assert all(result.passed for result in results)
+
+
+def test_trending_sample_fails_ks_and_ljung_box(trending_sample):
+    assert not ks_identical_distribution_test(trending_sample).passed
+    assert not ljung_box_test(trending_sample).passed
+
+
+def test_alternating_sample_fails_runs_test():
+    sample = np.array([0.0, 100.0] * 100)
+    result = runs_test(sample)
+    assert not result.passed
+
+
+def test_autocorrelated_sample_fails_ljung_box(rng):
+    noise = rng.normal(0, 1, 500)
+    ar1 = np.zeros(500)
+    for i in range(1, 500):
+        ar1[i] = 0.9 * ar1[i - 1] + noise[i]
+    assert not ljung_box_test(ar1).passed
+
+
+def test_constant_sample_treated_as_degenerate_pass():
+    sample = np.full(100, 42.0)
+    assert runs_test(sample).passed
+    assert ljung_box_test(sample).passed
+
+
+def test_too_few_samples_rejected():
+    with pytest.raises(AnalysisError):
+        runs_test([1.0, 2.0, 3.0])
+    with pytest.raises(AnalysisError):
+        ks_identical_distribution_test(np.arange(5))
+
+
+def test_result_dataclass_round_trips_to_dict(iid_sample):
+    result = runs_test(iid_sample)
+    data = result.as_dict()
+    assert data["name"] == "runs_test"
+    assert 0.0 <= data["p_value"] <= 1.0
+    assert isinstance(data["passed"], bool)
+
+
+def test_alpha_controls_strictness(iid_sample):
+    relaxed = ks_identical_distribution_test(iid_sample, alpha=0.0001)
+    assert relaxed.alpha == 0.0001

@@ -1,0 +1,53 @@
+"""Tests for the end-to-end MBPTA protocol."""
+
+import numpy as np
+import pytest
+
+from repro.mbpta.protocol import mbpta_from_samples, run_mbpta
+from repro.sim.errors import AnalysisError
+
+
+def test_mbpta_from_samples_produces_complete_result(rng):
+    samples = rng.gumbel(30_000, 500, size=200)
+    result = mbpta_from_samples(samples, block_size=10, metadata={"benchmark": "demo"})
+    assert len(result.samples) == 200
+    assert len(result.iid_tests) == 3
+    assert result.iid_ok
+    assert result.evt.acceptable
+    assert result.observed_max == max(samples)
+    assert result.wcet_at(1e-12) >= result.observed_max
+    summary = result.summary()
+    assert summary["benchmark"] == "demo"
+    assert summary["runs"] == 200
+
+
+def test_pwcet_bound_monotone_in_exceedance(rng):
+    samples = rng.gumbel(30_000, 500, size=200)
+    result = mbpta_from_samples(samples)
+    assert result.wcet_at(1e-15) >= result.wcet_at(1e-9) >= result.wcet_at(1e-3)
+
+
+def test_too_few_samples_rejected():
+    with pytest.raises(AnalysisError):
+        mbpta_from_samples([1.0] * 10)
+    with pytest.raises(AnalysisError):
+        run_mbpta(lambda run: 1.0, num_runs=5)
+
+
+def test_run_mbpta_invokes_the_scenario_runner_once_per_run(rng):
+    calls = []
+
+    def scenario(run_index: int) -> float:
+        calls.append(run_index)
+        return float(10_000 + rng.gumbel(0, 100))
+
+    result = run_mbpta(scenario, num_runs=40, block_size=5)
+    assert calls == list(range(40))
+    assert len(result.samples) == 40
+
+
+def test_iid_flag_reflects_failing_tests():
+    # A strongly trending sequence must be flagged as not i.i.d.
+    samples = np.linspace(1_000, 2_000, 100) + np.random.default_rng(0).normal(0, 5, 100)
+    result = mbpta_from_samples(samples, block_size=5)
+    assert not result.iid_ok

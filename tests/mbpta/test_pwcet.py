@@ -1,0 +1,48 @@
+"""Tests for the pWCET curve."""
+
+import pytest
+
+from repro.mbpta.evt import fit_evt
+from repro.mbpta.pwcet import DEFAULT_EXCEEDANCE_GRID, PWCETCurve
+from repro.sim.errors import AnalysisError
+
+
+@pytest.fixture
+def curve(rng):
+    samples = rng.gumbel(loc=20_000.0, scale=400.0, size=500)
+    evt = fit_evt(samples, block_size=10)
+    return PWCETCurve(evt=evt, observed_max=float(samples.max()))
+
+
+def test_bound_grows_as_exceedance_shrinks(curve):
+    bounds = [curve.wcet_at(p) for p in (1e-3, 1e-6, 1e-9, 1e-12)]
+    assert bounds == sorted(bounds)
+    assert bounds[-1] > bounds[0]
+
+
+def test_bound_never_below_observed_maximum(curve):
+    assert curve.wcet_at(0.5) >= curve.observed_max
+
+
+def test_points_cover_the_default_grid(curve):
+    points = curve.points()
+    assert [p for p, _ in points] == list(DEFAULT_EXCEEDANCE_GRID)
+    assert all(bound >= curve.observed_max for _, bound in points)
+
+
+def test_exceedance_of_inverts_the_bound(curve):
+    bound = curve.wcet_at(1e-6)
+    assert curve.exceedance_of(bound) <= 1.1e-6
+
+
+def test_invalid_exceedance_rejected(curve):
+    with pytest.raises(AnalysisError):
+        curve.wcet_at(0.0)
+    with pytest.raises(AnalysisError):
+        curve.wcet_at(1.0)
+
+
+def test_as_dict_contains_grid_points(curve):
+    data = curve.as_dict()
+    assert "points" in data and "1e-12" in data["points"]
+    assert data["observed_max"] == curve.observed_max

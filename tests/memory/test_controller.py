@@ -1,0 +1,33 @@
+"""Tests for the memory controller."""
+
+from repro.memory.controller import MemoryController
+from repro.memory.dram import DRAM
+
+
+def test_forwards_accesses_to_dram_and_returns_latency():
+    controller = MemoryController(DRAM(access_latency=28))
+    assert controller.access(0x0, read=True) == 28
+    assert controller.dram.total_accesses == 1
+
+
+def test_counts_reads_writes_and_busy_cycles():
+    controller = MemoryController()
+    controller.access(read=True)
+    controller.access(read=False)
+    assert controller.stats.counter("reads").value == 1
+    assert controller.stats.counter("writes").value == 1
+    assert controller.stats.counter("busy_cycles").value == 56
+    assert controller.total_accesses == 2
+
+
+def test_default_dram_created_when_omitted():
+    controller = MemoryController()
+    assert controller.dram.access_latency == 28
+
+
+def test_reset_clears_controller_and_dram():
+    controller = MemoryController()
+    controller.access()
+    controller.reset()
+    assert controller.total_accesses == 0
+    assert controller.dram.total_accesses == 0

@@ -1,0 +1,45 @@
+"""Tests for the DRAM model."""
+
+import pytest
+
+from repro.memory.dram import DRAM
+
+
+def test_flat_latency_matches_paper():
+    dram = DRAM()
+    assert dram.access(0x1000, read=True) == 28
+    assert dram.access(0x2000, read=False) == 28
+
+
+def test_access_counting_by_type():
+    dram = DRAM()
+    dram.access(read=True)
+    dram.access(read=True)
+    dram.access(read=False)
+    assert dram.stats.counter("reads").value == 2
+    assert dram.stats.counter("writes").value == 1
+    assert dram.total_accesses == 3
+
+
+def test_open_row_model_rewards_row_hits():
+    dram = DRAM(access_latency=28, row_bytes=1024, row_hit_latency=10)
+    assert dram.access(0x0000) == 28       # row miss (opens row 0)
+    assert dram.access(0x0100) == 10       # same row
+    assert dram.access(0x0400) == 28       # different row
+    assert dram.stats.counter("row_hits").value == 1
+    assert dram.stats.counter("row_misses").value == 2
+
+
+def test_invalid_latencies_rejected():
+    with pytest.raises(ValueError):
+        DRAM(access_latency=0)
+    with pytest.raises(ValueError):
+        DRAM(access_latency=28, row_hit_latency=50)
+
+
+def test_reset_clears_state_and_counters():
+    dram = DRAM(row_hit_latency=10)
+    dram.access(0x0)
+    dram.reset()
+    assert dram.total_accesses == 0
+    assert dram.access(0x0) == 28  # the open row was forgotten

@@ -1,0 +1,62 @@
+"""Tests for the paper's platform configuration presets."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.platform.presets import (
+    PAPER_CONFIG_LABELS,
+    cba_config,
+    config_by_label,
+    hcba_config,
+    paper_bus_timings,
+    rp_config,
+)
+from repro.sim.errors import ConfigurationError
+
+
+def test_paper_bus_timings_match_section_iv():
+    timings = paper_bus_timings()
+    assert timings.l2_hit_read == 5
+    assert timings.memory_latency == 28
+    assert timings.max_latency == 56
+
+
+def test_rp_config_is_random_permutations_without_cba():
+    config = rp_config()
+    assert config.arbitration == "random_permutations"
+    assert not config.use_cba
+    assert config.num_cores == 4
+
+
+def test_cba_config_enables_homogeneous_cba():
+    config = cba_config()
+    assert config.use_cba
+    assert config.cba.replenish_shares is None
+    assert config.cba.scaled_full_budget == 4 * 56
+
+
+def test_hcba_config_implements_the_paper_half_share():
+    config = hcba_config(favoured_core=0)
+    assert config.use_cba
+    assert config.cba.replenish_shares == (3, 1, 1, 1)
+
+
+def test_hcba_other_favoured_core_and_fraction():
+    config = hcba_config(favoured_core=2, favoured_fraction=Fraction(2, 5))
+    shares = config.cba.replenish_shares
+    assert shares is not None
+    assert shares[2] == max(shares)
+
+
+def test_config_by_label_accepts_paper_labels():
+    for label in PAPER_CONFIG_LABELS:
+        config = config_by_label(label)
+        assert config.num_cores == 4
+    assert config_by_label("hcba").use_cba
+    assert config_by_label(" rp ").use_cba is False
+
+
+def test_config_by_label_rejects_unknown_label():
+    with pytest.raises(ConfigurationError):
+        config_by_label("tdma-magic")

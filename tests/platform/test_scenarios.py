@@ -1,0 +1,72 @@
+"""Tests for the isolation / contention / WCET-estimation scenarios."""
+
+import pytest
+
+from repro.platform.scenarios import (
+    Scenario,
+    run_isolation,
+    run_max_contention,
+    run_multiprogram,
+    run_wcet_estimation,
+)
+
+
+def test_isolation_scenario_reports_tua_cycles(rp_platform, tiny_workload):
+    result = run_isolation(tiny_workload, rp_platform, seed=3)
+    assert result.scenario is Scenario.ISOLATION
+    assert result.tua_cycles > 0
+    assert result.tua_cycles == result.system.execution_cycles(0)
+
+
+def test_contention_slows_the_tua_down(rp_platform, tiny_workload):
+    iso = run_isolation(tiny_workload, rp_platform, seed=3)
+    con = run_max_contention(tiny_workload, rp_platform, seed=3)
+    assert con.scenario is Scenario.MAX_CONTENTION
+    assert con.tua_cycles > iso.tua_cycles
+
+
+def test_cba_reduces_contention_impact(rp_platform, cba_platform, tiny_workload):
+    """The paper's headline comparison on a small workload: the execution time
+    under maximum contention is lower with CBA than without."""
+    rp_con = run_max_contention(tiny_workload, rp_platform, seed=3)
+    cba_con = run_max_contention(tiny_workload, cba_platform, seed=3)
+    assert cba_con.tua_cycles < rp_con.tua_cycles
+
+
+def test_wcet_estimation_scenario_uses_wcet_contenders(cba_platform, tiny_workload):
+    result = run_wcet_estimation(tiny_workload, cba_platform, seed=3)
+    assert result.scenario is Scenario.WCET_ESTIMATION
+    contender_requests = result.system.extra["contender_requests"]
+    assert len(contender_requests) == 3
+    assert result.tua_cycles > 0
+
+
+def test_wcet_estimation_upper_bounds_isolation(cba_platform, tiny_workload):
+    iso = run_isolation(tiny_workload, cba_platform, seed=3)
+    wcet = run_wcet_estimation(tiny_workload, cba_platform, seed=3)
+    assert wcet.tua_cycles >= iso.tua_cycles
+
+
+def test_multiprogram_scenario_runs_every_task(rp_platform, tiny_workload, quiet_workload):
+    result = run_multiprogram(
+        {0: tiny_workload, 1: quiet_workload}, rp_platform, seed=3
+    )
+    assert result.scenario is Scenario.MULTIPROGRAM
+    assert result.system.core_counters[0].finished
+    assert result.system.core_counters[1].finished
+
+
+def test_different_run_indices_produce_different_execution_times(rp_platform, tiny_workload):
+    """Per-run randomisation (cache placement, arbitration) must show up as
+    execution-time variability — the property MBPTA requires."""
+    cycles = {
+        run_isolation(tiny_workload, rp_platform, seed=9, run_index=i).tua_cycles
+        for i in range(4)
+    }
+    assert len(cycles) > 1
+
+
+def test_same_seed_and_run_index_reproduce_exactly(rp_platform, tiny_workload):
+    first = run_isolation(tiny_workload, rp_platform, seed=11, run_index=2)
+    second = run_isolation(tiny_workload, rp_platform, seed=11, run_index=2)
+    assert first.tua_cycles == second.tua_cycles

@@ -1,0 +1,47 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import Clock
+
+
+def test_clock_starts_at_zero():
+    assert Clock().cycle == 0
+
+
+def test_advance_by_one_and_many():
+    clock = Clock()
+    assert clock.advance() == 1
+    assert clock.advance(9) == 10
+    assert clock.cycle == 10
+    assert clock.now == 10
+
+
+def test_advance_negative_rejected():
+    with pytest.raises(ValueError):
+        Clock().advance(-1)
+
+
+def test_advance_zero_is_noop():
+    clock = Clock()
+    clock.advance(0)
+    assert clock.cycle == 0
+
+
+def test_reset_returns_to_zero():
+    clock = Clock()
+    clock.advance(42)
+    clock.reset()
+    assert clock.cycle == 0
+
+
+def test_cycles_to_seconds_at_100mhz():
+    clock = Clock(frequency_hz=100_000_000.0)
+    assert clock.cycles_to_seconds(100_000_000) == pytest.approx(1.0)
+    assert clock.cycles_to_seconds(56) == pytest.approx(56e-8)
+
+
+def test_seconds_to_cycles_round_trip():
+    clock = Clock(frequency_hz=100_000_000.0)
+    assert clock.seconds_to_cycles(1.0) == 100_000_000
+    assert clock.seconds_to_cycles(clock.cycles_to_seconds(12345)) == 12345

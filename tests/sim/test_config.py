@@ -1,0 +1,112 @@
+"""Tests for the platform configuration dataclasses."""
+
+import pytest
+
+from repro.sim.config import BusTimings, CacheGeometry, CBAParameters, PlatformConfig
+from repro.sim.errors import ConfigurationError
+
+
+class TestBusTimings:
+    def test_paper_defaults(self):
+        timings = BusTimings()
+        assert timings.l2_hit_read == 5
+        assert timings.memory_latency == 28
+        assert timings.max_latency == 56
+        assert timings.l2_miss_clean() == 28
+        assert timings.l2_miss_dirty() == 56
+        assert timings.atomic() == 56
+
+    def test_max_latency_must_cover_two_memory_accesses(self):
+        with pytest.raises(ConfigurationError):
+            BusTimings(memory_latency=28, max_latency=40)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BusTimings(bus_overhead=-1)
+
+    def test_nonpositive_latencies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BusTimings(l2_hit_read=0)
+        with pytest.raises(ConfigurationError):
+            BusTimings(memory_latency=0)
+
+
+class TestCacheGeometry:
+    def test_derived_quantities(self):
+        geometry = CacheGeometry(size_bytes=4096, line_bytes=32, associativity=4)
+        assert geometry.num_lines == 128
+        assert geometry.num_sets == 32
+
+    def test_size_must_be_multiple_of_way_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=1000, line_bytes=32, associativity=4)
+
+    def test_line_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=960, line_bytes=24, associativity=4)
+
+    def test_positive_fields_required(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=0, line_bytes=32, associativity=1)
+
+
+class TestCBAParameters:
+    def test_homogeneous_defaults_match_paper(self):
+        params = CBAParameters(max_latency=56, num_cores=4)
+        assert params.scale == 4
+        # The paper quotes a saturation value of "228 (56x4)"; the exact
+        # product N * MaxL is 224, which is what the model uses.
+        assert params.scaled_full_budget == 224
+        assert params.drain_per_busy_cycle == 4
+        assert params.share_for(0) == 1
+        assert params.cap_for(0) == params.scaled_full_budget
+        assert params.initial_for(0) == params.scaled_full_budget
+
+    def test_heterogeneous_shares_change_scale(self):
+        params = CBAParameters(max_latency=56, num_cores=4, replenish_shares=(3, 1, 1, 1))
+        assert params.scale == 6
+        assert params.scaled_full_budget == 6 * 56
+        assert params.share_for(0) == 3
+
+    def test_share_count_must_match_cores(self):
+        with pytest.raises(ConfigurationError):
+            CBAParameters(max_latency=56, num_cores=4, replenish_shares=(1, 1))
+
+    def test_caps_cannot_be_below_full_budget(self):
+        with pytest.raises(ConfigurationError):
+            CBAParameters(max_latency=56, num_cores=4, budget_caps=(10, 224, 224, 224))
+
+    def test_initial_budget_clamped_to_cap(self):
+        params = CBAParameters(max_latency=56, num_cores=4, initial_budget=10_000)
+        assert params.initial_for(0) == params.cap_for(0)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CBAParameters(max_latency=0, num_cores=4)
+        with pytest.raises(ConfigurationError):
+            CBAParameters(max_latency=56, num_cores=0)
+        with pytest.raises(ConfigurationError):
+            CBAParameters(max_latency=56, num_cores=4, initial_budget=-1)
+
+
+class TestPlatformConfig:
+    def test_defaults_are_consistent(self):
+        config = PlatformConfig()
+        assert config.num_cores == 4
+        assert config.cba.max_latency == config.bus_timings.max_latency
+
+    def test_core_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(num_cores=2)
+
+    def test_maxl_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlatformConfig(
+                cba=CBAParameters(max_latency=28, num_cores=4),
+            )
+
+    def test_with_updates_creates_modified_copy(self):
+        config = PlatformConfig()
+        updated = config.with_updates(use_cba=True)
+        assert updated.use_cba
+        assert not config.use_cba

@@ -1,0 +1,132 @@
+"""Tests for counters, running statistics and histograms."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Counter, Histogram, RunningStats, StatGroup
+
+
+class TestCounter:
+    def test_increment_default_and_amount(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+    def test_reset(self):
+        counter = Counter("c", value=9)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestRunningStats:
+    def test_empty_stats_are_zero(self):
+        stats = RunningStats("s")
+        assert stats.mean == 0.0
+        assert stats.stddev == 0.0
+        assert stats.minimum == 0.0
+        assert stats.maximum == 0.0
+
+    def test_known_values(self):
+        stats = RunningStats("s")
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+        assert stats.count == 8
+        assert stats.total == pytest.approx(40.0)
+        assert stats.variance == pytest.approx(32.0 / 7.0)
+
+    def test_single_sample_has_zero_variance(self):
+        stats = RunningStats("s")
+        stats.add(3.0)
+        assert stats.variance == 0.0
+
+    def test_as_dict_keys(self):
+        stats = RunningStats("s")
+        stats.add(1.0)
+        assert set(stats.as_dict()) == {"count", "mean", "stddev", "min", "max", "total"}
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_matches_batch_computation(self, values):
+        stats = RunningStats("s")
+        stats.extend(values)
+        mean = sum(values) / len(values)
+        assert stats.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stats.variance == pytest.approx(variance, rel=1e-6, abs=1e-6)
+        assert stats.stddev == pytest.approx(math.sqrt(variance), rel=1e-6, abs=1e-6)
+
+
+class TestHistogram:
+    def test_add_and_frequency(self):
+        hist = Histogram("h")
+        hist.add(5)
+        hist.add(5, weight=2)
+        hist.add(7)
+        assert hist.frequency(5) == 3
+        assert hist.frequency(7) == 1
+        assert hist.frequency(6) == 0
+        assert hist.count == 4
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").add(1, weight=0)
+
+    def test_mean_min_max(self):
+        hist = Histogram("h")
+        for value in (1, 2, 3, 4):
+            hist.add(value)
+        assert hist.mean == pytest.approx(2.5)
+        assert hist.minimum == 1
+        assert hist.maximum == 4
+
+    def test_percentiles(self):
+        hist = Histogram("h")
+        for value in range(1, 101):
+            hist.add(value)
+        assert hist.percentile(0.5) == 50
+        assert hist.percentile(0.99) == 99
+        assert hist.percentile(1.0) == 100
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(1.5)
+
+    def test_empty_histogram_percentile_is_zero(self):
+        assert Histogram("h").percentile(0.9) == 0
+
+
+class TestStatGroup:
+    def test_lazily_creates_members(self):
+        group = StatGroup("g")
+        group.counter("events").increment()
+        group.sample("latency").add(3.0)
+        group.histogram("sizes").add(2)
+        assert group.counter("events").value == 1
+        assert group.sample("latency").count == 1
+        assert group.histogram("sizes").count == 1
+
+    def test_as_dict_flattens(self):
+        group = StatGroup("g")
+        group.counter("events").increment(2)
+        group.sample("latency").add(3.0)
+        flat = group.as_dict()
+        assert flat["events"] == 2
+        assert flat["latency"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        group = StatGroup("g")
+        group.counter("events").increment(2)
+        group.sample("latency").add(3.0)
+        group.histogram("sizes").add(2)
+        group.reset()
+        assert group.counter("events").value == 0
+        assert group.sample("latency").count == 0
+        assert group.histogram("sizes").count == 0

@@ -1,0 +1,60 @@
+"""Tests for the event trace recorder."""
+
+from repro.sim.trace import NullTraceRecorder, TraceRecorder
+
+
+def test_records_events_with_payload():
+    recorder = TraceRecorder()
+    recorder.record(5, "bus", "bus.grant", master=2, duration=28)
+    assert len(recorder) == 1
+    event = recorder.events[0]
+    assert event.cycle == 5
+    assert event.source == "bus"
+    assert event.kind == "bus.grant"
+    assert event.payload == {"master": 2, "duration": 28}
+
+
+def test_kind_filter_drops_other_kinds():
+    recorder = TraceRecorder(kinds=["bus.grant"])
+    recorder.record(1, "bus", "bus.request")
+    recorder.record(2, "bus", "bus.grant")
+    assert len(recorder) == 1
+    assert recorder.events[0].kind == "bus.grant"
+
+
+def test_capacity_keeps_most_recent():
+    recorder = TraceRecorder(capacity=3)
+    for cycle in range(10):
+        recorder.record(cycle, "x", "k")
+    assert [e.cycle for e in recorder.events] == [7, 8, 9]
+
+
+def test_filter_by_kind_source_and_predicate():
+    recorder = TraceRecorder()
+    recorder.record(1, "bus", "bus.grant", master=0)
+    recorder.record(2, "bus", "bus.grant", master=1)
+    recorder.record(3, "cache", "cache.miss")
+    assert len(recorder.filter(kind="bus.grant")) == 2
+    assert len(recorder.filter(source="cache")) == 1
+    only_master1 = recorder.filter(predicate=lambda e: e.payload.get("master") == 1)
+    assert [e.cycle for e in only_master1] == [2]
+
+
+def test_disabled_recorder_drops_events():
+    recorder = TraceRecorder()
+    recorder.enabled = False
+    recorder.record(1, "x", "k")
+    assert len(recorder) == 0
+
+
+def test_clear_removes_events():
+    recorder = TraceRecorder()
+    recorder.record(1, "x", "k")
+    recorder.clear()
+    assert len(recorder) == 0
+
+
+def test_null_recorder_never_records():
+    recorder = NullTraceRecorder()
+    recorder.record(1, "x", "k")
+    assert len(recorder) == 0

@@ -1,0 +1,154 @@
+"""Tests for the parametric workload specification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bus.transaction import AccessType
+from repro.sim.errors import WorkloadError
+from repro.workloads.base import AddressPattern, WorkloadSpec
+
+
+def collect(spec, seed=0):
+    return list(spec.generate_items(np.random.default_rng(seed)))
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        WorkloadSpec(name="ok")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_accesses=0),
+            dict(working_set_bytes=0),
+            dict(mean_compute_gap=-1),
+            dict(gap_variability=2.0),
+            dict(pattern="bogus"),
+            dict(stride_bytes=0),
+            dict(write_fraction=1.5),
+            dict(write_fraction=0.8, atomic_fraction=0.4),
+            dict(hot_region_bytes=0),
+            dict(tail_compute_cycles=-1),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="bad", **kwargs)
+
+
+class TestGeneration:
+    def test_generates_requested_number_of_accesses(self):
+        spec = WorkloadSpec(name="w", num_accesses=50)
+        items = collect(spec)
+        assert sum(1 for item in items if item.access is not None) == 50
+
+    def test_tail_compute_item_appended(self):
+        spec = WorkloadSpec(name="w", num_accesses=5, tail_compute_cycles=99)
+        items = collect(spec)
+        assert items[-1].access is None
+        assert items[-1].compute_cycles == 99
+
+    def test_addresses_stay_within_working_set(self):
+        spec = WorkloadSpec(
+            name="w", num_accesses=200, working_set_bytes=4096,
+            pattern=AddressPattern.RANDOM, base_address=0x1000_0000,
+        )
+        for item in collect(spec):
+            offset = item.access.address - 0x1000_0000
+            assert 0 <= offset < 4096
+
+    def test_zero_gap_produces_back_to_back_accesses(self):
+        spec = WorkloadSpec(name="w", num_accesses=20, mean_compute_gap=0.0)
+        assert all(item.compute_cycles == 0 for item in collect(spec))
+
+    def test_constant_gap_when_variability_zero(self):
+        spec = WorkloadSpec(name="w", num_accesses=20, mean_compute_gap=7.0, gap_variability=0.0)
+        assert all(item.compute_cycles == 7 for item in collect(spec))
+
+    def test_mean_gap_approximately_respected(self):
+        spec = WorkloadSpec(
+            name="w", num_accesses=3000, mean_compute_gap=10.0, gap_variability=0.8
+        )
+        gaps = [item.compute_cycles for item in collect(spec) if item.access is not None]
+        assert np.mean(gaps) == pytest.approx(10.0, rel=0.25)
+
+    def test_access_mix_follows_fractions(self):
+        spec = WorkloadSpec(
+            name="w", num_accesses=4000, write_fraction=0.3, atomic_fraction=0.1
+        )
+        items = [item for item in collect(spec) if item.access is not None]
+        writes = sum(item.access.access is AccessType.WRITE for item in items)
+        atomics = sum(item.access.access is AccessType.ATOMIC for item in items)
+        assert writes / len(items) == pytest.approx(0.3, abs=0.05)
+        assert atomics / len(items) == pytest.approx(0.1, abs=0.03)
+
+    def test_hot_fraction_concentrates_accesses(self):
+        spec = WorkloadSpec(
+            name="w",
+            num_accesses=2000,
+            working_set_bytes=64 * 1024,
+            pattern=AddressPattern.RANDOM,
+            hot_fraction=0.8,
+            hot_region_bytes=1024,
+        )
+        items = [item for item in collect(spec) if item.access is not None]
+        in_hot = sum(
+            item.access.address - spec.base_address < 1024 for item in items
+        )
+        assert in_hot / len(items) > 0.7
+
+    def test_generation_is_deterministic_given_the_rng_seed(self):
+        spec = WorkloadSpec(name="w", num_accesses=100, gap_variability=0.9)
+        first = [(i.compute_cycles, i.access.address) for i in collect(spec, seed=4)]
+        second = [(i.compute_cycles, i.access.address) for i in collect(spec, seed=4)]
+        third = [(i.compute_cycles, i.access.address) for i in collect(spec, seed=5)]
+        assert first == second
+        assert first != third
+
+    def test_pointer_chase_pattern_revisits_working_set(self):
+        spec = WorkloadSpec(
+            name="w", num_accesses=500, pattern=AddressPattern.POINTER_CHASE,
+            working_set_bytes=2048, hot_fraction=0.0,
+        )
+        addresses = {item.access.address for item in collect(spec) if item.access}
+        assert len(addresses) > 50  # walks many distinct locations
+
+    def test_build_trace_is_replayable(self):
+        spec = WorkloadSpec(name="w", num_accesses=10)
+        trace = spec.build_trace(np.random.default_rng(0))
+        first_pass = [trace.next_item() for _ in range(11)]
+        trace.reset()
+        second_pass = [trace.next_item() for _ in range(11)]
+        assert first_pass[-1] is None and second_pass[-1] is None
+
+    def test_with_updates_returns_modified_copy(self):
+        spec = WorkloadSpec(name="w", num_accesses=10)
+        bigger = spec.with_updates(num_accesses=99)
+        assert bigger.num_accesses == 99
+        assert spec.num_accesses == 10
+
+
+@given(
+    st.integers(min_value=1, max_value=300),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=0.5),
+    st.sampled_from(AddressPattern.ALL),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_every_generated_item_is_well_formed(num, hot, writes, pattern):
+    spec = WorkloadSpec(
+        name="prop",
+        num_accesses=num,
+        write_fraction=writes,
+        hot_fraction=hot,
+        pattern=pattern,
+        working_set_bytes=8192,
+    )
+    items = list(spec.generate_items(np.random.default_rng(0)))
+    accesses = [item for item in items if item.access is not None]
+    assert len(accesses) == num
+    for item in items:
+        assert item.compute_cycles >= 0
+        if item.access is not None:
+            assert item.access.address >= spec.base_address

@@ -1,0 +1,96 @@
+"""Tests for the contender agents used in contention scenarios."""
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.bus.bus import SharedBus
+from repro.bus.ports import FixedLatencySlave
+from repro.core.cba import CreditBasedArbiter
+from repro.sim.config import CBAParameters
+from repro.sim.kernel import Kernel
+from repro.workloads.contender import GreedyContender, WCETModeContender
+
+
+def build_bus(use_cba=False, num_masters=2, latency=56):
+    kernel = Kernel()
+    base = RoundRobinArbiter(num_masters)
+    arbiter = base
+    cba = None
+    if use_cba:
+        cba = CreditBasedArbiter(base, CBAParameters(max_latency=56, num_cores=num_masters))
+        arbiter = cba
+    bus = SharedBus(
+        "bus", num_masters=num_masters, arbiter=arbiter,
+        slave=FixedLatencySlave(latency), max_latency=56,
+    )
+    return kernel, bus, cba
+
+
+class TestGreedyContender:
+    def test_keeps_exactly_one_request_outstanding(self):
+        kernel, bus, _ = build_bus()
+        contender = GreedyContender("c1", 1, bus)
+        kernel.register(contender)
+        kernel.register(bus)
+        kernel.step(200)
+        # 200 cycles / 56-cycle transactions -> 3 completed, a 4th in flight.
+        assert contender.requests_completed == 3
+        assert contender.requests_issued == 4
+
+    def test_saturates_an_otherwise_idle_bus(self):
+        kernel, bus, _ = build_bus()
+        contender = GreedyContender("c1", 1, bus)
+        kernel.register(contender)
+        kernel.register(bus)
+        kernel.step(300)
+        assert bus.utilization() > 0.95
+
+    def test_reset_clears_progress(self):
+        kernel, bus, _ = build_bus()
+        contender = GreedyContender("c1", 1, bus)
+        kernel.register(contender)
+        kernel.register(bus)
+        kernel.step(60)
+        contender.reset()
+        assert contender.requests_issued == 0
+        assert contender.requests_completed == 0
+
+
+class TestWCETModeContender:
+    def test_does_not_compete_while_tua_is_silent(self):
+        kernel, bus, cba = build_bus(use_cba=True)
+        contender = WCETModeContender("c1", 1, bus, tua_request_ready=lambda: False, cba=cba)
+        kernel.register(contender)
+        kernel.register(bus)
+        kernel.step(100)
+        assert contender.requests_issued == 0
+        assert bus.utilization() == 0.0
+
+    def test_competes_when_tua_has_a_request_and_budget_is_full(self):
+        kernel, bus, cba = build_bus(use_cba=True)
+        contender = WCETModeContender("c1", 1, bus, tua_request_ready=lambda: True, cba=cba)
+        kernel.register(contender)
+        kernel.register(bus)
+        kernel.step(60)
+        assert contender.requests_issued >= 1
+        assert contender.requests_completed >= 1
+
+    def test_budget_gating_limits_request_rate_under_cba(self):
+        """After a 56-cycle grant the contender must wait for its budget to
+        refill before competing again.  With two cores the net drain is one
+        scaled unit per busy cycle, so the sustainable period is about
+        56 (use) + 57 (recovery) cycles per request."""
+        kernel, bus, cba = build_bus(use_cba=True)
+        contender = WCETModeContender("c1", 1, bus, tua_request_ready=lambda: True, cba=cba)
+        kernel.register(contender)
+        kernel.register(bus)
+        kernel.step(1000)
+        assert contender.requests_completed <= 1000 // 110 + 1
+        # ...and well below the unconstrained rate of one per 56 cycles.
+        assert contender.requests_completed < 1000 // 56
+
+    def test_without_cba_budget_condition_is_trivially_true(self):
+        kernel, bus, _ = build_bus(use_cba=False)
+        contender = WCETModeContender("c1", 1, bus, tua_request_ready=lambda: True, cba=None)
+        kernel.register(contender)
+        kernel.register(bus)
+        kernel.step(300)
+        assert contender.requests_completed >= 4

@@ -1,0 +1,28 @@
+"""Tests for the workload name registry."""
+
+import pytest
+
+from repro.sim.errors import WorkloadError
+from repro.workloads.registry import SYNTHETIC_WORKLOADS, available_workloads, workload_by_name
+
+
+def test_registry_contains_eembc_and_synthetic_names():
+    names = available_workloads()
+    assert "matrix" in names
+    assert "streaming" in names
+    assert names == sorted(names)
+
+
+def test_lookup_prefers_eembc_then_synthetic():
+    assert workload_by_name("cacheb").name == "cacheb"
+    assert workload_by_name("bus_hog").name == "bus_hog"
+
+
+def test_unknown_name_raises_workload_error():
+    with pytest.raises(WorkloadError):
+        workload_by_name("not_a_workload")
+
+
+def test_synthetic_map_keys_match_spec_names():
+    for name, spec in SYNTHETIC_WORKLOADS.items():
+        assert name == spec.name
