@@ -47,9 +47,19 @@ def bench_scale() -> float:
     return min(1.0, max(0.05, _env_float("REPRO_BENCH_SCALE", 0.5)))
 
 
-def print_section(title: str) -> None:
-    """Print a visually separated section header."""
+def _print_section(title: str) -> None:
     print()
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def print_section():
+    """Fixture returning the section-header printer.
+
+    A fixture (rather than a bare ``from conftest import ...``) keeps the
+    benchmark modules importable under pytest's ``importlib`` import mode,
+    where conftest is not an importable module name.
+    """
+    return _print_section

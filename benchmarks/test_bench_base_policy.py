@@ -15,10 +15,7 @@ import pytest
 from repro.analysis.reporting import format_table
 from repro.experiments.base_policy_sweep import DEFAULT_POLICIES, run_base_policy_sweep
 
-from conftest import print_section
-
-
-def run_and_report(num_runs: int, access_scale: float):
+def run_and_report(print_section, num_runs: int, access_scale: float):
     result = run_base_policy_sweep(
         policies=DEFAULT_POLICIES,
         benchmark="matrix",
@@ -42,9 +39,10 @@ def run_and_report(num_runs: int, access_scale: float):
     return result
 
 
-def test_bench_cba_over_base_policies(benchmark, bench_runs, bench_scale):
+def test_bench_cba_over_base_policies(benchmark, print_section, bench_runs, bench_scale):
     result = benchmark.pedantic(
-        run_and_report, args=(bench_runs, bench_scale), rounds=1, iterations=1
+        run_and_report, args=(print_section, bench_runs, bench_scale),
+        rounds=1, iterations=1
     )
     # The randomised policies — the MBPTA-friendly ones the paper targets —
     # benefit clearly from the CBA filter and stay near the core-count bound.

@@ -23,10 +23,7 @@ from __future__ import annotations
 
 from repro.experiments.figure1 import FIGURE1_CONFIGURATIONS, run_figure1
 
-from conftest import print_section
-
-
-def run_and_report(num_runs: int, access_scale: float):
+def run_and_report(print_section, num_runs: int, access_scale: float):
     result = run_figure1(
         num_runs=num_runs,
         access_scale=access_scale,
@@ -46,9 +43,10 @@ def run_and_report(num_runs: int, access_scale: float):
     return result
 
 
-def test_bench_figure1_slowdowns(benchmark, bench_runs, bench_scale):
+def test_bench_figure1_slowdowns(benchmark, print_section, bench_runs, bench_scale):
     result = benchmark.pedantic(
-        run_and_report, args=(bench_runs, bench_scale), rounds=1, iterations=1
+        run_and_report, args=(print_section, bench_runs, bench_scale),
+        rounds=1, iterations=1
     )
     for bench_name, per_config in result.slowdowns.items():
         assert set(per_config) == set(FIGURE1_CONFIGURATIONS)

@@ -13,10 +13,7 @@ from __future__ import annotations
 from repro.analysis.reporting import format_table
 from repro.experiments.hcba_sweep import run_hcba_sweep
 
-from conftest import print_section
-
-
-def run_and_report(num_runs: int, access_scale: float):
+def run_and_report(print_section, num_runs: int, access_scale: float):
     result = run_hcba_sweep(
         fractions=(0.25, 0.4, 0.5, 0.75),
         cap_multipliers=(2, 4),
@@ -51,9 +48,10 @@ def run_and_report(num_runs: int, access_scale: float):
     return result
 
 
-def test_bench_hcba_ablation(benchmark, bench_runs, bench_scale):
+def test_bench_hcba_ablation(benchmark, print_section, bench_runs, bench_scale):
     result = benchmark.pedantic(
-        run_and_report, args=(bench_runs, bench_scale), rounds=1, iterations=1
+        run_and_report, args=(print_section, bench_runs, bench_scale),
+        rounds=1, iterations=1
     )
     rp = result.by_label("RP")
     cba = result.by_label("CBA")

@@ -14,10 +14,7 @@ from repro.analysis.reporting import format_table
 from repro.core.bounds import ContentionScenario
 from repro.experiments.illustrative import run_illustrative_example
 
-from conftest import print_section
-
-
-def run_and_report():
+def run_and_report(print_section):
     result = run_illustrative_example(ContentionScenario(), seed=2017)
     print_section("Section II illustrative example: slowdown of the short-request task")
     rows = [
@@ -47,8 +44,10 @@ def run_and_report():
     return result
 
 
-def test_bench_illustrative_example(benchmark):
-    result = benchmark.pedantic(run_and_report, rounds=1, iterations=1)
+def test_bench_illustrative_example(benchmark, print_section):
+    result = benchmark.pedantic(
+        run_and_report, args=(print_section,), rounds=1, iterations=1
+    )
     # Shape assertions: the request-fair slowdown is far above the core
     # count, the cycle-fair slowdown is in the vicinity of the core count,
     # and the analytic values match the paper exactly.

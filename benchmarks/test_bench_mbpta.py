@@ -13,10 +13,7 @@ from __future__ import annotations
 from repro.analysis.reporting import format_table
 from repro.experiments.mbpta_experiment import run_mbpta_experiment
 
-from conftest import print_section
-
-
-def run_and_report(num_runs: int, access_scale: float):
+def run_and_report(print_section, num_runs: int, access_scale: float):
     result = run_mbpta_experiment(
         benchmark="canrdr",
         configuration="CBA",
@@ -47,9 +44,10 @@ def run_and_report(num_runs: int, access_scale: float):
     return result
 
 
-def test_bench_mbpta_pwcet(benchmark, bench_runs, bench_scale):
+def test_bench_mbpta_pwcet(benchmark, print_section, bench_runs, bench_scale):
     result = benchmark.pedantic(
-        run_and_report, args=(bench_runs, bench_scale), rounds=1, iterations=1
+        run_and_report, args=(print_section, bench_runs, bench_scale),
+        rounds=1, iterations=1
     )
     # The pWCET curve must dominate everything observed, in both modes.
     assert result.pwcet_bound >= result.mbpta.observed_max

@@ -13,10 +13,7 @@ from repro.analysis.reporting import format_table
 from repro.experiments.overheads import run_overheads
 from repro.hw.rtl_cost import arbiter_cost, cba_addon_cost
 
-from conftest import print_section
-
-
-def run_and_report():
+def run_and_report(print_section):
     result = run_overheads()
     print_section("Section IV-B: implementation overhead of CBA (structural estimate)")
     rows = [
@@ -45,8 +42,10 @@ def run_and_report():
     return result
 
 
-def test_bench_implementation_overheads(benchmark):
-    result = benchmark.pedantic(run_and_report, rounds=1, iterations=1)
+def test_bench_implementation_overheads(benchmark, print_section):
+    result = benchmark.pedantic(
+        run_and_report, args=(print_section,), rounds=1, iterations=1
+    )
     assert result.claim_holds
     assert result.addon_vs_platform_percent < 0.1
     assert result.cba_addon_aluts < result.platform_aluts / 1000

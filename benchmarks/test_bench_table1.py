@@ -16,10 +16,7 @@ from __future__ import annotations
 from repro.analysis.reporting import format_table
 from repro.experiments.table1 import run_table1
 
-from conftest import print_section
-
-
-def run_and_report():
+def run_and_report(print_section):
     result = run_table1(tua_requests=25, tua_request_duration=6, tua_gap_cycles=4)
     print_section("Table I: observed signal behaviour (first 20 cycles, WCET-estimation mode)")
     rows = result.wcet_mode_rows[:20]
@@ -31,8 +28,10 @@ def run_and_report():
     return result
 
 
-def test_bench_table1_signal_rules(benchmark):
-    result = benchmark.pedantic(run_and_report, rounds=1, iterations=1)
+def test_bench_table1_signal_rules(benchmark, print_section):
+    result = benchmark.pedantic(
+        run_and_report, args=(print_section,), rounds=1, iterations=1
+    )
     assert result.rules_hold
     assert len(result.wcet_mode_rows) > 0
     assert len(result.operation_mode_rows) > 0

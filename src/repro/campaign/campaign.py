@@ -1,0 +1,182 @@
+"""The campaign orchestrator.
+
+:class:`Campaign` turns a flat list of :class:`~repro.campaign.jobs.CampaignJob`
+into results: it deduplicates jobs that share a content hash (cross-experiment
+reuse), skips jobs already present in the artifact store when resuming,
+dispatches the remainder through the configured executor, persists each
+result as it lands, and reports progress.
+
+Experiments express their runs as jobs, call :meth:`Campaign.run`, and fold
+the returned ``job_id -> JobResult`` mapping back into their own result
+shapes with :func:`aggregate_by_label`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..sim.errors import ConfigurationError
+from .executor import Executor, SerialExecutor
+from .jobs import CampaignJob, JobResult
+from .progress import NullProgress
+from .store import ArtifactStore
+
+__all__ = ["AggregatedRuns", "Campaign", "CampaignReport", "aggregate_by_label"]
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Accounting for one :meth:`Campaign.run` call."""
+
+    total_jobs: int
+    executed_jobs: int
+    reused_jobs: int
+    deduplicated_jobs: int
+    truncated_runs: int
+
+    @property
+    def all_reused(self) -> bool:
+        """True when the store satisfied the whole campaign (full resume)."""
+        return self.total_jobs > 0 and self.executed_jobs == 0
+
+
+@dataclass(frozen=True)
+class AggregatedRuns:
+    """Per-label aggregation of (possibly block-split) job results."""
+
+    label: str
+    samples: tuple[float, ...]
+    metrics: tuple[dict[str, float], ...]
+    payloads: tuple[object, ...]
+    truncated_runs: int = 0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    def metric_mean(self, name: str) -> float:
+        """Average one per-run side-metric over every run of the label."""
+        values = [m[name] for m in self.metrics if name in m]
+        if not values:
+            raise KeyError(f"metric {name!r} was not recorded for {self.label!r}")
+        return sum(values) / len(values)
+
+
+class Campaign:
+    """Expand, dispatch, persist and aggregate campaign jobs."""
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        store: ArtifactStore | None = None,
+        resume: bool = False,
+        progress: NullProgress | None = None,
+    ) -> None:
+        if resume and store is None:
+            raise ConfigurationError("resuming requires an artifact store")
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.store = store
+        self.resume = resume
+        self.progress = progress if progress is not None else NullProgress()
+        self.last_report: CampaignReport | None = None
+
+    def run(self, jobs: Sequence[CampaignJob]) -> dict[str, JobResult]:
+        """Execute ``jobs`` and return results keyed by job ID.
+
+        Jobs with equal content hashes are executed once; when resuming,
+        jobs whose ID is already in the store are served from it without
+        re-execution.  Fresh results are appended to the store (when one is
+        configured) as they complete, so an interrupted campaign can resume
+        from exactly where it stopped.
+        """
+        unique: dict[str, CampaignJob] = {}
+        for job in jobs:
+            unique.setdefault(job.job_id, job)
+
+        results: dict[str, JobResult] = {}
+        pending: list[CampaignJob] = []
+        for job_id, job in unique.items():
+            cached = self.store.get(job_id) if (self.store and self.resume) else None
+            if cached is not None:
+                results[job_id] = cached
+            else:
+                pending.append(job)
+
+        self.progress.start(total=len(unique), skipped=len(results))
+        for result in self.executor.execute(pending):
+            if self.store is not None:
+                self.store.put(result)
+            results[result.job_id] = result
+            self.progress.advance(label=result.label)
+        self.progress.finish()
+
+        self.last_report = CampaignReport(
+            total_jobs=len(unique),
+            executed_jobs=len(pending),
+            reused_jobs=len(unique) - len(pending),
+            deduplicated_jobs=len(jobs) - len(unique),
+            truncated_runs=sum(r.truncated_runs for r in results.values()),
+        )
+        return results
+
+
+def aggregate_by_label(
+    jobs: Sequence[CampaignJob],
+    results: Mapping[str, JobResult],
+    allow_truncated: bool = False,
+) -> dict[str, AggregatedRuns]:
+    """Merge per-block results back into one record per job label.
+
+    Blocks are concatenated in ``run_start`` order, so the aggregated sample
+    vector is identical to what a single sequential loop over the run indices
+    would have produced — regardless of executor, worker count or completion
+    order.
+
+    A run that hit its cycle budget before completing produced no execution
+    time (its sample is 0), so by default any truncated run is an error —
+    the same contract the scenario runners enforce outside campaigns.  Pass
+    ``allow_truncated=True`` to aggregate anyway and inspect
+    :attr:`AggregatedRuns.truncated_runs` yourself.
+    """
+    by_label: dict[str, list[CampaignJob]] = {}
+    for job in jobs:
+        by_label.setdefault(job.label, []).append(job)
+
+    aggregated: dict[str, AggregatedRuns] = {}
+    for label, label_jobs in by_label.items():
+        samples: list[float] = []
+        metrics: list[dict[str, float]] = []
+        payloads: list[object] = []
+        truncated = 0
+        seen: set[str] = set()
+        for job in sorted(label_jobs, key=lambda j: j.run_start):
+            if job.job_id in seen:  # identical duplicate within one label
+                continue
+            seen.add(job.job_id)
+            try:
+                result = results[job.job_id]
+            except KeyError:
+                raise ConfigurationError(
+                    f"no result for job {job.job_id} ({label!r}); "
+                    "was the campaign interrupted?"
+                ) from None
+            samples.extend(result.samples)
+            metrics.extend(result.metrics)
+            payloads.extend(result.payloads)
+            truncated += result.truncated_runs
+        if truncated and not allow_truncated:
+            raise ConfigurationError(
+                f"{truncated} of {len(samples)} runs for {label!r} hit their "
+                "cycle budget before completing, so their execution times are "
+                "meaningless; increase max_cycles or shrink the workload "
+                "(or pass allow_truncated=True to aggregate anyway)"
+            )
+        aggregated[label] = AggregatedRuns(
+            label=label,
+            samples=tuple(samples),
+            metrics=tuple(metrics),
+            payloads=tuple(payloads),
+            truncated_runs=truncated,
+        )
+    return aggregated

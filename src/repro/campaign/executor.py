@@ -1,0 +1,102 @@
+"""Pluggable campaign execution backends.
+
+Every backend implements one method — :meth:`Executor.execute` — that maps a
+sequence of :class:`~repro.campaign.jobs.CampaignJob` to an iterator of
+:class:`~repro.campaign.jobs.JobResult`, yielding results as they complete so
+the orchestrator can persist and report progress incrementally.
+
+Determinism contract: a job's result depends only on the job (every random
+stream is derived from ``(seed, run_index)`` inside :func:`run_job`), so the
+backends are interchangeable — :class:`ParallelExecutor` produces samples
+bit-identical to :class:`SerialExecutor`, merely out of order.  Orchestration
+code must therefore key results by :attr:`job_id`, never by arrival order.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterable, Iterator, Sequence
+
+from ..sim.errors import ConfigurationError
+from .jobs import CampaignJob, JobResult, run_job
+
+__all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "create_executor"]
+
+
+class Executor(ABC):
+    """Execution backend interface."""
+
+    #: Worker-process count (1 for in-process backends); used for sizing hints.
+    workers: int = 1
+
+    @abstractmethod
+    def execute(self, jobs: Sequence[CampaignJob]) -> Iterator[JobResult]:
+        """Run ``jobs`` and yield each :class:`JobResult` as it completes."""
+
+
+class SerialExecutor(Executor):
+    """Run every job in-process, in order — the debuggable baseline."""
+
+    workers = 1
+
+    def execute(self, jobs: Sequence[CampaignJob]) -> Iterator[JobResult]:
+        for job in jobs:
+            yield run_job(job)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(Executor):
+    """Fan jobs out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Simulation runs are pure CPU-bound Python, so processes (not threads) are
+    the right unit.  ``max_in_flight`` bounds the number of submitted-but-
+    unfinished futures so million-job campaigns do not materialise their whole
+    frontier in memory at once.
+    """
+
+    def __init__(self, max_workers: int, max_in_flight: int | None = None) -> None:
+        if max_workers <= 0:
+            raise ConfigurationError("max_workers must be positive")
+        self.workers = max_workers
+        self.max_in_flight = max_in_flight or max(4 * max_workers, 16)
+
+    def execute(self, jobs: Sequence[CampaignJob]) -> Iterator[JobResult]:
+        if not jobs:
+            return
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            queue = iter(jobs)
+            in_flight = set()
+            for job in queue:
+                in_flight.add(pool.submit(run_job, job))
+                if len(in_flight) >= self.max_in_flight:
+                    break
+            while in_flight:
+                done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield future.result()
+                for job in queue:
+                    in_flight.add(pool.submit(run_job, job))
+                    if len(in_flight) >= self.max_in_flight:
+                        break
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelExecutor(max_workers={self.workers})"
+
+
+def create_executor(jobs: int | None = None) -> Executor:
+    """Build the executor for a ``--jobs N`` request.
+
+    ``jobs=1`` (or ``None``) is serial; ``jobs=0`` means "one worker per
+    CPU"; anything above 1 is a process pool of that size.
+    """
+    if jobs is None or jobs == 1:
+        return SerialExecutor()
+    if jobs == 0:
+        return ParallelExecutor(max_workers=os.cpu_count() or 1)
+    if jobs < 0:
+        raise ConfigurationError("--jobs cannot be negative")
+    return ParallelExecutor(max_workers=jobs)

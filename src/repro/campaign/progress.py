@@ -1,0 +1,106 @@
+"""Throttled progress and ETA reporting for campaigns.
+
+The reporter is deliberately tiny: it never touches the terminal beyond
+writing complete lines to the given stream (so output composes with pipes,
+CI logs and pytest capture), and it rate-limits itself so million-job
+campaigns do not drown their own output.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO
+
+__all__ = ["NullProgress", "ProgressReporter"]
+
+
+class NullProgress:
+    """The no-op reporter used when nobody is watching."""
+
+    def start(self, total: int, skipped: int = 0) -> None:
+        """Begin a campaign of ``total`` jobs (``skipped`` already done)."""
+
+    def advance(self, label: str = "") -> None:
+        """Record one completed job."""
+
+    def finish(self) -> None:
+        """The campaign is over."""
+
+
+class ProgressReporter(NullProgress):
+    """Print ``completed/total`` lines with a simple rate-based ETA.
+
+    A line is emitted at most every ``min_interval`` seconds (plus one final
+    summary), so the report cost stays constant no matter how many jobs the
+    campaign has.
+    """
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        min_interval: float = 1.0,
+        prefix: str = "campaign",
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.prefix = prefix
+        self._total = 0
+        self._skipped = 0
+        self._completed = 0
+        self._started_at = 0.0
+        self._last_report = 0.0
+
+    # ------------------------------------------------------------------
+    def start(self, total: int, skipped: int = 0) -> None:
+        self._total = total
+        self._skipped = skipped
+        self._completed = 0
+        self._started_at = time.monotonic()
+        self._last_report = 0.0
+        if skipped:
+            self._emit(
+                f"[{self.prefix}] resuming: {skipped}/{total} jobs already in the store"
+            )
+
+    def advance(self, label: str = "") -> None:
+        self._completed += 1
+        now = time.monotonic()
+        if now - self._last_report < self.min_interval:
+            return
+        self._last_report = now
+        self._emit(self._format_line(now, label))
+
+    def finish(self) -> None:
+        if not self._total:
+            return
+        elapsed = time.monotonic() - self._started_at
+        executed = self._completed
+        self._emit(
+            f"[{self.prefix}] done: {executed} jobs executed, "
+            f"{self._skipped} reused from store, {elapsed:.1f}s elapsed"
+        )
+
+    # ------------------------------------------------------------------
+    def _format_line(self, now: float, label: str) -> str:
+        done = self._skipped + self._completed
+        elapsed = now - self._started_at
+        remaining = self._total - done
+        if self._completed and remaining > 0:
+            eta = elapsed / self._completed * remaining
+            eta_text = f", eta {eta:.1f}s"
+        else:
+            eta_text = ""
+        percent = 100.0 * done / self._total if self._total else 100.0
+        suffix = f" ({label})" if label else ""
+        return (
+            f"[{self.prefix}] {done}/{self._total} jobs ({percent:.0f}%), "
+            f"{elapsed:.1f}s elapsed{eta_text}{suffix}"
+        )
+
+    def _emit(self, line: str) -> None:
+        try:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):  # closed stream; reporting is best-effort
+            pass

@@ -1,0 +1,135 @@
+"""JSON-lines artifact store for campaign results.
+
+One line per finished job, keyed by the job's content hash.  Append-only:
+re-running a job appends a fresh record and the *last* record for a job ID
+wins on load, so a crashed or interrupted campaign leaves a valid store
+behind — that is what makes campaigns resumable.  The format is deliberately
+plain (one JSON object per line, no framing) so stores can be inspected,
+concatenated, grepped and diffed with standard tools.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from ..sim.errors import ConfigurationError
+from .jobs import JobResult
+
+__all__ = ["ArtifactStore"]
+
+#: Bump when the record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class ArtifactStore:
+    """Persistent per-job results, keyed by content-hash job ID."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self._index: dict[str, JobResult] = {}
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self) -> dict[str, JobResult]:
+        """Read the store into memory (idempotent) and return the index."""
+        if self._loaded:
+            return self._index
+        self._index = {}
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A partially written trailing line (crash mid-append)
+                        # is expected; anything earlier is corruption.
+                        remaining = handle.read().strip()
+                        if remaining:
+                            raise ConfigurationError(
+                                f"{self.path}: corrupt record on line {line_number}"
+                            ) from None
+                        break
+                    self._apply(record, line_number)
+        self._loaded = True
+        return self._index
+
+    def _apply(self, record: Mapping[str, object], line_number: int) -> None:
+        schema = int(record.get("schema", SCHEMA_VERSION))
+        if schema > SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"{self.path}: line {line_number} uses schema {schema}, "
+                f"newer than this reader ({SCHEMA_VERSION})"
+            )
+        result = JobResult.from_dict(record)
+        self._index[result.job_id] = result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self.load()
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+    def get(self, job_id: str) -> JobResult | None:
+        return self.load().get(job_id)
+
+    def results(self) -> Iterator[JobResult]:
+        """Iterate over the stored results (last record per job ID)."""
+        return iter(self.load().values())
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def put(self, result: JobResult) -> None:
+        """Append ``result`` and update the in-memory index.
+
+        Each record is written with a single flushed ``write`` call so that
+        concurrent readers never observe a torn line and an interrupted
+        campaign loses at most the job that was being written.
+        """
+        self.load()
+        record = {"schema": SCHEMA_VERSION, **result.to_dict()}
+        # Sort only the top level: nested payloads keep their insertion order
+        # (it can be meaningful, e.g. table column order).
+        record = {key: record[key] for key in sorted(record)}
+        line = json.dumps(record) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._index[result.job_id] = result
+
+    def compact(self) -> int:
+        """Rewrite the store keeping only the winning record per job ID.
+
+        Returns the number of dropped (superseded) records.  Useful after
+        many interrupted/re-run campaigns have accumulated duplicates.
+        """
+        index = dict(self.load())
+        dropped = 0
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                total = sum(1 for line in handle if line.strip())
+            dropped = total - len(index)
+        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            for result in index.values():
+                record = {"schema": SCHEMA_VERSION, **result.to_dict()}
+                record = {key: record[key] for key in sorted(record)}
+                handle.write(json.dumps(record) + "\n")
+        tmp_path.replace(self.path)
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({str(self.path)!r}, entries={len(self.load())})"

@@ -19,6 +19,17 @@ Command                   Regenerates
 Every command accepts ``--runs`` and ``--scale`` where applicable so the
 fidelity/runtime trade-off is explicit (the paper averages 1,000 runs per
 configuration; the defaults here are sized for a laptop).
+
+Every experiment command also accepts the campaign-engine flags:
+
+* ``--jobs N`` — execute the campaign's jobs on ``N`` worker processes
+  (``1`` = serial, ``0`` = one worker per CPU).  Results are bit-identical
+  whatever ``N`` is;
+* ``--store PATH`` — persist per-job results to a JSON-lines artifact store;
+* ``--resume`` — with ``--store``, skip jobs whose results are already in
+  the store (resuming an interrupted campaign, or reusing results across
+  related experiments);
+* ``--quiet`` — suppress the progress/ETA lines written to stderr.
 """
 
 from __future__ import annotations
@@ -28,7 +39,12 @@ import sys
 from typing import Sequence
 
 from .analysis.reporting import format_key_values, format_table
+from .campaign.campaign import Campaign
+from .campaign.executor import create_executor
+from .campaign.progress import NullProgress, ProgressReporter
+from .campaign.store import ArtifactStore
 from .core.bounds import ContentionScenario
+from .sim.errors import SimulationError
 from .experiments.base_policy_sweep import run_base_policy_sweep
 from .experiments.figure1 import run_figure1
 from .experiments.hcba_sweep import run_hcba_sweep
@@ -39,7 +55,46 @@ from .experiments.table1 import run_table1
 from .workloads.eembc import FIGURE1_BENCHMARKS, available_benchmarks
 from .workloads.registry import available_workloads, workload_by_name
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "campaign_from_args"]
+
+
+def _campaign_flags() -> argparse.ArgumentParser:
+    """Shared parent parser holding the campaign-engine flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("campaign execution")
+    group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = serial, 0 = one per CPU; default: 1)",
+    )
+    group.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="JSON-lines artifact store for per-job results",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="skip jobs already present in --store",
+    )
+    group.add_argument(
+        "--quiet", action="store_true",
+        help="suppress campaign progress output on stderr",
+    )
+    return parent
+
+
+def campaign_from_args(args: argparse.Namespace) -> Campaign:
+    """Build the campaign engine a command was asked to run on."""
+    store = ArtifactStore(args.store) if args.store else None
+    progress = (
+        NullProgress()
+        if args.quiet
+        else ProgressReporter(stream=sys.stderr, prefix=args.command)
+    )
+    return Campaign(
+        executor=create_executor(args.jobs),
+        store=store,
+        resume=args.resume,
+        progress=progress,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,42 +104,62 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the DATE 2017 credit-based bus arbitration paper.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    campaign_flags = _campaign_flags()
 
-    illustrative = sub.add_parser("illustrative", help="Section II example")
+    illustrative = sub.add_parser(
+        "illustrative", help="Section II example", parents=[campaign_flags]
+    )
     illustrative.add_argument("--requests", type=int, default=1000)
     illustrative.add_argument("--isolation-cycles", type=int, default=10_000)
     illustrative.add_argument("--seed", type=int, default=2017)
 
-    table1 = sub.add_parser("table1", help="Table I signal behaviour")
+    table1 = sub.add_parser(
+        "table1", help="Table I signal behaviour", parents=[campaign_flags]
+    )
     table1.add_argument("--tua-requests", type=int, default=25)
     table1.add_argument("--rows", type=int, default=20, help="signal rows to print")
 
-    figure1 = sub.add_parser("figure1", help="Figure 1 slowdowns")
+    figure1 = sub.add_parser(
+        "figure1", help="Figure 1 slowdowns", parents=[campaign_flags]
+    )
     figure1.add_argument("--benchmarks", nargs="*", default=list(FIGURE1_BENCHMARKS),
                          choices=available_benchmarks())
     figure1.add_argument("--runs", type=int, default=3)
     figure1.add_argument("--scale", type=float, default=0.5)
     figure1.add_argument("--seed", type=int, default=2017)
 
-    sub.add_parser("overheads", help="Section IV-B implementation overheads")
+    sub.add_parser(
+        "overheads",
+        help="Section IV-B implementation overheads",
+        parents=[campaign_flags],
+    )
 
-    mbpta = sub.add_parser("mbpta", help="MBPTA campaign and pWCET curve")
+    mbpta = sub.add_parser(
+        "mbpta", help="MBPTA campaign and pWCET curve", parents=[campaign_flags]
+    )
     mbpta.add_argument("benchmark", nargs="?", default="canrdr", choices=available_benchmarks())
     mbpta.add_argument("--config", default="CBA", choices=["RP", "CBA", "H-CBA"])
     mbpta.add_argument("--runs", type=int, default=40)
     mbpta.add_argument("--scale", type=float, default=0.25)
     mbpta.add_argument("--seed", type=int, default=7)
 
-    hcba = sub.add_parser("hcba-sweep", help="H-CBA design-space ablation")
+    hcba = sub.add_parser(
+        "hcba-sweep", help="H-CBA design-space ablation", parents=[campaign_flags]
+    )
     hcba.add_argument("--fractions", type=float, nargs="*", default=[0.25, 0.5, 0.75])
     hcba.add_argument("--runs", type=int, default=2)
     hcba.add_argument("--scale", type=float, default=0.5)
 
-    policy = sub.add_parser("policy-sweep", help="CBA over different base policies")
+    policy = sub.add_parser(
+        "policy-sweep",
+        help="CBA over different base policies",
+        parents=[campaign_flags],
+    )
     policy.add_argument("--benchmark", default="matrix", choices=available_benchmarks())
     policy.add_argument("--runs", type=int, default=2)
     policy.add_argument("--scale", type=float, default=0.5)
 
+    # list-workloads prints static metadata — no campaign runs, no flags.
     workloads = sub.add_parser("list-workloads", help="list modelled workloads")
     workloads.add_argument("--verbose", action="store_true")
 
@@ -98,7 +173,9 @@ def _cmd_illustrative(args: argparse.Namespace) -> int:
     scenario = ContentionScenario(
         isolation_cycles=args.isolation_cycles, tua_requests=args.requests
     )
-    result = run_illustrative_example(scenario, seed=args.seed)
+    result = run_illustrative_example(
+        scenario, seed=args.seed, campaign=campaign_from_args(args)
+    )
     print(format_key_values(
         {
             "analytic request-fair slowdown": f"{result.analytic_request_fair_slowdown:.2f}x",
@@ -112,7 +189,9 @@ def _cmd_illustrative(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    result = run_table1(tua_requests=args.tua_requests)
+    result = run_table1(
+        tua_requests=args.tua_requests, campaign=campaign_from_args(args)
+    )
     rows = result.wcet_mode_rows[: args.rows]
     headers = list(rows[0].keys())
     print(format_table(headers, [[row[h] for h in headers] for row in rows]))
@@ -125,6 +204,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
     result = run_figure1(
         benchmarks=args.benchmarks, num_runs=args.runs,
         access_scale=args.scale, seed=args.seed,
+        campaign=campaign_from_args(args),
     )
     print(result.to_table())
     print()
@@ -141,7 +221,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 
 def _cmd_overheads(args: argparse.Namespace) -> int:
-    result = run_overheads()
+    result = run_overheads(campaign=campaign_from_args(args))
     print(format_key_values(result.summary(), title="Implementation overheads (Section IV-B)"))
     return 0 if result.claim_holds else 1
 
@@ -150,6 +230,7 @@ def _cmd_mbpta(args: argparse.Namespace) -> int:
     result = run_mbpta_experiment(
         benchmark=args.benchmark, configuration=args.config,
         num_runs=args.runs, access_scale=args.scale, seed=args.seed,
+        campaign=campaign_from_args(args),
     )
     print(format_key_values(result.summary(), title="MBPTA campaign"))
     print()
@@ -163,7 +244,8 @@ def _cmd_mbpta(args: argparse.Namespace) -> int:
 
 def _cmd_hcba_sweep(args: argparse.Namespace) -> int:
     result = run_hcba_sweep(
-        fractions=tuple(args.fractions), num_runs=args.runs, access_scale=args.scale
+        fractions=tuple(args.fractions), num_runs=args.runs,
+        access_scale=args.scale, campaign=campaign_from_args(args),
     )
     rows = [
         [p.label, p.favoured_fraction, p.tua_slowdown, p.tua_bandwidth_share]
@@ -177,7 +259,8 @@ def _cmd_hcba_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_policy_sweep(args: argparse.Namespace) -> int:
     result = run_base_policy_sweep(
-        benchmark=args.benchmark, num_runs=args.runs, access_scale=args.scale
+        benchmark=args.benchmark, num_runs=args.runs,
+        access_scale=args.scale, campaign=campaign_from_args(args),
     )
     rows = []
     for policy in result.policies():
@@ -229,9 +312,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "store", None):
+        parser.error("--resume requires --store PATH")
     handler = _COMMANDS[args.command]
     try:
         return handler(args)
+    except SimulationError as error:
+        # Bad flag values, corrupt stores, inconsistent configurations:
+        # user-facing problems, not crashes — report them like argparse does.
+        print(f"{parser.prog}: error: {error}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output was piped into a consumer that closed early (e.g. `head`);
         # this is not an error from the experiment's point of view.

@@ -21,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..campaign.campaign import Campaign, aggregate_by_label
+from ..campaign.jobs import seed_block_jobs
 from ..platform.presets import paper_bus_timings
-from ..platform.scenarios import run_isolation, run_max_contention
 from ..sim.config import CBAParameters, PlatformConfig
 from ..workloads.base import WorkloadSpec
 from ..workloads.eembc import eembc_workload
@@ -104,35 +105,52 @@ def run_base_policy_sweep(
     num_cores: int = 4,
     tua_core: int = 0,
     max_cycles: int = 5_000_000,
+    campaign: Campaign | None = None,
 ) -> BasePolicySweepResult:
-    """Measure every base policy with and without the CBA filter."""
+    """Measure every base policy with and without the CBA filter.
+
+    The full (policy x CBA x scenario) grid is expanded into campaign jobs
+    up front, so a parallel ``campaign`` executes the whole sweep
+    concurrently.  Note the baseline shares its jobs with the
+    ``random_permutations`` isolation point — the campaign deduplicates them
+    by content hash and runs them once.
+    """
+    campaign = campaign if campaign is not None else Campaign()
     if workload is None:
         workload = eembc_workload(benchmark)
     workload = scale_workload(workload, access_scale)
 
-    def average(scenario, config) -> float:
-        samples = [
-            scenario(
-                workload, config, seed=seed, run_index=run, tua_core=tua_core,
-                max_cycles=max_cycles,
-            ).tua_cycles
-            for run in range(num_runs)
-        ]
-        return sum(samples) / len(samples)
+    def block(label: str, scenario: str, config: PlatformConfig):
+        return seed_block_jobs(
+            label, scenario, seed=seed, num_runs=num_runs,
+            workload=workload, config=config, tua_core=tua_core,
+            max_cycles=max_cycles,
+        )
 
-    baseline = average(run_isolation, _config("random_permutations", False, num_cores))
-    result = BasePolicySweepResult(
-        workload_name=workload.name, baseline_isolation_cycles=baseline
+    jobs = block(
+        "baseline/iso", "isolation", _config("random_permutations", False, num_cores)
     )
     for policy in policies:
         for use_cba in (False, True):
             config = _config(policy, use_cba, num_cores)
+            tag = f"{policy}{'+CBA' if use_cba else ''}"
+            jobs += block(f"{tag}/iso", "isolation", config)
+            jobs += block(f"{tag}/con", "max_contention", config)
+    aggregated = aggregate_by_label(jobs, campaign.run(jobs))
+
+    result = BasePolicySweepResult(
+        workload_name=workload.name,
+        baseline_isolation_cycles=aggregated["baseline/iso"].mean,
+    )
+    for policy in policies:
+        for use_cba in (False, True):
+            tag = f"{policy}{'+CBA' if use_cba else ''}"
             result.points.append(
                 BasePolicyPoint(
                     policy=policy,
                     use_cba=use_cba,
-                    isolation_cycles=average(run_isolation, config),
-                    contention_cycles=average(run_max_contention, config),
+                    isolation_cycles=aggregated[f"{tag}/iso"].mean,
+                    contention_cycles=aggregated[f"{tag}/con"].mean,
                 )
             )
     return result

@@ -24,11 +24,12 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..analysis.reporting import format_figure1_table
+from ..campaign.campaign import Campaign, aggregate_by_label
+from ..campaign.jobs import seed_block_jobs
 from ..platform.presets import cba_config, hcba_config, rp_config
-from ..platform.scenarios import run_isolation, run_max_contention
 from ..sim.config import PlatformConfig
 from ..workloads.eembc import FIGURE1_BENCHMARKS, eembc_workload
-from .runner import RepeatedRuns, repeat_scenario, scale_workload
+from .runner import RepeatedRuns, runs_from_samples, scale_workload
 
 __all__ = ["Figure1Result", "run_figure1", "FIGURE1_CONFIGURATIONS"]
 
@@ -93,6 +94,7 @@ def run_figure1(
     num_cores: int = 4,
     tua_core: int = 0,
     max_cycles: int = 5_000_000,
+    campaign: Campaign | None = None,
 ) -> Figure1Result:
     """Regenerate the Figure 1 data.
 
@@ -106,25 +108,39 @@ def run_figure1(
         out randomisation noise.
     access_scale:
         Workload-length scaling factor (1.0 = paper-sized traces).
+    campaign:
+        Execution engine (parallel backend, artifact store, resume).  The
+        default runs every job serially in-process; results are identical
+        whichever executor dispatches the jobs.
     """
+    campaign = campaign if campaign is not None else Campaign()
     result = Figure1Result(num_runs=num_runs, access_scale=access_scale)
     configurations = _configurations(num_cores, tua_core)
+
+    jobs = []
     for benchmark in benchmarks:
         workload = scale_workload(eembc_workload(benchmark), access_scale)
+        for label, (config, kind) in configurations.items():
+            jobs.extend(
+                seed_block_jobs(
+                    f"{benchmark}/{label}",
+                    "isolation" if kind == "iso" else "max_contention",
+                    seed=seed,
+                    num_runs=num_runs,
+                    workload=workload,
+                    config=config,
+                    tua_core=tua_core,
+                    max_cycles=max_cycles,
+                )
+            )
+    aggregated = aggregate_by_label(jobs, campaign.run(jobs))
+
+    for benchmark in benchmarks:
         result.mean_cycles[benchmark] = {}
         result.runs[benchmark] = {}
-        for label, (config, kind) in configurations.items():
-            scenario = run_isolation if kind == "iso" else run_max_contention
-            runs = repeat_scenario(
-                scenario,
-                workload,
-                config,
-                num_runs=num_runs,
-                seed=seed,
-                label=f"{benchmark}/{label}",
-                tua_core=tua_core,
-                max_cycles=max_cycles,
-            )
+        for label in configurations:
+            agg = aggregated[f"{benchmark}/{label}"]
+            runs = runs_from_samples(f"{benchmark}/{label}", agg.samples)
             result.mean_cycles[benchmark][label] = runs.mean_cycles
             result.runs[benchmark][label] = runs
         baseline = result.mean_cycles[benchmark]["RP-ISO"]

@@ -22,13 +22,14 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
 
+from ..campaign.campaign import AggregatedRuns, Campaign, aggregate_by_label
+from ..campaign.jobs import seed_block_jobs
 from ..core.hcba import budget_cap_parameters
 from ..platform.presets import cba_config, hcba_config, paper_bus_timings, rp_config
-from ..platform.scenarios import run_isolation, run_max_contention
 from ..sim.config import PlatformConfig
 from ..workloads.base import WorkloadSpec
 from ..workloads.synthetic import short_request_workload
-from .runner import repeat_scenario, scale_workload
+from .runner import scale_workload
 
 __all__ = ["HCBASweepPoint", "HCBASweepResult", "run_hcba_sweep"]
 
@@ -72,38 +73,18 @@ class HCBASweepResult:
         return [point.label for point in self.points]
 
 
-def _contention_point(
-    label: str,
-    favoured_fraction: float,
-    workload: WorkloadSpec,
-    config: PlatformConfig,
-    baseline_isolation: float,
-    num_runs: int,
-    seed: int,
-    tua_core: int,
-    max_cycles: int,
+def _point_from_aggregate(
+    agg: AggregatedRuns, favoured_fraction: float, baseline_isolation: float
 ) -> HCBASweepPoint:
-    runs = []
-    contender_requests = []
-    shares = []
-    for run_index in range(num_runs):
-        result = run_max_contention(
-            workload, config, seed=seed, run_index=run_index, tua_core=tua_core,
-            max_cycles=max_cycles,
-        )
-        runs.append(float(result.tua_cycles))
-        contenders = result.system.extra.get("contender_requests", {})
-        total = sum(int(v) for v in contenders.values())
-        contender_requests.append(total)
-        shares.append(result.system.bandwidth_shares[tua_core])
-    mean_cycles = sum(runs) / len(runs)
+    """Fold one label's campaign results into a sweep point."""
+    mean_cycles = agg.mean
     return HCBASweepPoint(
-        label=label,
+        label=agg.label,
         favoured_fraction=favoured_fraction,
         tua_slowdown=mean_cycles / baseline_isolation,
         tua_mean_cycles=mean_cycles,
-        contender_completed_requests=sum(contender_requests) / len(contender_requests),
-        tua_bandwidth_share=sum(shares) / len(shares),
+        contender_completed_requests=agg.metric_mean("contender_requests"),
+        tua_bandwidth_share=agg.metric_mean("tua_bandwidth_share"),
     )
 
 
@@ -117,46 +98,43 @@ def run_hcba_sweep(
     num_cores: int = 4,
     tua_core: int = 0,
     max_cycles: int = 5_000_000,
+    campaign: Campaign | None = None,
 ) -> HCBASweepResult:
-    """Sweep H-CBA variants and compare them against RP and homogeneous CBA."""
+    """Sweep H-CBA variants and compare them against RP and homogeneous CBA.
+
+    Every sweep point (and the isolation baseline) is a block of campaign
+    jobs, so the whole design-space exploration parallelises and resumes
+    through the configured ``campaign``.
+    """
+    campaign = campaign if campaign is not None else Campaign()
     workload = workload or short_request_workload()
     workload = scale_workload(workload, access_scale)
 
     rp = rp_config(num_cores)
-    baseline = repeat_scenario(
-        run_isolation, workload, rp, num_runs=num_runs, seed=seed,
-        label="baseline-iso", tua_core=tua_core, max_cycles=max_cycles,
-    )
-    result = HCBASweepResult(baseline_isolation_cycles=baseline.mean_cycles)
 
-    # Reference points: plain RP and homogeneous CBA.
-    result.points.append(
-        _contention_point(
-            "RP", 1.0 / num_cores, workload, rp, baseline.mean_cycles,
-            num_runs, seed, tua_core, max_cycles,
+    def block(label: str, scenario: str, config: PlatformConfig):
+        return seed_block_jobs(
+            label, scenario, seed=seed, num_runs=num_runs,
+            workload=workload, config=config, tua_core=tua_core,
+            max_cycles=max_cycles,
         )
-    )
-    result.points.append(
-        _contention_point(
-            "CBA", 1.0 / num_cores, workload, cba_config(num_cores),
-            baseline.mean_cycles, num_runs, seed, tua_core, max_cycles,
-        )
-    )
 
-    # Replenishment-share variants.
+    # (label, favoured fraction, config) for every contention point.
+    points: list[tuple[str, float, PlatformConfig]] = [
+        ("RP", 1.0 / num_cores, rp),
+        ("CBA", 1.0 / num_cores, cba_config(num_cores)),
+    ]
     for fraction in fractions:
-        config = hcba_config(
-            num_cores, favoured_core=tua_core,
-            favoured_fraction=Fraction(fraction).limit_denominator(100),
-        )
-        result.points.append(
-            _contention_point(
-                f"H-CBA-shares-{fraction:.2f}", float(fraction), workload, config,
-                baseline.mean_cycles, num_runs, seed, tua_core, max_cycles,
+        points.append(
+            (
+                f"H-CBA-shares-{fraction:.2f}",
+                float(fraction),
+                hcba_config(
+                    num_cores, favoured_core=tua_core,
+                    favoured_fraction=Fraction(fraction).limit_denominator(100),
+                ),
             )
         )
-
-    # Budget-cap variants.
     timings = paper_bus_timings()
     for multiplier in cap_multipliers:
         params = budget_cap_parameters(
@@ -165,17 +143,29 @@ def run_hcba_sweep(
             favoured_core=tua_core,
             cap_multiplier=multiplier,
         )
-        config = PlatformConfig(
-            num_cores=num_cores,
-            arbitration="random_permutations",
-            use_cba=True,
-            cba=params,
-            bus_timings=timings,
-        )
-        result.points.append(
-            _contention_point(
-                f"H-CBA-cap-x{multiplier}", 1.0 / num_cores, workload, config,
-                baseline.mean_cycles, num_runs, seed, tua_core, max_cycles,
+        points.append(
+            (
+                f"H-CBA-cap-x{multiplier}",
+                1.0 / num_cores,
+                PlatformConfig(
+                    num_cores=num_cores,
+                    arbitration="random_permutations",
+                    use_cba=True,
+                    cba=params,
+                    bus_timings=timings,
+                ),
             )
+        )
+
+    jobs = block("baseline-iso", "isolation", rp)
+    for label, _, config in points:
+        jobs += block(label, "max_contention", config)
+    aggregated = aggregate_by_label(jobs, campaign.run(jobs))
+
+    baseline_cycles = aggregated["baseline-iso"].mean
+    result = HCBASweepResult(baseline_isolation_cycles=baseline_cycles)
+    for label, fraction, _ in points:
+        result.points.append(
+            _point_from_aggregate(aggregated[label], fraction, baseline_cycles)
         )
     return result

@@ -27,6 +27,8 @@ from ..arbiters.base import Arbiter
 from ..arbiters.registry import create_arbiter
 from ..bus.bus import SharedBus
 from ..bus.transaction import AccessType, BusRequest
+from ..campaign.campaign import Campaign, aggregate_by_label
+from ..campaign.jobs import CampaignJob, RunOutcome
 from ..core.bounds import (
     ContentionScenario,
     cycle_fair_execution_time,
@@ -38,7 +40,7 @@ from ..sim.component import Component
 from ..sim.config import CBAParameters
 from ..sim.kernel import Kernel
 
-__all__ = ["IllustrativeResult", "run_illustrative_example"]
+__all__ = ["IllustrativeResult", "campaign_runner", "run_illustrative_example"]
 
 
 class _FixedDurationSlave:
@@ -245,27 +247,92 @@ def _simulate(
     return int(tua.finish_cycle or 0)
 
 
+def campaign_runner(job: CampaignJob, run_index: int) -> RunOutcome:
+    """Campaign scenario runner: one simulated variant of the Section II example.
+
+    Job options carry the :class:`ContentionScenario` parameters plus the
+    variant switches (``use_cba``, ``with_contenders``, ``base_policy``).
+    ``run_index`` offsets the seed so repeated runs are independent.
+    """
+    options = job.options_dict
+    scenario = ContentionScenario(
+        isolation_cycles=int(options["isolation_cycles"]),
+        tua_requests=int(options["tua_requests"]),
+        tua_request_cycles=int(options["tua_request_cycles"]),
+        contender_request_cycles=int(options["contender_request_cycles"]),
+        num_cores=int(options["num_cores"]),
+    )
+    cycles = _simulate(
+        scenario,
+        use_cba=bool(options["use_cba"]),
+        with_contenders=bool(options["with_contenders"]),
+        base_policy=str(options["base_policy"]),
+        seed=job.seed + run_index,
+        max_cycles=job.max_cycles,
+    )
+    return RunOutcome(value=float(cycles))
+
+
+def _variant_job(
+    label: str,
+    scenario: ContentionScenario,
+    base_policy: str,
+    seed: int,
+    use_cba: bool,
+    with_contenders: bool,
+) -> CampaignJob:
+    options = {
+        "isolation_cycles": scenario.isolation_cycles,
+        "tua_requests": scenario.tua_requests,
+        "tua_request_cycles": scenario.tua_request_cycles,
+        "contender_request_cycles": scenario.contender_request_cycles,
+        "num_cores": scenario.num_cores,
+        "use_cba": use_cba,
+        "with_contenders": with_contenders,
+        "base_policy": base_policy,
+    }
+    return CampaignJob(
+        label=label,
+        scenario="illustrative",
+        seed=seed,
+        options=tuple(options.items()),
+        max_cycles=2_000_000,
+    )
+
+
 def run_illustrative_example(
     scenario: ContentionScenario | None = None,
     base_policy: str = "random_permutations",
     seed: int = 1,
+    campaign: Campaign | None = None,
 ) -> IllustrativeResult:
     """Reproduce the Section II example analytically and by simulation.
 
     ``base_policy`` is the slot-fair policy used both as the request-fair
     baseline and as the policy CBA wraps (the paper's FPGA integrates CBA
-    with random permutations).
+    with random permutations).  The three simulated variants (isolation,
+    request-fair contention, cycle-fair contention) run as campaign jobs.
     """
     scenario = scenario or ContentionScenario()
-    simulated_isolation = _simulate(
-        scenario, use_cba=False, with_contenders=False, base_policy=base_policy, seed=seed
-    )
-    simulated_request_fair = _simulate(
-        scenario, use_cba=False, with_contenders=True, base_policy=base_policy, seed=seed
-    )
-    simulated_cycle_fair = _simulate(
-        scenario, use_cba=True, with_contenders=True, base_policy=base_policy, seed=seed
-    )
+    campaign = campaign if campaign is not None else Campaign()
+    jobs = [
+        _variant_job(
+            "isolation", scenario, base_policy, seed,
+            use_cba=False, with_contenders=False,
+        ),
+        _variant_job(
+            "request-fair", scenario, base_policy, seed,
+            use_cba=False, with_contenders=True,
+        ),
+        _variant_job(
+            "cycle-fair", scenario, base_policy, seed,
+            use_cba=True, with_contenders=True,
+        ),
+    ]
+    aggregated = aggregate_by_label(jobs, campaign.run(jobs))
+    simulated_isolation = int(aggregated["isolation"].samples[0])
+    simulated_request_fair = int(aggregated["request-fair"].samples[0])
+    simulated_cycle_fair = int(aggregated["cycle-fair"].samples[0])
     return IllustrativeResult(
         scenario=scenario,
         analytic_isolation_cycles=scenario.isolation_cycles,

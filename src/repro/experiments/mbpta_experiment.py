@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..campaign.campaign import Campaign, aggregate_by_label
+from ..campaign.jobs import seed_block_jobs
 from ..mbpta.protocol import MBPTAResult, mbpta_from_samples
 from ..platform.presets import config_by_label
-from ..platform.scenarios import run_max_contention, run_wcet_estimation
 from ..workloads.eembc import eembc_workload
 from .runner import scale_workload
 
@@ -79,40 +80,48 @@ def run_mbpta_experiment(
     reference_exceedance: float = 1e-12,
     tua_core: int = 0,
     max_cycles: int = 5_000_000,
+    campaign: Campaign | None = None,
 ) -> MBPTAExperimentResult:
-    """Run the MBPTA campaign for ``benchmark`` on ``configuration``."""
+    """Run the MBPTA campaign for ``benchmark`` on ``configuration``.
+
+    Both measurement blocks — the analysis-time (WCET-estimation) runs and
+    the operation-mode (maximum-contention) cross-check runs — are expressed
+    as campaign jobs, so a ``campaign`` with a parallel executor collects
+    them concurrently and an artifact store makes large campaigns resumable.
+    """
+    campaign = campaign if campaign is not None else Campaign()
     config = config_by_label(configuration, tua_core=tua_core)
     workload = scale_workload(eembc_workload(benchmark), access_scale)
 
-    analysis_samples = []
-    for run_index in range(num_runs):
-        result = run_wcet_estimation(
-            workload,
-            config,
-            seed=seed,
-            run_index=run_index,
-            tua_core=tua_core,
-            max_cycles=max_cycles,
-        )
-        analysis_samples.append(float(result.tua_cycles))
+    prefix = f"{benchmark}/{configuration}"
+    jobs = seed_block_jobs(
+        f"{prefix}/analysis",
+        "wcet_estimation",
+        seed=seed,
+        num_runs=num_runs,
+        workload=workload,
+        config=config,
+        tua_core=tua_core,
+        max_cycles=max_cycles,
+    )
+    jobs += seed_block_jobs(
+        f"{prefix}/operation",
+        "max_contention",
+        seed=seed + 1,
+        num_runs=operation_runs,
+        workload=workload,
+        config=config,
+        tua_core=tua_core,
+        max_cycles=max_cycles,
+    )
+    aggregated = aggregate_by_label(jobs, campaign.run(jobs))
 
     mbpta = mbpta_from_samples(
-        analysis_samples,
+        list(aggregated[f"{prefix}/analysis"].samples),
         block_size=block_size,
         metadata={"benchmark": benchmark, "configuration": configuration},
     )
-
-    operation_samples = []
-    for run_index in range(operation_runs):
-        result = run_max_contention(
-            workload,
-            config,
-            seed=seed + 1,
-            run_index=run_index,
-            tua_core=tua_core,
-            max_cycles=max_cycles,
-        )
-        operation_samples.append(float(result.tua_cycles))
+    operation_samples = aggregated[f"{prefix}/operation"].samples
 
     return MBPTAExperimentResult(
         benchmark=benchmark,

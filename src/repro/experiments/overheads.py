@@ -13,9 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..campaign.campaign import Campaign, aggregate_by_label
+from ..campaign.jobs import CampaignJob, RunOutcome
 from ..hw.rtl_cost import arbiter_cost, cba_addon_cost, overhead_report, platform_cost
 
-__all__ = ["OverheadResult", "run_overheads"]
+__all__ = ["OverheadResult", "campaign_runner", "run_overheads"]
 
 
 @dataclass(frozen=True)
@@ -44,12 +46,58 @@ class OverheadResult:
         }
 
 
+def campaign_runner(job: CampaignJob, run_index: int) -> RunOutcome:
+    """Campaign scenario runner: the structural overhead comparison.
+
+    Deterministic and cheap; the full summary is the payload so resumed
+    campaigns rebuild :class:`OverheadResult` straight from the store.
+    """
+    result = _run_overheads_direct(**job.options_dict)  # type: ignore[arg-type]
+    return RunOutcome(value=float(result.cba_addon_aluts), payload=result.summary())
+
+
+def _result_from_payload(payload: dict) -> OverheadResult:
+    return OverheadResult(
+        base_policy=str(payload["base_policy"]),
+        base_arbiter_aluts=int(payload["base_arbiter_aluts"]),
+        cba_addon_aluts=int(payload["cba_addon_aluts"]),
+        platform_aluts=int(payload["platform_aluts"]),
+        addon_vs_arbiter=float(payload["addon_vs_arbiter"]),
+        addon_vs_platform_percent=float(payload["addon_vs_platform_percent"]),
+        paper_claim_percent_upper_bound=float(
+            payload["paper_claim_percent_upper_bound"]
+        ),
+        claim_holds=bool(payload["claim_holds"]),
+    )
+
+
 def run_overheads(
     base_policy: str = "random_permutations",
     num_masters: int = 4,
     max_latency: int = 56,
+    campaign: Campaign | None = None,
 ) -> OverheadResult:
     """Produce the Section IV-B overhead comparison."""
+    campaign = campaign if campaign is not None else Campaign()
+    job = CampaignJob(
+        label="overheads",
+        scenario="overheads",
+        options=(
+            ("base_policy", base_policy),
+            ("num_masters", num_masters),
+            ("max_latency", max_latency),
+        ),
+    )
+    aggregated = aggregate_by_label([job], campaign.run([job]))
+    return _result_from_payload(aggregated["overheads"].payloads[0])
+
+
+def _run_overheads_direct(
+    base_policy: str = "random_permutations",
+    num_masters: int = 4,
+    max_latency: int = 56,
+) -> OverheadResult:
+    """The in-process computation (called by the campaign runner)."""
     report = overhead_report(base_policy, num_masters, max_latency)
     base = arbiter_cost(base_policy, num_masters, max_latency)
     addon = cba_addon_cost(num_masters, max_latency)

@@ -8,14 +8,14 @@ stay declarative.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..analysis.metrics import MeanWithConfidence, mean_with_confidence
 from ..platform.scenarios import ScenarioResult
 from ..sim.config import PlatformConfig
 from ..workloads.base import WorkloadSpec
 
-__all__ = ["RepeatedRuns", "repeat_scenario", "scale_workload"]
+__all__ = ["RepeatedRuns", "repeat_scenario", "runs_from_samples", "scale_workload"]
 
 ScenarioRunner = Callable[..., ScenarioResult]
 
@@ -70,6 +70,16 @@ def repeat_scenario(
         samples=tuple(samples),
         stats=mean_with_confidence(samples),
     )
+
+
+def runs_from_samples(label: str, samples: Sequence[float]) -> RepeatedRuns:
+    """Build a :class:`RepeatedRuns` record from already-collected samples.
+
+    Used by the campaign-backed experiments, whose samples come back from the
+    executor/store instead of an in-process loop.
+    """
+    values = tuple(float(x) for x in samples)
+    return RepeatedRuns(label=label, samples=values, stats=mean_with_confidence(values))
 
 
 def scale_workload(workload: WorkloadSpec, access_scale: float) -> WorkloadSpec:

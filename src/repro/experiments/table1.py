@@ -21,10 +21,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..campaign.campaign import Campaign, aggregate_by_label
+from ..campaign.jobs import CampaignJob, RunOutcome
 from ..core.signals import ArbiterSignalModel, SignalSnapshot
 from ..core.wcet_mode import OperatingMode
 
-__all__ = ["Table1Result", "run_table1", "verify_budget_rule", "verify_comp_rule"]
+__all__ = [
+    "Table1Result",
+    "campaign_runner",
+    "run_table1",
+    "verify_budget_rule",
+    "verify_comp_rule",
+]
 
 
 def verify_budget_rule(
@@ -92,14 +100,70 @@ class Table1Result:
         }
 
 
+def campaign_runner(job: CampaignJob, run_index: int) -> RunOutcome:
+    """Campaign scenario runner: the full Table I check as one job.
+
+    The signal model is deterministic, so the job carries its parameters in
+    ``options`` and the complete result rides along as the JSON payload —
+    a resumed campaign reconstructs :class:`Table1Result` without re-driving
+    the model.
+    """
+    result = _run_table1_direct(**job.options_dict)  # type: ignore[arg-type]
+    payload = {
+        "wcet_mode_rows": result.wcet_mode_rows,
+        "operation_mode_rows": result.operation_mode_rows,
+        "budget_rule_violations": result.budget_rule_violations,
+        "comp_rule_violations": result.comp_rule_violations,
+        "tua_execution_cycles_wcet_mode": result.tua_execution_cycles_wcet_mode,
+    }
+    return RunOutcome(
+        value=float(result.tua_execution_cycles_wcet_mode), payload=payload
+    )
+
+
+def _result_from_payload(payload: dict) -> Table1Result:
+    return Table1Result(
+        wcet_mode_rows=[dict(row) for row in payload["wcet_mode_rows"]],
+        operation_mode_rows=[dict(row) for row in payload["operation_mode_rows"]],
+        budget_rule_violations=[str(v) for v in payload["budget_rule_violations"]],
+        comp_rule_violations=[str(v) for v in payload["comp_rule_violations"]],
+        tua_execution_cycles_wcet_mode=int(payload["tua_execution_cycles_wcet_mode"]),
+    )
+
+
 def run_table1(
     num_cores: int = 4,
     max_latency: int = 56,
     tua_requests: int = 20,
     tua_request_duration: int = 6,
     tua_gap_cycles: int = 4,
+    campaign: Campaign | None = None,
 ) -> Table1Result:
     """Drive the signal model in both modes and check the Table I rules."""
+    campaign = campaign if campaign is not None else Campaign()
+    job = CampaignJob(
+        label="table1",
+        scenario="table1",
+        options=(
+            ("num_cores", num_cores),
+            ("max_latency", max_latency),
+            ("tua_requests", tua_requests),
+            ("tua_request_duration", tua_request_duration),
+            ("tua_gap_cycles", tua_gap_cycles),
+        ),
+    )
+    aggregated = aggregate_by_label([job], campaign.run([job]))
+    return _result_from_payload(aggregated["table1"].payloads[0])
+
+
+def _run_table1_direct(
+    num_cores: int = 4,
+    max_latency: int = 56,
+    tua_requests: int = 20,
+    tua_request_duration: int = 6,
+    tua_gap_cycles: int = 4,
+) -> Table1Result:
+    """The in-process Table I computation (called by the campaign runner)."""
     wcet_model = ArbiterSignalModel(
         num_cores=num_cores,
         max_latency=max_latency,

@@ -48,6 +48,10 @@ class ScenarioResult:
     tua_core: int
     tua_cycles: int
     system: SystemResult
+    #: True when the simulation stopped at the cycle budget before the tasks
+    #: completed.  ``tua_cycles`` is then meaningless (0 if the task under
+    #: analysis never finished) and must not enter execution-time statistics.
+    truncated: bool = False
 
 
 def _build_system(
@@ -63,6 +67,7 @@ def run_isolation(
     run_index: int = 0,
     tua_core: int = 0,
     max_cycles: int = 5_000_000,
+    allow_truncation: bool = False,
 ) -> ScenarioResult:
     """Run ``workload`` alone on the platform (the ``*-ISO`` bars of Figure 1).
 
@@ -72,12 +77,13 @@ def run_isolation(
     """
     system = _build_system(config, seed, run_index, label=f"{config.arbitration}-iso")
     system.add_task(tua_core, workload)
-    result = system.run(max_cycles=max_cycles)
+    result = system.run(max_cycles=max_cycles, allow_truncation=allow_truncation)
     return ScenarioResult(
         scenario=Scenario.ISOLATION,
         tua_core=tua_core,
         tua_cycles=result.execution_cycles(tua_core),
         system=result,
+        truncated=result.truncated,
     )
 
 
@@ -88,6 +94,7 @@ def run_max_contention(
     run_index: int = 0,
     tua_core: int = 0,
     max_cycles: int = 5_000_000,
+    allow_truncation: bool = False,
 ) -> ScenarioResult:
     """Run ``workload`` against greedy maximum-length contenders (``*-CON``)."""
     system = _build_system(config, seed, run_index, label=f"{config.arbitration}-con")
@@ -95,12 +102,13 @@ def run_max_contention(
     for core in range(config.num_cores):
         if core != tua_core:
             system.add_greedy_contender(core)
-    result = system.run(max_cycles=max_cycles)
+    result = system.run(max_cycles=max_cycles, allow_truncation=allow_truncation)
     return ScenarioResult(
         scenario=Scenario.MAX_CONTENTION,
         tua_core=tua_core,
         tua_cycles=result.execution_cycles(tua_core),
         system=result,
+        truncated=result.truncated,
     )
 
 
@@ -111,6 +119,7 @@ def run_wcet_estimation(
     run_index: int = 0,
     tua_core: int = 0,
     max_cycles: int = 5_000_000,
+    allow_truncation: bool = False,
 ) -> ScenarioResult:
     """Run the analysis-time scenario of Section III-B / Table I.
 
@@ -125,12 +134,13 @@ def run_wcet_estimation(
         if core != tua_core:
             system.add_wcet_contender(core, tua_core=tua_core)
     system.set_tua_initial_budget(tua_core, 0)
-    result = system.run(max_cycles=max_cycles)
+    result = system.run(max_cycles=max_cycles, allow_truncation=allow_truncation)
     return ScenarioResult(
         scenario=Scenario.WCET_ESTIMATION,
         tua_core=tua_core,
         tua_cycles=result.execution_cycles(tua_core),
         system=result,
+        truncated=result.truncated,
     )
 
 
@@ -141,16 +151,18 @@ def run_multiprogram(
     run_index: int = 0,
     tua_core: int = 0,
     max_cycles: int = 10_000_000,
+    allow_truncation: bool = False,
 ) -> ScenarioResult:
     """Consolidate several real tasks (one per core) and run them together."""
     system = _build_system(config, seed, run_index, label=f"{config.arbitration}-multi")
     for core_id, workload in workloads.items():
         system.add_task(core_id, workload)
-    result = system.run(max_cycles=max_cycles)
+    result = system.run(max_cycles=max_cycles, allow_truncation=allow_truncation)
     tua_cycles = result.execution_cycles(tua_core) if tua_core in workloads else 0
     return ScenarioResult(
         scenario=Scenario.MULTIPROGRAM,
         tua_core=tua_core,
         tua_cycles=tua_cycles,
         system=result,
+        truncated=result.truncated,
     )

@@ -48,6 +48,11 @@ class SystemResult:
     cba_blocked_cycles: int = 0
     l1_miss_rates: dict[int, float] = field(default_factory=dict)
     l2_miss_rate: float = 0.0
+    #: True when the run stopped at the cycle budget before every task
+    #: finished — the per-core execution counters then describe an
+    #: incomplete run (0 for tasks that never finished) and must not be
+    #: used as execution-time measurements.
+    truncated: bool = False
     extra: dict[str, object] = field(default_factory=dict)
 
     def execution_cycles(self, core_id: int) -> int:
@@ -224,11 +229,20 @@ class MulticoreSystem:
     def _all_tasks_finished(self) -> bool:
         return all(core.finished for core in self.cores.values())
 
-    def run(self, max_cycles: int = 5_000_000) -> SystemResult:
-        """Run until every task finishes (or ``max_cycles``) and summarise."""
+    def run(
+        self, max_cycles: int = 5_000_000, allow_truncation: bool = False
+    ) -> SystemResult:
+        """Run until every task finishes (or ``max_cycles``) and summarise.
+
+        By default hitting the cycle budget before every task finished is an
+        error (a truncated run's execution times are meaningless for the
+        paper's statistics).  Campaign-style callers that prefer to record the
+        truncation and keep going pass ``allow_truncation=True`` and check
+        :attr:`SystemResult.truncated`.
+        """
         self.finalize()
         self.kernel.run(max_cycles=max_cycles)
-        if not self._all_tasks_finished():
+        if self.kernel.truncated and not allow_truncation:
             raise ConfigurationError(
                 f"simulation hit the {max_cycles}-cycle limit before all tasks finished; "
                 "increase max_cycles or shrink the workload"
@@ -252,6 +266,7 @@ class MulticoreSystem:
             cba_blocked_cycles=self.cba.blocked_cycles if self.cba else 0,
             l1_miss_rates=l1_miss_rates,
             l2_miss_rate=self.l2.miss_rate(),
+            truncated=self.kernel.truncated,
             extra={
                 "arbitration": self.config.arbitration,
                 "use_cba": self.config.use_cba,

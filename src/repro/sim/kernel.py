@@ -45,6 +45,7 @@ class Kernel:
         self._stop_conditions: list[Callable[[], bool]] = []
         self._running = False
         self.finished = False
+        self.stop_condition_fired = False
 
     # ------------------------------------------------------------------
     # Registration
@@ -110,22 +111,36 @@ class Kernel:
     def run(self, max_cycles: int = 1_000_000) -> int:
         """Run until a stop condition fires or ``max_cycles`` is reached.
 
-        Returns the number of cycles executed by this call.
+        Returns the number of cycles executed by this call.  Whether the run
+        ended because a stop condition fired (as opposed to exhausting the
+        ``max_cycles`` budget) is recorded in :attr:`stop_condition_fired`;
+        :attr:`truncated` is the complementary view.
         """
         if self.finished:
             raise SchedulingError("cannot run a kernel that has already finished")
         start = self.clock.cycle
         while self.clock.cycle - start < max_cycles:
             if self._should_stop():
+                self.stop_condition_fired = True
                 break
             self.step()
+        else:
+            # The loop ran out of cycle budget; a stop condition may still
+            # hold at the boundary (e.g. the last step finished the work).
+            self.stop_condition_fired = self._should_stop()
         self.finished = True
         return self.clock.cycle - start
+
+    @property
+    def truncated(self) -> bool:
+        """True when the run stopped at the cycle budget without completing."""
+        return self.finished and not self.stop_condition_fired
 
     def reset(self) -> None:
         """Reset the clock and every component to its power-on state."""
         self.clock.reset()
         self.finished = False
+        self.stop_condition_fired = False
         for component in self._components:
             component.reset()
 

@@ -1,0 +1,75 @@
+"""CLI smoke tests for the campaign flags (--jobs / --store / --resume)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+FIGURE1_ARGS = [
+    "figure1", "--benchmarks", "canrdr", "--runs", "1", "--scale", "0.05",
+    "--quiet",
+]
+
+
+def _store_lines(path) -> int:
+    return sum(1 for line in path.read_text().splitlines() if line.strip())
+
+
+def test_figure1_jobs_flag_produces_identical_output(capsys):
+    assert main([*FIGURE1_ARGS, "--jobs", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    assert main([*FIGURE1_ARGS, "--jobs", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    assert parallel_out == serial_out
+    assert "Figure 1 headline numbers" in serial_out
+
+
+def test_figure1_resume_skips_finished_jobs(tmp_path, capsys):
+    store = tmp_path / "figure1.jsonl"
+    args = [*FIGURE1_ARGS, "--store", str(store)]
+
+    assert main(args) == 0
+    first_out = capsys.readouterr().out
+    lines_after_first = _store_lines(store)
+    assert lines_after_first > 0
+
+    # Second invocation resumes: same output, nothing re-run, nothing appended.
+    assert main([*args, "--resume"]) == 0
+    second_out = capsys.readouterr().out
+    assert second_out == first_out
+    assert _store_lines(store) == lines_after_first
+
+
+def test_mbpta_store_and_resume_roundtrip(tmp_path, capsys):
+    store = tmp_path / "mbpta.jsonl"
+    args = [
+        "mbpta", "canrdr", "--runs", "20", "--scale", "0.05", "--quiet",
+        "--store", str(store),
+    ]
+    assert main(args) == 0
+    first_out = capsys.readouterr().out
+    lines = _store_lines(store)
+
+    assert main([*args, "--resume"]) == 0
+    assert capsys.readouterr().out == first_out
+    assert _store_lines(store) == lines
+
+
+def test_table1_runs_through_the_campaign_engine(tmp_path, capsys):
+    store = tmp_path / "table1.jsonl"
+    args = ["table1", "--tua-requests", "5", "--rows", "3", "--quiet",
+            "--store", str(store)]
+    assert main(args) == 0
+    first_out = capsys.readouterr().out
+
+    # Resume rebuilds the full table from the stored payload alone.
+    assert main([*args, "--resume"]) == 0
+    assert capsys.readouterr().out == first_out
+
+
+def test_resume_without_store_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([*FIGURE1_ARGS, "--resume"])
+    assert excinfo.value.code == 2
+    assert "--resume requires --store" in capsys.readouterr().err

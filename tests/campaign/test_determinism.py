@@ -1,0 +1,37 @@
+"""Acceptance criterion: parallel campaigns reproduce serial results exactly."""
+
+from __future__ import annotations
+
+from repro.campaign.campaign import Campaign
+from repro.campaign.executor import ParallelExecutor
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.mbpta_experiment import run_mbpta_experiment
+
+FIGURE1_KWARGS = dict(benchmarks=["canrdr"], num_runs=2, access_scale=0.05, seed=2017)
+
+
+def test_figure1_parallel_matches_serial_exactly():
+    """`--jobs 4` must produce results identical to `--jobs 1`."""
+    serial = run_figure1(campaign=Campaign(), **FIGURE1_KWARGS)
+    parallel = run_figure1(
+        campaign=Campaign(executor=ParallelExecutor(max_workers=4)),
+        **FIGURE1_KWARGS,
+    )
+    assert parallel.mean_cycles == serial.mean_cycles
+    assert parallel.slowdowns == serial.slowdowns
+    for benchmark, runs in serial.runs.items():
+        for label, record in runs.items():
+            assert parallel.runs[benchmark][label].samples == record.samples
+
+
+def test_mbpta_parallel_matches_serial_exactly():
+    kwargs = dict(
+        benchmark="canrdr", num_runs=20, operation_runs=2, access_scale=0.05, seed=7
+    )
+    serial = run_mbpta_experiment(campaign=Campaign(), **kwargs)
+    parallel = run_mbpta_experiment(
+        campaign=Campaign(executor=ParallelExecutor(max_workers=3)), **kwargs
+    )
+    assert parallel.mbpta.samples == serial.mbpta.samples
+    assert parallel.operation_samples == serial.operation_samples
+    assert parallel.pwcet_bound == serial.pwcet_bound

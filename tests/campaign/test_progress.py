@@ -1,0 +1,52 @@
+"""Progress reporter behaviour."""
+
+from __future__ import annotations
+
+import io
+
+from repro.campaign.progress import NullProgress, ProgressReporter
+
+
+def test_null_progress_is_silent():
+    progress = NullProgress()
+    progress.start(total=10, skipped=2)
+    progress.advance("job")
+    progress.finish()  # nothing to assert: must simply not fail or print
+
+
+def test_reporter_announces_resume_and_summary():
+    stream = io.StringIO()
+    progress = ProgressReporter(stream=stream, min_interval=0.0, prefix="test")
+    progress.start(total=4, skipped=2)
+    progress.advance("a/b")
+    progress.advance("c/d")
+    progress.finish()
+
+    out = stream.getvalue()
+    assert "resuming: 2/4 jobs already in the store" in out
+    assert "3/4 jobs (75%)" in out
+    assert "(a/b)" in out
+    assert "done: 2 jobs executed, 2 reused from store" in out
+
+
+def test_reporter_throttles_output():
+    stream = io.StringIO()
+    progress = ProgressReporter(stream=stream, min_interval=3600.0, prefix="test")
+    progress.start(total=100)
+    for _ in range(50):
+        progress.advance()
+    progress.finish()
+
+    lines = [line for line in stream.getvalue().splitlines() if line]
+    # Only the final summary gets through inside one throttle interval.
+    assert len(lines) == 1
+    assert lines[0].startswith("[test] done:")
+
+
+def test_reporter_survives_a_closed_stream():
+    stream = io.StringIO()
+    progress = ProgressReporter(stream=stream, min_interval=0.0)
+    progress.start(total=1)
+    stream.close()
+    progress.advance("x")  # must not raise
+    progress.finish()

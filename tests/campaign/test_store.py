@@ -1,0 +1,100 @@
+"""Artifact-store persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.jobs import JobResult
+from repro.campaign.store import ArtifactStore
+from repro.sim.errors import ConfigurationError
+
+
+def _result(job_id: str, samples=(1.0, 2.0), **overrides) -> JobResult:
+    fields = dict(
+        job_id=job_id,
+        label="tiny/RP-CON",
+        scenario="max_contention",
+        run_start=0,
+        num_runs=len(samples),
+        samples=tuple(samples),
+        metrics=tuple({"total_cycles": s * 10} for s in samples),
+        truncated_runs=0,
+        payloads=(None,) * len(samples),
+        elapsed_seconds=0.25,
+    )
+    fields.update(overrides)
+    return JobResult(**fields)
+
+
+def test_round_trip_preserves_every_field(tmp_path):
+    path = tmp_path / "store.jsonl"
+    original = _result("abc123", payloads=({"rows": [1, 2]}, None))
+    ArtifactStore(path).put(original)
+
+    reloaded = ArtifactStore(path).get("abc123")
+    assert reloaded == original
+
+
+def test_get_unknown_id_returns_none(tmp_path):
+    store = ArtifactStore(tmp_path / "store.jsonl")
+    assert store.get("missing") is None
+    assert "missing" not in store
+
+
+def test_last_record_wins_on_duplicate_ids(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ArtifactStore(path)
+    store.put(_result("abc", samples=(1.0,)))
+    store.put(_result("abc", samples=(9.0,)))
+
+    reloaded = ArtifactStore(path)
+    assert len(reloaded) == 1
+    assert reloaded.get("abc").samples == (9.0,)
+
+
+def test_partially_written_trailing_line_is_tolerated(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ArtifactStore(path)
+    store.put(_result("abc"))
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"job_id": "def", "samples": [1.0')  # crash mid-append
+
+    reloaded = ArtifactStore(path)
+    assert len(reloaded) == 1
+    assert reloaded.get("abc") is not None
+
+
+def test_corruption_before_the_end_is_an_error(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ArtifactStore(path)
+    store.put(_result("abc"))
+    record = path.read_text()
+    path.write_text("not json at all\n" + record)
+
+    with pytest.raises(ConfigurationError, match="corrupt"):
+        ArtifactStore(path).load()
+
+
+def test_newer_schema_is_rejected(tmp_path):
+    path = tmp_path / "store.jsonl"
+    record = {"schema": 999, **_result("abc").to_dict()}
+    path.write_text(json.dumps(record) + "\n")
+
+    with pytest.raises(ConfigurationError, match="schema"):
+        ArtifactStore(path).load()
+
+
+def test_compact_drops_superseded_records(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ArtifactStore(path)
+    store.put(_result("abc", samples=(1.0,)))
+    store.put(_result("abc", samples=(2.0,)))
+    store.put(_result("def", samples=(3.0,)))
+
+    dropped = ArtifactStore(path).compact()
+    assert dropped == 1
+    reloaded = ArtifactStore(path)
+    assert len(reloaded) == 2
+    assert reloaded.get("abc").samples == (2.0,)

@@ -7,22 +7,32 @@ keep working, not to re-check the science (the benchmarks do that).
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 
 def run_example(script: str, *args: str, timeout: int = 300) -> str:
+    # Make the in-repo package importable for the child no matter how the
+    # parent pytest found it (installed, PYTHONPATH, or pytest's pythonpath
+    # ini option, which does not propagate to subprocesses).
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
         check=False,
+        env=env,
     )
     assert result.returncode == 0, result.stderr
     return result.stdout
