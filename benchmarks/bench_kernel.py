@@ -1,0 +1,222 @@
+"""Wall-clock benchmark harness for the event-aware fast-forward kernel.
+
+Runs the paper's campaign scenarios once with fast-forwarding disabled
+(cycle-by-cycle stepping) and once enabled, verifies the results are
+bit-identical, and writes a ``BENCH_kernel.json`` report so the performance
+trajectory of the simulator is tracked from PR to PR.
+
+Not named ``test_*`` on purpose: this is a standalone harness (pytest tier-1
+must stay fast), run directly or by the CI ``bench`` job::
+
+    python benchmarks/bench_kernel.py --output BENCH_kernel.json
+    python benchmarks/bench_kernel.py --quick      # CI-sized workloads
+
+Reading the numbers: ``speedup_vs_stepping`` compares the two modes of the
+*same* binary, so it isolates what cycle-skipping buys on top of this PR's
+hot-path work.  The hot-path overhaul also made the stepping baseline itself
+roughly 2x faster than the pre-PR code, so the end-to-end campaign speedup
+versus the previous revision is larger than this number (5-8x measured at PR
+time; see README "Performance").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.platform.scenarios import (  # noqa: E402  (path bootstrap above)
+    ScenarioResult,
+    run_max_contention,
+    run_wcet_estimation,
+)
+from repro.sim.config import PlatformConfig  # noqa: E402
+from repro.workloads.base import WorkloadSpec  # noqa: E402
+from repro.workloads.synthetic import streaming_workload  # noqa: E402
+
+MAX_CYCLES = 20_000_000
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One benchmarked configuration of the paper's campaign grid."""
+
+    name: str
+    runner: Callable[..., ScenarioResult]
+    config: PlatformConfig
+    workload: WorkloadSpec
+
+
+def scenarios(accesses: int) -> list[BenchScenario]:
+    """The benchmark grid: memory-latency-bound contention runs (every access
+    of the task under analysis misses to DRAM while greedy neighbours keep
+    maximum-length transactions pending) across the paper's key bus
+    configurations, plus the Table I analysis-mode scenario."""
+    streaming = streaming_workload(num_accesses=accesses)
+    memlat = WorkloadSpec(
+        name="memlat",
+        num_accesses=accesses,
+        working_set_bytes=4 * 1024 * 1024,
+        mean_compute_gap=8.0,
+        gap_variability=0.5,
+        write_fraction=0.2,
+    )
+
+    def config(arbitration: str, use_cba: bool = False) -> PlatformConfig:
+        return PlatformConfig(arbitration=arbitration, use_cba=use_cba)
+
+    return [
+        BenchScenario(
+            "contention/random_permutations",
+            run_max_contention,
+            config("random_permutations"),
+            streaming,
+        ),
+        BenchScenario(
+            "contention/random_permutations+cba",
+            run_max_contention,
+            config("random_permutations", use_cba=True),
+            streaming,
+        ),
+        BenchScenario(
+            "contention/tdma", run_max_contention, config("tdma"), streaming
+        ),
+        BenchScenario(
+            "contention/tdma+cba",
+            run_max_contention,
+            config("tdma", use_cba=True),
+            streaming,
+        ),
+        BenchScenario(
+            "contention/round_robin", run_max_contention, config("round_robin"), memlat
+        ),
+        BenchScenario(
+            "wcet_estimation/random_permutations+cba",
+            run_wcet_estimation,
+            config("random_permutations", use_cba=True),
+            streaming,
+        ),
+    ]
+
+
+def _fingerprint(result: ScenarioResult) -> dict:
+    """What must match between the two modes for the run to count."""
+    system = result.system
+    return {
+        "total_cycles": system.total_cycles,
+        "tua_cycles": result.tua_cycles,
+        "core_counters": {
+            core: counters.as_dict() for core, counters in system.core_counters.items()
+        },
+        "bandwidth_shares": system.bandwidth_shares,
+        "grants_per_core": system.grants_per_core,
+        "cba_blocked_cycles": system.cba_blocked_cycles,
+    }
+
+
+def _time_best(fn: Callable[[], ScenarioResult], repeats: int) -> tuple[float, ScenarioResult]:
+    best = float("inf")
+    result: ScenarioResult | None = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    assert result is not None
+    return best, result
+
+
+def bench_scenario(scenario: BenchScenario, repeats: int) -> dict:
+    def run(fast_forward: bool) -> ScenarioResult:
+        return scenario.runner(
+            scenario.workload,
+            scenario.config,
+            seed=7,
+            run_index=0,
+            max_cycles=MAX_CYCLES,
+            fast_forward=fast_forward,
+        )
+
+    stepped_s, stepped = _time_best(lambda: run(False), repeats)
+    skipped_s, skipped = _time_best(lambda: run(True), repeats)
+
+    if _fingerprint(stepped) != _fingerprint(skipped):
+        raise AssertionError(
+            f"{scenario.name}: fast-forward run is NOT bit-identical to stepping"
+        )
+
+    cycles = skipped.system.total_cycles
+    return {
+        "cycles": cycles,
+        "wall_s_stepping": round(stepped_s, 6),
+        "wall_s_fast_forward": round(skipped_s, 6),
+        "speedup_vs_stepping": round(stepped_s / skipped_s, 3),
+        "mcycles_per_s_stepping": round(cycles / stepped_s / 1e6, 3),
+        "mcycles_per_s_fast_forward": round(cycles / skipped_s / 1e6, 3),
+        "bit_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_kernel.json"),
+        help="where to write the JSON report (default: ./BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--accesses", type=int, default=800,
+        help="trace length of the task under analysis (default: 800)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per mode; best-of is reported (default: 3)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run: 200 accesses, 2 repeats",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.accesses = min(args.accesses, 200)
+        args.repeats = min(args.repeats, 2)
+
+    results: dict[str, dict] = {}
+    for scenario in scenarios(args.accesses):
+        entry = bench_scenario(scenario, args.repeats)
+        results[scenario.name] = entry
+        print(
+            f"{scenario.name:45s} {entry['cycles']:>9d} cycles  "
+            f"stepping {entry['wall_s_stepping']:7.3f}s  "
+            f"fast-forward {entry['wall_s_fast_forward']:7.3f}s  "
+            f"-> {entry['speedup_vs_stepping']:5.2f}x"
+        )
+
+    speedups = [entry["speedup_vs_stepping"] for entry in results.values()]
+    report = {
+        "benchmark": "kernel_fast_forward",
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "accesses": args.accesses,
+        "repeats": args.repeats,
+        "scenarios": results,
+        "summary": {
+            "min_speedup_vs_stepping": min(speedups),
+            "max_speedup_vs_stepping": max(speedups),
+            "all_bit_identical": True,
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,6 +72,45 @@ class Arbiter(ABC):
     def cycle_update(self, cycle: int, holder: int | None) -> None:
         """Per-cycle hook; ``holder`` is the master using the bus this cycle."""
 
+    # ------------------------------------------------------------------
+    # Fast-forward support
+    # ------------------------------------------------------------------
+    def next_grant_opportunity(self, requestors: Sequence[int], cycle: int) -> int | None:
+        """Earliest cycle ``>= cycle`` at which one of ``requestors`` could be granted.
+
+        Called by the bus while it sits idle with pending requests, to bound
+        how far the kernel may fast-forward.  The value must never be later
+        than the true next grant (being early merely wastes a wake-up; being
+        late would change behaviour).  Policies that grant whenever anyone
+        requests keep the conservative default of ``cycle`` — with such a
+        policy the bus never idles with pending requests anyway.  ``None``
+        means no member of ``requestors`` can ever be granted (e.g. a master
+        absent from a TDMA schedule).
+        """
+        return cycle
+
+    def advance_cycles(
+        self,
+        start_cycle: int,
+        cycles: int,
+        holder: int | None,
+        idle_requestors: Sequence[int] = (),
+    ) -> None:
+        """Bulk equivalent of ``cycles`` per-cycle bus interactions.
+
+        Must reproduce exactly what ``cycles`` consecutive
+        :meth:`cycle_update` calls (constant ``holder``) — plus, when the bus
+        idles with ``idle_requestors`` pending, the corresponding
+        :meth:`arbitrate` calls that returned ``None`` — would have done.
+        The default replays :meth:`cycle_update` only, short-circuiting for
+        policies that keep the base class's no-op (all the slot-/queue-based
+        policies here are stateless per cycle).
+        """
+        if type(self).cycle_update is Arbiter.cycle_update:
+            return
+        for offset in range(cycles):
+            self.cycle_update(start_cycle + offset, holder)
+
     def reset(self) -> None:
         """Return the arbiter to its power-on state."""
         self.grants_per_master = [0] * self.num_masters

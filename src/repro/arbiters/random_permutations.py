@@ -32,7 +32,9 @@ class RandomPermutationsArbiter(Arbiter):
         self._window: list[int] = []
 
     def _refill_window(self) -> None:
-        self._window = [int(x) for x in self._rng.permutation(self.num_masters)]
+        # tolist() converts to plain ints in C — same draw, same values,
+        # measurably cheaper than a Python-level comprehension per window.
+        self._window = self._rng.permutation(self.num_masters).tolist()
 
     def arbitrate(self, requestors: Sequence[int], cycle: int) -> int | None:
         pending = set(self._validate_requestors(requestors))

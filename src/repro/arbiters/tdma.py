@@ -93,6 +93,29 @@ class TDMAArbiter(Arbiter):
             probe += self.slot_cycles
         raise ArbitrationError("unreachable: schedule scan failed")  # pragma: no cover
 
+    def next_grant_opportunity(self, requestors: Sequence[int], cycle: int) -> int | None:
+        """First cycle ``>= cycle`` at which a pending master's slot allows a grant.
+
+        With issue-at-slot-start semantics that is the next slot *boundary*
+        owned by a pending master; in the work-conserving variant the current
+        slot also qualifies mid-slot when its owner is pending.  ``None`` when
+        no pending master owns any slot of the schedule (it would starve).
+        """
+        pending = set(self._validate_requestors(requestors))
+        if not pending:
+            return None
+        offset = cycle % self.slot_cycles
+        if self.slot_owner(cycle) in pending and (
+            not self.issue_only_at_slot_start or offset == 0
+        ):
+            return cycle
+        probe = cycle - offset + self.slot_cycles
+        for _ in range(len(self.schedule)):
+            if self.slot_owner(probe) in pending:
+                return probe
+            probe += self.slot_cycles
+        return None
+
     # ------------------------------------------------------------------
     # Arbiter interface
     # ------------------------------------------------------------------

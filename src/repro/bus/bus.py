@@ -64,10 +64,35 @@ class SharedBus(Component):
         self.max_latency = max_latency
         self._masters: list[BusMasterPort | None] = [None] * num_masters
         self._pending: list[BusRequest | None] = [None] * num_masters
+        self._num_pending = 0
         self._holder: int | None = None
         self._active_request: BusRequest | None = None
         self._release_cycle = 0
         self.stats = StatGroup(name=f"{name}.stats")
+        # The per-cycle and per-transaction paths below run millions of times
+        # per campaign; bind the counters/histograms once instead of paying a
+        # string-keyed dict lookup (and f-string formatting for the per-master
+        # families) on every access.
+        stats = self.stats
+        self._c_submitted = stats.counter("requests_submitted")
+        self._c_completed = stats.counter("requests_completed")
+        self._c_grants = stats.counter("grants")
+        self._c_cycles_total = stats.counter("cycles_total")
+        self._c_cycles_busy = stats.counter("cycles_busy")
+        self._c_cycles_idle_pending = stats.counter("cycles_idle_with_pending")
+        self._c_cycles_idle = stats.counter("cycles_idle")
+        self._c_grants_master = [
+            stats.counter(f"grants_master_{m}") for m in range(num_masters)
+        ]
+        self._c_cycles_master = [
+            stats.counter(f"cycles_master_{m}") for m in range(num_masters)
+        ]
+        self._h_total_latency = stats.histogram("total_latency")
+        self._h_wait_cycles = stats.histogram("wait_cycles")
+        self._h_grant_duration = stats.histogram("grant_duration")
+        # Skip the per-cycle arbiter callback entirely for policies that keep
+        # the base class's no-op (everything except CBA).
+        self._arbiter_is_stateful = type(arbiter).cycle_update is not Arbiter.cycle_update
 
     # ------------------------------------------------------------------
     # Wiring
@@ -95,11 +120,14 @@ class SharedBus(Component):
                 f"master {master} already has an outstanding bus request"
             )
         self._pending[master] = request
+        self._num_pending += 1
         self.arbiter.on_request(master, request.issue_cycle)
-        self.stats.counter("requests_submitted").increment()
-        self.kernel.trace.record(
-            self.now, self.name, "bus.request", master=master, request_id=request.request_id
-        )
+        self._c_submitted.value += 1
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.record(
+                self.now, self.name, "bus.request", master=master, request_id=request.request_id
+            )
 
     def has_pending(self, master_id: int) -> bool:
         """True when ``master_id`` has a request waiting for the bus."""
@@ -129,9 +157,11 @@ class SharedBus(Component):
         if self._holder is None:
             self._arbitrate_and_grant(cycle)
         self._update_occupancy_stats()
-        # The arbiter sees the holder of *this* cycle (including a transaction
-        # granted this very cycle), which is what drives CBA budget draining.
-        self.arbiter.cycle_update(cycle, self._holder)
+        if self._arbiter_is_stateful:
+            # The arbiter sees the holder of *this* cycle (including a
+            # transaction granted this very cycle), which is what drives CBA
+            # budget draining.
+            self.arbiter.cycle_update(cycle, self._holder)
 
     def _complete_if_done(self, cycle: int) -> None:
         if self._holder is None or self._active_request is None:
@@ -143,12 +173,14 @@ class SharedBus(Component):
         request.complete_cycle = cycle
         self._holder = None
         self._active_request = None
-        self.stats.counter("requests_completed").increment()
-        self.stats.histogram("total_latency").add(request.total_latency)
-        self.stats.histogram("wait_cycles").add(request.wait_cycles)
-        self.kernel.trace.record(
-            cycle, self.name, "bus.complete", master=holder, request_id=request.request_id
-        )
+        self._c_completed.value += 1
+        self._h_total_latency.add(request.total_latency)
+        self._h_wait_cycles.add(request.wait_cycles)
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.record(
+                cycle, self.name, "bus.complete", master=holder, request_id=request.request_id
+            )
         port = self._masters[holder]
         if port is not None:
             port.on_complete(request, cycle)
@@ -171,37 +203,73 @@ class SharedBus(Component):
         request.grant_cycle = cycle
         request.duration = duration
         self._pending[choice] = None
+        self._num_pending -= 1
         self._holder = choice
         self._active_request = request
         self._release_cycle = cycle + duration
         self.arbiter.on_grant(choice, duration, cycle)
-        self.stats.counter("grants").increment()
-        self.stats.counter(f"grants_master_{choice}").increment()
-        self.stats.counter(f"cycles_master_{choice}").increment(duration)
-        self.stats.histogram("grant_duration").add(duration)
-        self.kernel.trace.record(
-            cycle,
-            self.name,
-            "bus.grant",
-            master=choice,
-            request_id=request.request_id,
-            duration=duration,
-        )
+        self._c_grants.value += 1
+        self._c_grants_master[choice].value += 1
+        self._c_cycles_master[choice].value += duration
+        self._h_grant_duration.add(duration)
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.record(
+                cycle,
+                self.name,
+                "bus.grant",
+                master=choice,
+                request_id=request.request_id,
+                duration=duration,
+            )
         port = self._masters[choice]
         if port is not None:
             port.on_grant(request, cycle)
 
     def _update_occupancy_stats(self) -> None:
-        self.stats.counter("cycles_total").increment()
+        self._c_cycles_total.value += 1
         if self._holder is not None:
-            self.stats.counter("cycles_busy").increment()
-        elif self.pending_masters:
+            self._c_cycles_busy.value += 1
+        elif self._num_pending:
             # Idle although someone wants the bus: either the arbiter withheld
             # the grant (TDMA outside a slot, CBA budget not replenished) or
             # no eligible requestor existed this cycle.
-            self.stats.counter("cycles_idle_with_pending").increment()
+            self._c_cycles_idle_pending.value += 1
         else:
-            self.stats.counter("cycles_idle").increment()
+            self._c_cycles_idle.value += 1
+
+    # ------------------------------------------------------------------
+    # Fast-forward support
+    # ------------------------------------------------------------------
+    def next_event(self, now: int) -> int | None:
+        """Wake hint: completion of the transaction in flight, or the
+        arbiter's next chance to grant a waiting request.
+
+        While a transaction holds the (non-split) bus nothing can happen
+        until its release cycle; while idle with pending requests the arbiter
+        bounds the next grant (TDMA slot boundaries, CBA budget refills);
+        while idle and empty only a master's submission — a core-side event
+        covered by the cores' own hints — can change anything.
+        """
+        if self._holder is not None:
+            return self._release_cycle
+        if not self._num_pending:
+            return None
+        return self.arbiter.next_grant_opportunity(self.pending_masters, now)
+
+    def fast_forward(self, cycles: int) -> None:
+        """Bulk-account ``cycles`` skipped cycles of constant bus state."""
+        self._c_cycles_total.value += cycles
+        holder = self._holder
+        requestors: list[int] = []
+        if holder is not None:
+            self._c_cycles_busy.value += cycles
+        elif self._num_pending:
+            self._c_cycles_idle_pending.value += cycles
+            requestors = self.pending_masters
+        else:
+            self._c_cycles_idle.value += cycles
+        self.arbiter.advance_cycles(self.now, cycles, holder, requestors)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -231,6 +299,7 @@ class SharedBus(Component):
 
     def reset(self) -> None:
         self._pending = [None] * self.num_masters
+        self._num_pending = 0
         self._holder = None
         self._active_request = None
         self._release_cycle = 0

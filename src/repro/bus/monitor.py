@@ -69,8 +69,40 @@ class BusMonitor(Component):
             self._busy[holder] += 1
             self.total_busy_per_master[holder] += 1
         self.total_cycles_observed += 1
-        if self.now + 1 - self._window_start >= self.window_cycles:
-            self._close_window(self.now + 1)
+        boundary = self.now + 1
+        if boundary - self._window_start >= self.window_cycles:
+            self._close_window(boundary)
+
+    # ------------------------------------------------------------------
+    # Fast-forward support
+    # ------------------------------------------------------------------
+    def next_event(self, now: int) -> int | None:
+        """The monitor is a pure observer: it never forces a wake-up.
+
+        Window boundaries crossed inside a jump are reproduced exactly by
+        :meth:`fast_forward`, so no hint is needed for them either.
+        """
+        return None
+
+    def fast_forward(self, cycles: int) -> None:
+        """Sample ``cycles`` skipped cycles of constant bus occupancy in bulk,
+        closing windows at the exact boundaries plain stepping would have."""
+        holder = self.bus.holder
+        cursor = self.now
+        end = cursor + cycles
+        while cursor < end:
+            window_end = self._window_start + self.window_cycles
+            chunk_end = window_end if window_end < end else end
+            span = chunk_end - cursor
+            if holder is None:
+                self._idle += span
+            else:
+                self._busy[holder] += span
+                self.total_busy_per_master[holder] += span
+            self.total_cycles_observed += span
+            if chunk_end == window_end:
+                self._close_window(window_end)
+            cursor = chunk_end
 
     def _close_window(self, end_cycle: int) -> None:
         self.windows.append(

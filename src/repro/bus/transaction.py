@@ -34,14 +34,16 @@ class AccessType(str, Enum):
         return self is AccessType.ATOMIC
 
 
-@dataclass
+@dataclass(slots=True)
 class BusRequest:
     """One bus transaction from request to completion.
 
     Lifecycle timestamps are filled in as the request progresses:
     ``issue_cycle`` when the master asserts its request line, ``grant_cycle``
     when the arbiter grants the bus, ``complete_cycle`` when the (non-split)
-    transaction releases the bus.
+    transaction releases the bus.  One of these is allocated per memory
+    access of every core, hence ``slots=True``; ad-hoc data belongs in
+    :attr:`annotations`, not in new attributes.
     """
 
     master_id: int

@@ -60,6 +60,14 @@ class SetAssociativeCache:
             for _ in range(geometry.num_sets)
         ]
         self.stats = StatGroup(name=f"{name}.stats")
+        # Every access increments one of these; bind them once instead of
+        # doing a string-keyed lookup per access.
+        self._c_read_hits = self.stats.counter("read_hits")
+        self._c_write_hits = self.stats.counter("write_hits")
+        self._c_read_misses = self.stats.counter("read_misses")
+        self._c_write_misses = self.stats.counter("write_misses")
+        self._c_writebacks = self.stats.counter("writebacks")
+        self._c_evictions = self.stats.counter("evictions")
 
     # ------------------------------------------------------------------
     # Lookup helpers
@@ -100,16 +108,16 @@ class SetAssociativeCache:
             if is_write:
                 if self.write_back:
                     ways[way].dirty = True
-                self.stats.counter("write_hits").increment()
+                self._c_write_hits.value += 1
             else:
-                self.stats.counter("read_hits").increment()
+                self._c_read_hits.value += 1
             return AccessResult(hit=True, set_index=set_index)
 
         # Miss path.
         if is_write:
-            self.stats.counter("write_misses").increment()
+            self._c_write_misses.value += 1
         else:
-            self.stats.counter("read_misses").increment()
+            self._c_read_misses.value += 1
 
         allocate = self.write_allocate or not is_write
         if not allocate:
@@ -122,9 +130,9 @@ class SetAssociativeCache:
         writeback = victim.valid and victim.dirty and self.write_back
         evicted_tag = victim.tag if victim.valid else None
         if writeback:
-            self.stats.counter("writebacks").increment()
+            self._c_writebacks.value += 1
         if victim.valid:
-            self.stats.counter("evictions").increment()
+            self._c_evictions.value += 1
         victim.fill(tag, cycle, dirty=is_write and self.write_back)
         self.replacement.on_access(ways, victim_way, cycle)
         return AccessResult(
@@ -164,17 +172,11 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
     @property
     def hits(self) -> int:
-        return (
-            self.stats.counter("read_hits").value
-            + self.stats.counter("write_hits").value
-        )
+        return self._c_read_hits.value + self._c_write_hits.value
 
     @property
     def misses(self) -> int:
-        return (
-            self.stats.counter("read_misses").value
-            + self.stats.counter("write_misses").value
-        )
+        return self._c_read_misses.value + self._c_write_misses.value
 
     @property
     def accesses(self) -> int:

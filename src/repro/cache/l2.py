@@ -129,6 +129,18 @@ class L2BusSlave:
         self.memory = memory
         self.latency_table = latency_table
         self.stats = StatGroup(name="l2_slave.stats")
+        # resolve() runs once per bus transaction; bind the per-class counter
+        # family up front instead of formatting its key on every call.
+        self._c_requests = self.stats.counter("requests")
+        self._c_by_class = {
+            kind: self.stats.counter(f"class_{kind.value}") for kind in TransactionClass
+        }
+        self._h_duration = self.stats.histogram("duration")
+        # The timings are frozen; flatten the per-class duration chain into
+        # one dict lookup per transaction.
+        self._duration_by_class = {
+            kind: latency_table.duration(kind) for kind in TransactionClass
+        }
 
     def classify(self, request: BusRequest, cycle: int) -> TransactionClass:
         """Serve ``request`` functionally and classify its timing behaviour."""
@@ -157,11 +169,11 @@ class L2BusSlave:
     def resolve(self, request: BusRequest, cycle: int) -> int:
         """Bus-slave protocol entry point: return the bus hold time in cycles."""
         kind = self.classify(request, cycle)
-        duration = self.latency_table.duration(kind)
+        duration = self._duration_by_class[kind]
         request.annotate(transaction_class=kind.value)
-        self.stats.counter(f"class_{kind.value}").increment()
-        self.stats.counter("requests").increment()
-        self.stats.histogram("duration").add(duration)
+        self._c_by_class[kind].value += 1
+        self._c_requests.value += 1
+        self._h_duration.add(duration)
         return duration
 
     def reset(self) -> None:

@@ -28,9 +28,17 @@ class PlacementPolicy(ABC):
             raise ValueError("num_sets and line_bytes must be positive")
         self.num_sets = num_sets
         self.line_bytes = line_bytes
+        # Placement runs on every cache access; precompute shift/mask forms
+        # of the divisions/modulos for the (ubiquitous) power-of-two sizes.
+        self._offset_shift = (
+            line_bytes.bit_length() - 1 if line_bytes & (line_bytes - 1) == 0 else None
+        )
+        self._set_mask = num_sets - 1 if num_sets & (num_sets - 1) == 0 else None
 
     def block_address(self, address: int) -> int:
         """Strip the offset bits from ``address``."""
+        if self._offset_shift is not None:
+            return address >> self._offset_shift
         return address // self.line_bytes
 
     @abstractmethod
@@ -52,6 +60,8 @@ class ModuloPlacement(PlacementPolicy):
     """Conventional placement: low-order block-address bits select the set."""
 
     def set_index(self, address: int) -> int:
+        if self._set_mask is not None:
+            return self.block_address(address) & self._set_mask
         return self.block_address(address) % self.num_sets
 
 
@@ -77,4 +87,6 @@ class RandomPlacement(PlacementPolicy):
 
     def set_index(self, address: int) -> int:
         block = self.block_address(address)
+        if self._set_mask is not None:
+            return self._mix(block ^ self.seed) & self._set_mask
         return self._mix(block ^ self.seed) % self.num_sets

@@ -57,7 +57,10 @@ class ProgressReporter(NullProgress):
         self._skipped = skipped
         self._completed = 0
         self._started_at = time.monotonic()
-        self._last_report = 0.0
+        # Throttle from the campaign start, not from the epoch of the
+        # monotonic clock: with a 0.0 sentinel the first advance() emitted
+        # unconditionally once the host's uptime exceeded min_interval.
+        self._last_report = self._started_at
         if skipped:
             self._emit(
                 f"[{self.prefix}] resuming: {skipped}/{total} jobs already in the store"

@@ -82,6 +82,60 @@ class CreditBasedArbiter(Arbiter):
         self.base.cycle_update(cycle, holder)
         self.credits.step(holder)
 
+    # ------------------------------------------------------------------
+    # Fast-forward support
+    # ------------------------------------------------------------------
+    def next_grant_opportunity(self, requestors: Sequence[int], cycle: int) -> int | None:
+        """Earliest cycle a pending master could clear both filters.
+
+        Two kinds of event can end a budget-induced idle stretch: a master
+        that is already eligible gets a grant opportunity from the base policy
+        (e.g. its TDMA slot starts), or replenishment makes a further pending
+        master eligible (which changes the eligible set the base policy sees,
+        so the bus must re-arbitrate).  The earlier of the two bounds the
+        skip; being conservative is fine — the bus simply re-asks on wake-up.
+        """
+        pending = self._validate_requestors(requestors)
+        if not pending:
+            return None
+        opportunity: int | None = None
+        eligible = [master for master in pending if self.credits[master].eligible]
+        if eligible:
+            opportunity = self.base.next_grant_opportunity(eligible, cycle)
+        blocked = [master for master in pending if not self.credits[master].eligible]
+        if blocked:
+            refill = cycle + min(
+                self.credits[master].cycles_until_eligible() for master in blocked
+            )
+            if opportunity is None or refill < opportunity:
+                opportunity = refill
+        return opportunity
+
+    def advance_cycles(
+        self,
+        start_cycle: int,
+        cycles: int,
+        holder: int | None,
+        idle_requestors: Sequence[int] = (),
+    ) -> None:
+        """Bulk budget dynamics plus the blocked-cycle accounting of
+        :meth:`arbitrate` calls that returned ``None``.
+
+        The eligibility test is done once, before advancing the credits: while
+        the bus idles nothing drains, so eligibility can only be *gained*, and
+        the skip window never extends past the first gain (bounded by
+        :meth:`next_grant_opportunity`) — the "all pending blocked" predicate
+        is therefore constant across the whole window.
+        """
+        self.base.advance_cycles(start_cycle, cycles, holder, idle_requestors)
+        if (
+            holder is None
+            and idle_requestors
+            and not any(self.credits[master].eligible for master in idle_requestors)
+        ):
+            self.blocked_cycles += cycles
+        self.credits.advance(cycles, holder)
+
     def reset(self) -> None:
         super().reset()
         self.base.reset()

@@ -25,7 +25,7 @@ from ..sim.errors import BudgetError
 __all__ = ["CreditAccount", "CreditBank"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CreditAccount:
     """The budget counter of one core (values scaled by the core count).
 
@@ -95,6 +95,17 @@ class CreditAccount:
         self.total_replenished += new_balance - self.balance
         self.balance = new_balance
 
+    def replenish_many(self, cycles: int) -> None:
+        """Apply ``cycles`` cycles of recovery at once.
+
+        Exactly equivalent to ``cycles`` :meth:`replenish` calls: the balance
+        saturates at the cap, and ``total_replenished`` accumulates only what
+        was actually gained.
+        """
+        new_balance = min(self.balance + self.replenish_share * cycles, self.cap)
+        self.total_replenished += new_balance - self.balance
+        self.balance = new_balance
+
     def drain(self) -> None:
         """Charge one cycle of bus usage.
 
@@ -150,6 +161,38 @@ class CreditBank:
             account.replenish()
         if holder is not None:
             self.accounts[holder].drain()
+
+    def advance(self, cycles: int, holder: int | None) -> None:
+        """Advance ``cycles`` cycles at once with a constant bus ``holder``.
+
+        Exactly equivalent to ``cycles`` :meth:`step` calls.  Non-holders only
+        replenish, which has a closed form; the holder interleaves replenish
+        and drain (whose saturation/floor interplay has regimes), so its
+        account is stepped cycle by cycle — bounded by the transaction length,
+        i.e. at most ``MaxL`` iterations, inlined on local variables because
+        this runs for every fast-forwarded stretch of a CBA run.
+        """
+        for account in self.accounts:
+            if account.core_id == holder:
+                share = account.replenish_share
+                drain = account.drain_per_cycle
+                cap = account.cap
+                balance = account.balance
+                replenished = 0
+                drained = 0
+                for _ in range(cycles):
+                    new_balance = balance + share
+                    if new_balance > cap:
+                        new_balance = cap
+                    replenished += new_balance - balance
+                    paid = drain if drain < new_balance else new_balance
+                    drained += paid
+                    balance = new_balance - paid
+                account.balance = balance
+                account.total_replenished += replenished
+                account.total_drained += drained
+            else:
+                account.replenish_many(cycles)
 
     def balances(self) -> list[int]:
         return [account.balance for account in self.accounts]

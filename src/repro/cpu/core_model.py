@@ -84,6 +84,7 @@ class CoreModel(Component):
         self._deferred_request: BusRequest | None = None
         self._stalled_store = None
         self._started = False
+        self._finishing = False
         bus.connect_master(core_id, self)
 
     # ------------------------------------------------------------------
@@ -152,6 +153,59 @@ class CoreModel(Component):
             if self._l1_remaining > 0:
                 return
             self._finish_l1_access()
+
+    # ------------------------------------------------------------------
+    # Fast-forward support
+    # ------------------------------------------------------------------
+    def next_event(self, now: int) -> int | None:
+        """Wake hint for the kernel's fast-forward.
+
+        The core schedules its own events only while computing or walking the
+        L1 pipeline; in every waiting state the event that unblocks it is a
+        bus completion, which the bus's own hint covers (``None`` here).
+        """
+        state = self._state
+        if state is CoreState.FINISHED:
+            return None
+        if not self._started:
+            return now
+        if (
+            self._store_buffer
+            and not self._store_in_flight
+            and state is not CoreState.WAITING_BUS
+            and state is not CoreState.WAITING_PORT
+        ):
+            return now  # a buffered store drains to the bus this very tick
+        if state is CoreState.COMPUTING:
+            if self._finishing:
+                # Trace exhausted; ticks merely poll until the draining store
+                # completes (a bus event), touching no counter meanwhile.
+                return None if self._store_in_flight else now
+            if self._compute_remaining > 0:
+                return now + self._compute_remaining
+            return now
+        if state is CoreState.L1_ACCESS:
+            # The L1 pipeline only *does* something on its final cycle; the
+            # preceding ones are uniform latency accounting.
+            return now + self._l1_remaining - 1
+        # WAITING_BUS / WAITING_PORT / STORE_STALL: unblocked by the bus.
+        return None
+
+    def fast_forward(self, cycles: int) -> None:
+        """Replay the uniform per-cycle accounting of ``cycles`` skipped ticks."""
+        state = self._state
+        counters = self.counters
+        if state is CoreState.WAITING_BUS or state is CoreState.WAITING_PORT:
+            counters.bus_wait_cycles += cycles
+        elif state is CoreState.STORE_STALL:
+            counters.store_stall_cycles += cycles
+        elif state is CoreState.COMPUTING:
+            if not self._finishing and self._started:
+                self._compute_remaining -= cycles
+                counters.compute_cycles += cycles
+        elif state is CoreState.L1_ACCESS:
+            self._l1_remaining -= cycles
+            counters.l1_cycles += cycles
 
     # ------------------------------------------------------------------
     # Trace walking

@@ -21,17 +21,21 @@ class MemoryController:
     def __init__(self, dram: DRAM | None = None) -> None:
         self.dram = dram if dram is not None else DRAM()
         self.stats = StatGroup(name="memctrl.stats")
+        # One access per L2 miss / atomic — hot enough to pre-bind.
+        self._c_reads = self.stats.counter("reads")
+        self._c_writes = self.stats.counter("writes")
+        self._c_busy_cycles = self.stats.counter("busy_cycles")
 
     def access(self, address: int = 0, read: bool = True) -> int:
         """Forward one access to the DRAM and return its latency in cycles."""
         latency = self.dram.access(address, read=read)
-        self.stats.counter("reads" if read else "writes").increment()
-        self.stats.counter("busy_cycles").increment(latency)
+        (self._c_reads if read else self._c_writes).value += 1
+        self._c_busy_cycles.value += latency
         return latency
 
     @property
     def total_accesses(self) -> int:
-        return self.stats.counter("reads").value + self.stats.counter("writes").value
+        return self._c_reads.value + self._c_writes.value
 
     def reset(self) -> None:
         self.dram.reset()

@@ -49,23 +49,28 @@ class DRAM:
         self.row_hit_latency = row_hit_latency
         self._open_row: int | None = None
         self.stats = StatGroup(name="dram.stats")
+        # Touched on every memory access; pre-bound to skip the dict lookup.
+        self._c_reads = self.stats.counter("reads")
+        self._c_writes = self.stats.counter("writes")
+        self._c_row_hits = self.stats.counter("row_hits")
+        self._c_row_misses = self.stats.counter("row_misses")
 
     def access(self, address: int = 0, read: bool = True) -> int:
         """Perform one access and return its latency in cycles."""
-        self.stats.counter("reads" if read else "writes").increment()
+        (self._c_reads if read else self._c_writes).value += 1
         if self.row_hit_latency is None:
             return self.access_latency
         row = address // self.row_bytes
         if row == self._open_row:
-            self.stats.counter("row_hits").increment()
+            self._c_row_hits.value += 1
             return self.row_hit_latency
-        self.stats.counter("row_misses").increment()
+        self._c_row_misses.value += 1
         self._open_row = row
         return self.access_latency
 
     @property
     def total_accesses(self) -> int:
-        return self.stats.counter("reads").value + self.stats.counter("writes").value
+        return self._c_reads.value + self._c_writes.value
 
     def reset(self) -> None:
         self._open_row = None

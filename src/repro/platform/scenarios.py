@@ -55,9 +55,11 @@ class ScenarioResult:
 
 
 def _build_system(
-    config: PlatformConfig, seed: int, run_index: int, label: str
+    config: PlatformConfig, seed: int, run_index: int, label: str, fast_forward: bool = True
 ) -> MulticoreSystem:
-    return MulticoreSystem(config, seed=seed, run_index=run_index, label=label)
+    return MulticoreSystem(
+        config, seed=seed, run_index=run_index, label=label, fast_forward=fast_forward
+    )
 
 
 def run_isolation(
@@ -68,6 +70,7 @@ def run_isolation(
     tua_core: int = 0,
     max_cycles: int = 5_000_000,
     allow_truncation: bool = False,
+    fast_forward: bool = True,
 ) -> ScenarioResult:
     """Run ``workload`` alone on the platform (the ``*-ISO`` bars of Figure 1).
 
@@ -75,7 +78,9 @@ def run_isolation(
     before the core has recovered a full budget waits, which is the isolation
     overhead the paper quantifies at ~3% on average.
     """
-    system = _build_system(config, seed, run_index, label=f"{config.arbitration}-iso")
+    system = _build_system(
+        config, seed, run_index, label=f"{config.arbitration}-iso", fast_forward=fast_forward
+    )
     system.add_task(tua_core, workload)
     result = system.run(max_cycles=max_cycles, allow_truncation=allow_truncation)
     return ScenarioResult(
@@ -95,9 +100,12 @@ def run_max_contention(
     tua_core: int = 0,
     max_cycles: int = 5_000_000,
     allow_truncation: bool = False,
+    fast_forward: bool = True,
 ) -> ScenarioResult:
     """Run ``workload`` against greedy maximum-length contenders (``*-CON``)."""
-    system = _build_system(config, seed, run_index, label=f"{config.arbitration}-con")
+    system = _build_system(
+        config, seed, run_index, label=f"{config.arbitration}-con", fast_forward=fast_forward
+    )
     system.add_task(tua_core, workload)
     for core in range(config.num_cores):
         if core != tua_core:
@@ -120,6 +128,7 @@ def run_wcet_estimation(
     tua_core: int = 0,
     max_cycles: int = 5_000_000,
     allow_truncation: bool = False,
+    fast_forward: bool = True,
 ) -> ScenarioResult:
     """Run the analysis-time scenario of Section III-B / Table I.
 
@@ -128,7 +137,9 @@ def run_wcet_estimation(
     compete only when their budget is full and the TuA has a request ready,
     hold the bus for ``MaxL`` when granted).
     """
-    system = _build_system(config, seed, run_index, label=f"{config.arbitration}-wcet")
+    system = _build_system(
+        config, seed, run_index, label=f"{config.arbitration}-wcet", fast_forward=fast_forward
+    )
     system.add_task(tua_core, workload)
     for core in range(config.num_cores):
         if core != tua_core:
@@ -152,9 +163,12 @@ def run_multiprogram(
     tua_core: int = 0,
     max_cycles: int = 10_000_000,
     allow_truncation: bool = False,
+    fast_forward: bool = True,
 ) -> ScenarioResult:
     """Consolidate several real tasks (one per core) and run them together."""
-    system = _build_system(config, seed, run_index, label=f"{config.arbitration}-multi")
+    system = _build_system(
+        config, seed, run_index, label=f"{config.arbitration}-multi", fast_forward=fast_forward
+    )
     for core_id, workload in workloads.items():
         system.add_task(core_id, workload)
     result = system.run(max_cycles=max_cycles, allow_truncation=allow_truncation)

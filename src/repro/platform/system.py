@@ -70,7 +70,15 @@ class MulticoreSystem:
         run_index: int = 0,
         trace: TraceRecorder | None = None,
         label: str = "",
+        fast_forward: bool = True,
     ) -> None:
+        """Build the platform.
+
+        ``fast_forward`` controls the kernel's event-aware cycle skipping.
+        It is bit-identical to plain stepping (enforced by the equivalence
+        test matrix) and on by default; the switch exists for those tests and
+        for benchmarking the skipping itself.
+        """
         self.config = config
         self.label = label or config.arbitration
         self.kernel = Kernel(
@@ -78,6 +86,7 @@ class MulticoreSystem:
             run_index=run_index,
             frequency_hz=config.frequency_hz,
             trace=trace,
+            fast_forward=fast_forward,
         )
         streams = self.kernel.streams
         self.latency_table = LatencyTable(config.bus_timings)
@@ -223,11 +232,17 @@ class MulticoreSystem:
             self.kernel.register(self.contenders[core_id])
         self.kernel.register(self.bus)
         self.kernel.register(self.monitor)
+        self._core_list = tuple(self.cores.values())
         self.kernel.add_stop_condition(self._all_tasks_finished)
         self._finalized = True
 
     def _all_tasks_finished(self) -> bool:
-        return all(core.finished for core in self.cores.values())
+        # Evaluated once per executed cycle; a plain loop over a snapshot
+        # tuple beats all() with a generator expression.
+        for core in self._core_list:
+            if not core.finished:
+                return False
+        return True
 
     def run(
         self, max_cycles: int = 5_000_000, allow_truncation: bool = False

@@ -14,9 +14,12 @@ from dataclasses import dataclass
 __all__ = ["Clock"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Clock:
     """A monotonically increasing cycle counter.
+
+    The counter advances either one cycle at a time (plain stepping) or in
+    bulk (``advance(n)``) when the kernel fast-forwards over dead cycles.
 
     Attributes
     ----------

@@ -34,6 +34,7 @@ class Component:
     def __init__(self, name: str) -> None:
         self.name = name
         self._kernel: "Kernel | None" = None
+        self._clock: Clock | None = None
 
     # ------------------------------------------------------------------
     # Kernel wiring
@@ -41,6 +42,9 @@ class Component:
     def bind(self, kernel: "Kernel") -> None:
         """Attach this component to a kernel.  Called by ``Kernel.register``."""
         self._kernel = kernel
+        # Cached so the heavily used :attr:`now` is one attribute hop instead
+        # of a three-property chain through kernel and clock.
+        self._clock = kernel.clock
 
     @property
     def kernel(self) -> "Kernel":
@@ -54,12 +58,21 @@ class Component:
     @property
     def clock(self) -> Clock:
         """The kernel's clock."""
-        return self.kernel.clock
+        if self._clock is None:
+            raise RuntimeError(
+                f"component {self.name!r} is not registered with a kernel"
+            )
+        return self._clock
 
     @property
     def now(self) -> int:
         """Current cycle number."""
-        return self.kernel.clock.cycle
+        clock = self._clock
+        if clock is None:
+            raise RuntimeError(
+                f"component {self.name!r} is not registered with a kernel"
+            )
+        return clock._cycle
 
     # ------------------------------------------------------------------
     # Per-cycle hooks
@@ -69,6 +82,40 @@ class Component:
 
     def post_tick(self) -> None:
         """Commit phase — override in subclasses.  Default: do nothing."""
+
+    # ------------------------------------------------------------------
+    # Fast-forward (event-aware skipping) hooks
+    # ------------------------------------------------------------------
+    def next_event(self, now: int) -> int | None:
+        """Wake hint: the first cycle at which ticking this component matters.
+
+        The kernel calls this before executing cycle ``now``.  The contract:
+
+        * return an ``int`` cycle ``c >= now`` — "as long as no *other*
+          component changes state, my :meth:`tick` at every cycle before ``c``
+          is a no-op apart from the uniform per-cycle accounting replayed by
+          :meth:`fast_forward`; wake me at ``c``";
+        * return ``None`` — "I have no self-scheduled activity at all; only
+          another component's activity can affect me" (skippable without
+          bound).
+
+        The default returns ``now`` ("I may act every cycle"), which makes
+        fast-forwarding a strict opt-in: a kernel containing any component
+        that does not implement hints never skips a cycle and behaves exactly
+        like plain cycle-by-cycle stepping.
+        """
+        return now
+
+    def fast_forward(self, cycles: int) -> None:
+        """Account for ``cycles`` skipped cycles.
+
+        Called by the kernel when it jumps the clock over a stretch of dead
+        cycles.  Implementations must leave the component in exactly the
+        state that ``cycles`` consecutive :meth:`tick`/:meth:`post_tick`
+        calls would have produced (the kernel only skips cycles for which
+        every component promised, via :meth:`next_event`, that those calls
+        are uniform bookkeeping).  Default: nothing to account.
+        """
 
     def reset(self) -> None:
         """Return the component to its power-on state.  Default: do nothing."""

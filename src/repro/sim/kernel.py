@@ -1,4 +1,4 @@
-"""Cycle-driven simulation kernel.
+"""Cycle-driven simulation kernel with event-aware fast-forwarding.
 
 The kernel owns the clock, the component list, the trace recorder and the
 per-run random streams.  One call to :meth:`Kernel.step` advances the
@@ -11,7 +11,15 @@ simulated platform by exactly one cycle:
 3. the clock advances.
 
 :meth:`Kernel.run` steps until a stop condition (cycle limit or a registered
-completion predicate) is met.
+completion predicate) is met.  In addition, ``run`` *fast-forwards* through
+dead cycles: before each cycle it asks every component for a wake hint
+(:meth:`~repro.sim.component.Component.next_event`) and, when every component
+promises to be inert until some future cycle, it jumps the clock there in one
+step, replaying the skipped cycles' uniform accounting through
+:meth:`~repro.sim.component.Component.fast_forward`.  Because a cycle is only
+skipped when *no* component can change state in it, the executed event cycles
+(grants, completions, cache accesses, RNG draws) are identical to plain
+stepping — fast-forwarded runs are bit-identical to cycle-by-cycle runs.
 """
 
 from __future__ import annotations
@@ -36,16 +44,27 @@ class Kernel:
         run_index: int = 0,
         frequency_hz: float = 100_000_000.0,
         trace: TraceRecorder | None = None,
+        fast_forward: bool = True,
     ) -> None:
         self.clock = Clock(frequency_hz=frequency_hz)
         self.streams = RandomStreams(seed=seed, run_index=run_index)
         self.trace = trace if trace is not None else NullTraceRecorder()
         self._components: list[Component] = []
-        self._names: set[str] = set()
+        self._by_name: dict[str, Component] = {}
+        self._tickers: list[Component] = []
+        self._post_tickers: list[Component] = []
+        self._fast_forwarders: list[Component] = []
+        self._all_hinted = True
         self._stop_conditions: list[Callable[[], bool]] = []
-        self._running = False
+        self._stop_hints: list[Callable[[int], int | None]] = []
         self.finished = False
         self.stop_condition_fired = False
+        #: Enable event-aware fast-forwarding in :meth:`run`.  Skipping is
+        #: bit-identical to stepping by construction; the switch exists for
+        #: equivalence tests and benchmarking, not as a safety valve.
+        self.fast_forward = fast_forward
+        #: Cycles :meth:`run` jumped over instead of stepping (observability).
+        self.cycles_skipped = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -58,11 +77,25 @@ class Kernel:
         so that requests issued in a cycle can be observed by the arbiter in
         the same cycle, matching the single-cycle arbitration of the paper.
         """
-        if component.name in self._names:
+        if component.name in self._by_name:
             raise SchedulingError(f"a component named {component.name!r} is already registered")
         component.bind(self)
         self._components.append(component)
-        self._names.add(component.name)
+        self._by_name[component.name] = component
+        # Components that keep the base class's no-op hooks are excluded from
+        # the per-cycle loops entirely; this is the single hottest loop in the
+        # simulator, and no built-in component overrides post_tick.
+        if type(component).tick is not Component.tick:
+            self._tickers.append(component)
+        if type(component).post_tick is not Component.post_tick:
+            self._post_tickers.append(component)
+        if type(component).fast_forward is not Component.fast_forward:
+            self._fast_forwarders.append(component)
+        if type(component).next_event is Component.next_event:
+            # The base hint pins the wake to the current cycle, so one
+            # non-opted-in component disables skipping for the whole kernel;
+            # remember that and spare run() the per-cycle probing.
+            self._all_hinted = False
         return component
 
     def register_all(self, components: Iterable[Component]) -> None:
@@ -76,20 +109,46 @@ class Kernel:
 
     def component(self, name: str) -> Component:
         """Return the registered component called ``name``."""
-        for comp in self._components:
-            if comp.name == name:
-                return comp
-        raise KeyError(f"no component named {name!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no component named {name!r}") from None
 
     # ------------------------------------------------------------------
     # Stop conditions
     # ------------------------------------------------------------------
-    def add_stop_condition(self, predicate: Callable[[], bool]) -> None:
-        """Stop the run as soon as ``predicate()`` returns True (checked once per cycle)."""
+    def add_stop_condition(
+        self,
+        predicate: Callable[[], bool],
+        next_event: Callable[[int], int | None] | None = None,
+    ) -> None:
+        """Stop the run as soon as ``predicate()`` returns True (checked once per cycle).
+
+        ``predicate`` is assumed to watch *event* state — state that only
+        changes inside a component's :meth:`tick` (task finished, request
+        granted, ...).  Such predicates cannot flip across a fast-forwarded
+        stretch, because cycles are only skipped when every tick in them
+        would be a no-op.  A predicate that instead watches the clock ("stop
+        at cycle X") or the uniform accounting replayed by ``fast_forward``
+        (stall-cycle counters, credit balances, monitor windows — which *do*
+        advance inside a jump) must supply ``next_event``, the same wake-hint
+        contract as components: given the current cycle, return the earliest
+        future cycle at which the predicate could flip, or ``None`` for "no
+        time bound".  Without a hint such a predicate is only observed at the
+        next event boundary, which would end the run later than stepping
+        would have.
+        """
         self._stop_conditions.append(predicate)
+        if next_event is not None:
+            self._stop_hints.append(next_event)
 
     def _should_stop(self) -> bool:
-        return any(predicate() for predicate in self._stop_conditions)
+        # Checked once per executed cycle; a plain loop avoids allocating a
+        # generator + closure pair each time (any() with a genexpr does).
+        for predicate in self._stop_conditions:
+            if predicate():
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Execution
@@ -98,38 +157,102 @@ class Kernel:
         """Advance the simulation by ``cycles`` cycles and return the new time."""
         if self.finished:
             raise SchedulingError("cannot step a kernel that has already finished")
+        tickers = self._tickers
+        post_tickers = self._post_tickers
+        clock = self.clock
         for _ in range(cycles):
-            self._running = True
-            for component in self._components:
+            for component in tickers:
                 component.tick()
-            for component in self._components:
+            for component in post_tickers:
                 component.post_tick()
-            self.clock.advance()
-            self._running = False
-        return self.clock.cycle
+            clock.advance()
+        return clock.cycle
+
+    def _next_wake(self, limit: int) -> int:
+        """Earliest cycle at which any component (or stop hint) may act.
+
+        Returns the current cycle when some component needs to run now (no
+        skipping possible), otherwise a cycle in ``(now, limit]`` to jump to.
+        """
+        clock = self.clock
+        now = clock.cycle
+        wake = limit
+        for component in self._components:
+            hint = component.next_event(now)
+            if hint is None:
+                continue
+            if hint <= now:
+                return now
+            if hint < wake:
+                wake = hint
+        for stop_hint in self._stop_hints:
+            hint = stop_hint(now)
+            if hint is None:
+                continue
+            if hint <= now:
+                return now
+            if hint < wake:
+                wake = hint
+        return wake
+
+    def _jump_to(self, wake: int) -> None:
+        """Fast-forward every component and the clock to cycle ``wake``."""
+        delta = wake - self.clock.cycle
+        for component in self._fast_forwarders:
+            component.fast_forward(delta)
+        self.clock.advance(delta)
+        self.cycles_skipped += delta
 
     def run(self, max_cycles: int = 1_000_000) -> int:
         """Run until a stop condition fires or ``max_cycles`` is reached.
 
-        Returns the number of cycles executed by this call.  Whether the run
-        ended because a stop condition fired (as opposed to exhausting the
-        ``max_cycles`` budget) is recorded in :attr:`stop_condition_fired`;
-        :attr:`truncated` is the complementary view.
+        Returns the number of cycles executed by this call (stepped plus
+        fast-forwarded).  Whether the run ended because a stop condition fired
+        (as opposed to exhausting the ``max_cycles`` budget) is recorded in
+        :attr:`stop_condition_fired`; :attr:`truncated` is the complementary
+        view.
         """
         if self.finished:
             raise SchedulingError("cannot run a kernel that has already finished")
-        start = self.clock.cycle
-        while self.clock.cycle - start < max_cycles:
+        clock = self.clock
+        start = clock.cycle
+        limit = start + max_cycles
+        fast_forward = self.fast_forward and self._all_hinted
+        tickers = self._tickers
+        post_tickers = self._post_tickers
+        stop_fired = False
+        while clock.cycle < limit:
             if self._should_stop():
-                self.stop_condition_fired = True
+                stop_fired = True
                 break
-            self.step()
-        else:
+            if fast_forward:
+                wake = self._next_wake(limit)
+                if wake > clock.cycle:
+                    self._jump_to(wake)
+                    # No tick ran during the jump, so an event-state stop
+                    # predicate (the add_stop_condition contract) cannot have
+                    # flipped: fall straight through to stepping the wake
+                    # cycle.  Only hinted predicates — the ones allowed to
+                    # watch the clock or fast-forwarded accounting — must be
+                    # re-checked, and only the cycle budget can run out.
+                    if self._stop_hints:
+                        continue
+                    if clock.cycle >= limit:
+                        break
+            # One cycle, inlined from step(): this is the hottest loop in the
+            # simulator and the call/loop setup of step(1) is measurable.
+            for component in tickers:
+                component.tick()
+            for component in post_tickers:
+                component.post_tick()
+            clock.advance()
+        if not stop_fired:
             # The loop ran out of cycle budget; a stop condition may still
             # hold at the boundary (e.g. the last step finished the work).
-            self.stop_condition_fired = self._should_stop()
+            stop_fired = self._should_stop()
+        self.stop_condition_fired = stop_fired
         self.finished = True
-        return self.clock.cycle - start
+        return clock.cycle - start
 
     @property
     def truncated(self) -> bool:
@@ -141,6 +264,7 @@ class Kernel:
         self.clock.reset()
         self.finished = False
         self.stop_condition_fired = False
+        self.cycles_skipped = 0
         for component in self._components:
             component.reset()
 

@@ -19,18 +19,30 @@ from dataclasses import dataclass, field
 __all__ = ["Counter", "RunningStats", "Histogram", "StatGroup"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Counter:
-    """A monotonically increasing event counter."""
+    """A monotonically increasing event counter.
+
+    :meth:`increment` sits on the hottest paths of the simulator (several
+    calls per simulated cycle), so the common case is a single unconditional
+    add; the (always-raising) validation of negative amounts lives in a
+    slow-path helper that also rolls the add back, keeping the counter value
+    untouched by a rejected call.
+    """
 
     name: str
     value: int = 0
 
     def increment(self, amount: int = 1) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
-        if amount < 0:
-            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
         self.value += amount
+        if amount < 0:
+            self._reject_negative(amount)
+
+    def _reject_negative(self, amount: int) -> None:
+        """Slow path: undo the speculative add and raise."""
+        self.value -= amount
+        raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
 
     def reset(self) -> None:
         self.value = 0
@@ -116,7 +128,9 @@ class Histogram:
         """Record ``weight`` occurrences of ``value``."""
         if weight <= 0:
             raise ValueError("histogram weight must be positive")
-        self._bins[int(value)] = self._bins.get(int(value), 0) + weight
+        value = int(value)
+        bins = self._bins
+        bins[value] = bins.get(value, 0) + weight
         self.count += weight
 
     def frequency(self, value: int) -> int:

@@ -58,6 +58,12 @@ class GreedyContender(Component):
             return
         self._issue()
 
+    def next_event(self, now: int) -> int | None:
+        """Issue as soon as the previous request completes (a bus event)."""
+        if self._in_flight or self.bus.has_pending(self.core_id):
+            return None
+        return now
+
     def _issue(self) -> None:
         request = BusRequest(
             master_id=self.core_id,
@@ -134,6 +140,32 @@ class WCETModeContender(Component):
             return
         if self.gate.compete:
             self._issue()
+
+    def next_event(self, now: int) -> int | None:
+        """Wake hint honouring the COMP-bit dynamics of Table I.
+
+        The gate's inputs are frozen during a skip except the contender's own
+        budget, which replenishes monotonically while it is not holding the
+        bus.  The only self-scheduled event is therefore the cycle the budget
+        refills while the TuA is requesting, which would set COMP and trigger
+        an issue.  All other transitions ride on bus/TuA events:
+
+        * request in flight — COMP cannot *gain* observable effect until the
+          completion (and while holding, the draining budget keeps the gate
+          shut); the bus hint covers the completion cycle;
+        * COMP already set and free to issue — issue this very tick;
+        * TuA not requesting — the gate cannot open until the TuA's state
+          changes, which is a ticked cycle by construction.
+        """
+        if self._in_flight or self.bus.has_pending(self.core_id):
+            return None
+        if self.gate.compete or self.gate.mode is OperatingMode.OPERATION:
+            return now
+        if not self.tua_request_ready():
+            return None
+        if self._budget_full():
+            return now
+        return now + self.cba.credits[self.core_id].cycles_until_eligible()
 
     def _issue(self) -> None:
         request = BusRequest(

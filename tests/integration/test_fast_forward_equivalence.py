@@ -1,0 +1,177 @@
+"""Fast-forward equivalence matrix.
+
+The event-aware kernel promises that jumping over dead cycles is
+*bit-identical* to stepping through them: same grant/completion cycles, same
+RNG draws, same counters, same pWCET inputs.  These tests enforce the promise
+across every arbitration policy, both cache configurations (random placement
++ replacement vs deterministic modulo + LRU), CBA on and off, and the
+scenarios that exercise every component state (greedy contention, the
+WCET-estimation mode of Table I, multiprogram runs with store buffers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.scenarios import (
+    ScenarioResult,
+    run_max_contention,
+    run_multiprogram,
+    run_wcet_estimation,
+)
+from repro.platform.system import MulticoreSystem
+from repro.sim.config import CBAParameters, PlatformConfig
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.synthetic import cpu_bound_workload, streaming_workload
+
+ARBITERS = [
+    "fifo",
+    "round_robin",
+    "tdma",
+    "lottery",
+    "random_permutations",
+    "fixed_priority",
+]
+
+MAX_CYCLES = 2_000_000
+
+
+def _config(arbitration: str, random_caches: bool, use_cba: bool, **kwargs) -> PlatformConfig:
+    return PlatformConfig(
+        arbitration=arbitration,
+        random_caches=random_caches,
+        use_cba=use_cba,
+        **kwargs,
+    )
+
+
+def _snapshot(result: ScenarioResult) -> dict:
+    """Flatten everything observable about a scenario run for comparison."""
+    system = result.system
+    return {
+        "scenario": result.scenario,
+        "tua_cycles": result.tua_cycles,
+        "truncated": result.truncated,
+        "total_cycles": system.total_cycles,
+        "core_counters": {
+            core: counters.as_dict() for core, counters in system.core_counters.items()
+        },
+        "request_latencies": {
+            core: counters.request_latencies
+            for core, counters in system.core_counters.items()
+        },
+        "bus_utilization": system.bus_utilization,
+        "bandwidth_shares": system.bandwidth_shares,
+        "grants_per_core": system.grants_per_core,
+        "cycles_per_core": system.cycles_per_core,
+        "cba_blocked_cycles": system.cba_blocked_cycles,
+        "l1_miss_rates": system.l1_miss_rates,
+        "l2_miss_rate": system.l2_miss_rate,
+        "extra": system.extra,
+    }
+
+
+@pytest.mark.parametrize("use_cba", [False, True], ids=["plain", "cba"])
+@pytest.mark.parametrize("random_caches", [True, False], ids=["random", "deterministic"])
+@pytest.mark.parametrize("arbitration", ARBITERS)
+def test_max_contention_identical_with_and_without_skipping(
+    arbitration: str, random_caches: bool, use_cba: bool
+):
+    """Greedy contenders keep the bus saturated — the stall-heavy case
+    fast-forwarding exists for — across the full policy/cache/CBA matrix."""
+    config = _config(arbitration, random_caches, use_cba)
+    workload = streaming_workload(num_accesses=150)
+    kwargs = dict(seed=11, run_index=2, max_cycles=MAX_CYCLES)
+    stepped = run_max_contention(workload, config, fast_forward=False, **kwargs)
+    skipped = run_max_contention(workload, config, fast_forward=True, **kwargs)
+    assert _snapshot(stepped) == _snapshot(skipped)
+
+
+@pytest.mark.parametrize("use_cba", [True, False], ids=["cba", "plain"])
+@pytest.mark.parametrize("arbitration", ["random_permutations", "tdma", "round_robin"])
+def test_wcet_estimation_identical_with_and_without_skipping(
+    arbitration: str, use_cba: bool
+):
+    """The Table I analysis-mode contenders gate on the TuA's request line and
+    their own budget — the trickiest wake-hint interaction (COMP-bit dynamics,
+    zeroed TuA budget, budget refill wake-ups)."""
+    config = _config(arbitration, random_caches=True, use_cba=use_cba)
+    workload = streaming_workload(num_accesses=120)
+    kwargs = dict(seed=5, run_index=7, max_cycles=MAX_CYCLES)
+    stepped = run_wcet_estimation(workload, config, fast_forward=False, **kwargs)
+    skipped = run_wcet_estimation(workload, config, fast_forward=True, **kwargs)
+    assert _snapshot(stepped) == _snapshot(skipped)
+
+
+@pytest.mark.parametrize("use_cba", [False, True], ids=["plain", "cba"])
+@pytest.mark.parametrize("arbitration", ["round_robin", "tdma"])
+def test_multiprogram_with_store_buffers_identical(arbitration: str, use_cba: bool):
+    """Real tasks on every core plus write buffers: exercises the buffered
+    store drain, port-wait and store-stall states under fast-forwarding."""
+    config = _config(arbitration, random_caches=True, use_cba=use_cba, store_buffer_entries=2)
+    store_heavy = WorkloadSpec(
+        name="store_heavy",
+        num_accesses=120,
+        working_set_bytes=64 * 1024,
+        mean_compute_gap=2.0,
+        write_fraction=0.6,
+    )
+    workloads = {
+        0: streaming_workload(num_accesses=120),
+        1: store_heavy,
+        2: cpu_bound_workload(num_accesses=80),
+    }
+    kwargs = dict(seed=3, run_index=1, max_cycles=MAX_CYCLES)
+    stepped = run_multiprogram(workloads, config, fast_forward=False, **kwargs)
+    skipped = run_multiprogram(workloads, config, fast_forward=True, **kwargs)
+    assert _snapshot(stepped) == _snapshot(skipped)
+
+
+def _build_contention_system(fast_forward: bool, use_cba: bool) -> MulticoreSystem:
+    config = _config("random_permutations", random_caches=True, use_cba=use_cba)
+    system = MulticoreSystem(config, seed=23, run_index=4, fast_forward=fast_forward)
+    system.add_task(0, streaming_workload(num_accesses=150))
+    for core in range(1, config.num_cores):
+        system.add_greedy_contender(core)
+    return system
+
+
+@pytest.mark.parametrize("use_cba", [False, True], ids=["plain", "cba"])
+def test_internal_state_identical_and_skipping_not_vacuous(use_cba: bool):
+    """Deep comparison below the SystemResult surface: raw bus statistics,
+    windowed monitor accounting and credit-bank totals — plus proof that the
+    fast-forwarded run actually skipped cycles (the matrix must not pass
+    vacuously because nothing was ever jumped)."""
+    stepped = _build_contention_system(fast_forward=False, use_cba=use_cba)
+    skipped = _build_contention_system(fast_forward=True, use_cba=use_cba)
+    stepped.run(max_cycles=MAX_CYCLES)
+    skipped.run(max_cycles=MAX_CYCLES)
+
+    assert stepped.kernel.cycles_skipped == 0
+    assert skipped.kernel.cycles_skipped > 0
+    assert skipped.kernel.clock.cycle == stepped.kernel.clock.cycle
+
+    assert skipped.bus.stats.as_dict() == stepped.bus.stats.as_dict()
+    assert skipped.l2_slave.stats.as_dict() == stepped.l2_slave.stats.as_dict()
+    assert skipped.memory_controller.stats.as_dict() == stepped.memory_controller.stats.as_dict()
+
+    assert skipped.monitor.windows == stepped.monitor.windows
+    assert skipped.monitor.total_busy_per_master == stepped.monitor.total_busy_per_master
+    assert skipped.monitor.total_cycles_observed == stepped.monitor.total_cycles_observed
+
+    if use_cba:
+        assert skipped.cba is not None and stepped.cba is not None
+        assert skipped.cba.budgets() == stepped.cba.budgets()
+        assert skipped.cba.blocked_cycles == stepped.cba.blocked_cycles
+        for fast, slow in zip(skipped.cba.credits.accounts, stepped.cba.credits.accounts):
+            assert fast.total_replenished == slow.total_replenished
+            assert fast.total_drained == slow.total_drained
+
+
+def test_fast_forward_skips_most_cycles_of_a_memory_bound_run():
+    """The point of the PR: in a bus-stall-bound run nearly every cycle is
+    dead time, and the kernel should jump it rather than step it."""
+    system = _build_contention_system(fast_forward=True, use_cba=False)
+    system.run(max_cycles=MAX_CYCLES)
+    total = system.kernel.clock.cycle
+    assert system.kernel.cycles_skipped > 0.8 * total

@@ -19,6 +19,14 @@ class TestCounter:
         with pytest.raises(ValueError):
             Counter("c").increment(-1)
 
+    def test_rejected_negative_increment_leaves_value_untouched(self):
+        # The fast path adds speculatively and the slow path rolls back; a
+        # rejected call must not corrupt the count.
+        counter = Counter("c", value=7)
+        with pytest.raises(ValueError):
+            counter.increment(-3)
+        assert counter.value == 7
+
     def test_reset(self):
         counter = Counter("c", value=9)
         counter.reset()
