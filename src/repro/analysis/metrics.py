@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..sim.errors import AnalysisError
 
 __all__ = [
@@ -67,15 +69,19 @@ def mean_with_confidence(samples: Sequence[float], z: float = 1.96) -> MeanWithC
     The paper averages 1,000 runs per configuration because the randomised
     platform makes individual runs noisy; the confidence interval quantifies
     how well-resolved a reported average is for a smaller run count.
+
+    ``samples`` may be any sequence; a ``float64`` array (the campaign
+    aggregation form) is consumed without copying, and the mean/variance are
+    single vectorised reductions.
     """
-    values = [float(x) for x in samples]
-    if not values:
+    values = np.asarray(samples, dtype=np.float64)
+    if values.size == 0:
         raise AnalysisError("cannot average an empty sample")
-    n = len(values)
-    mean = sum(values) / n
+    n = int(values.size)
+    mean = float(values.mean())
     if n == 1:
         return MeanWithConfidence(mean=mean, half_width=0.0, count=1)
-    variance = sum((x - mean) ** 2 for x in values) / (n - 1)
+    variance = float(values.var(ddof=1))
     half_width = z * math.sqrt(variance / n)
     return MeanWithConfidence(mean=mean, half_width=half_width, count=n)
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from ..sim.errors import ConfigurationError
 from .executor import Executor, SerialExecutor
 from .jobs import CampaignJob, JobResult
@@ -43,17 +45,22 @@ class CampaignReport:
 
 @dataclass(frozen=True)
 class AggregatedRuns:
-    """Per-label aggregation of (possibly block-split) job results."""
+    """Per-label aggregation of (possibly block-split) job results.
+
+    ``samples`` is a read-only ``float64`` array — the columnar form the
+    vectorised MBPTA analysis layer consumes directly, without tuple/list
+    round trips.
+    """
 
     label: str
-    samples: tuple[float, ...]
+    samples: np.ndarray
     metrics: tuple[dict[str, float], ...]
     payloads: tuple[object, ...]
     truncated_runs: int = 0
 
     @property
     def mean(self) -> float:
-        return sum(self.samples) / len(self.samples)
+        return float(self.samples.mean())
 
     def metric_mean(self, name: str) -> float:
         """Average one per-run side-metric over every run of the label."""
@@ -145,7 +152,7 @@ def aggregate_by_label(
 
     aggregated: dict[str, AggregatedRuns] = {}
     for label, label_jobs in by_label.items():
-        samples: list[float] = []
+        sample_blocks: list[np.ndarray] = []
         metrics: list[dict[str, float]] = []
         payloads: list[object] = []
         truncated = 0
@@ -161,20 +168,26 @@ def aggregate_by_label(
                     f"no result for job {job.job_id} ({label!r}); "
                     "was the campaign interrupted?"
                 ) from None
-            samples.extend(result.samples)
+            sample_blocks.append(result.samples_array)
             metrics.extend(result.metrics)
             payloads.extend(result.payloads)
             truncated += result.truncated_runs
+        samples = (
+            np.concatenate(sample_blocks)
+            if sample_blocks
+            else np.empty(0, dtype=np.float64)
+        )
+        samples.setflags(write=False)
         if truncated and not allow_truncated:
             raise ConfigurationError(
-                f"{truncated} of {len(samples)} runs for {label!r} hit their "
+                f"{truncated} of {samples.size} runs for {label!r} hit their "
                 "cycle budget before completing, so their execution times are "
                 "meaningless; increase max_cycles or shrink the workload "
                 "(or pass allow_truncated=True to aggregate anyway)"
             )
         aggregated[label] = AggregatedRuns(
             label=label,
-            samples=tuple(samples),
+            samples=samples,
             metrics=tuple(metrics),
             payloads=tuple(payloads),
             truncated_runs=truncated,

@@ -26,8 +26,11 @@ import hashlib
 import json
 import time
 from dataclasses import asdict, dataclass, field, replace
+from functools import cached_property
 from importlib import import_module
 from typing import Callable, Mapping, Sequence
+
+import numpy as np
 
 from ..sim.config import PlatformConfig
 from ..sim.errors import ConfigurationError
@@ -190,6 +193,18 @@ class JobResult:
     truncated_runs: int = 0
     payloads: tuple[object, ...] = ()
     elapsed_seconds: float = 0.0
+
+    @cached_property
+    def samples_array(self) -> np.ndarray:
+        """The samples as a read-only ``float64`` vector (cached).
+
+        The canonical persisted form stays a tuple (JSON- and
+        pickle-friendly); the array view is what the aggregation layer
+        concatenates into campaign-level sample vectors.
+        """
+        array = np.asarray(self.samples, dtype=np.float64)
+        array.setflags(write=False)
+        return array
 
     def to_dict(self) -> dict[str, object]:
         """JSON-serialisable record for the artifact store."""

@@ -3,7 +3,13 @@
 from .core_model import CoreModel, CoreState
 from .counters import CoreCounters
 from .requests import MemoryAccess, TraceItem
-from .trace import GeneratorTrace, InfiniteTrace, ListTrace, WorkloadTrace
+from .trace import (
+    GeneratorTrace,
+    InfiniteTrace,
+    ListTrace,
+    MaterializedTrace,
+    WorkloadTrace,
+)
 
 __all__ = [
     "CoreModel",
@@ -15,4 +21,5 @@ __all__ = [
     "ListTrace",
     "GeneratorTrace",
     "InfiniteTrace",
+    "MaterializedTrace",
 ]

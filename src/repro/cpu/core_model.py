@@ -13,7 +13,22 @@ task is stalled waiting for it — the relevant abstraction of such a core is a
   request), which is also what makes requests non-split on the bus.
 
 The core walks a :class:`~repro.cpu.trace.WorkloadTrace` and accumulates
-:class:`~repro.cpu.counters.CoreCounters`.
+:class:`~repro.cpu.counters.CoreCounters`.  Two consumption paths exist:
+
+* the generic item-at-a-time path calls ``trace.next_item()`` per item;
+* when the trace is columnar (:class:`~repro.cpu.trace.MaterializedTrace`),
+  the core instead walks the pre-computed ``(gap, address, kind)`` columns
+  with a plain integer cursor — no generator resumption and no
+  ``TraceItem``/``MemoryAccess`` allocation per item.
+
+Both paths normalise each item into the same scalar pending fields
+(``_pending_address``, ``_pending_kind``), so within a run the downstream
+state machine — and therefore every cache access, RNG draw and counter — is
+bit-identical between them (enforced by the columnar equivalence test
+matrix).  The paths differ only on :meth:`CoreModel.reset` reuse of the same
+core across runs: a materialised trace replays its pre-drawn sequence, while
+a lazy generator trace draws a fresh one (see
+:class:`~repro.cpu.trace.MaterializedTrace`).
 """
 
 from __future__ import annotations
@@ -21,11 +36,11 @@ from __future__ import annotations
 from enum import Enum
 
 from ..bus.bus import SharedBus
-from ..bus.transaction import BusRequest
+from ..bus.transaction import AccessType, BusRequest
 from ..cache.l1 import L1Cache
 from ..sim.component import Component
 from .counters import CoreCounters
-from .trace import WorkloadTrace
+from .trace import ACCESS_BY_KIND, KIND_ATOMIC, KIND_BY_ACCESS, KIND_NONE, KIND_WRITE, WorkloadTrace
 
 __all__ = ["CoreState", "CoreModel"]
 
@@ -78,11 +93,23 @@ class CoreModel(Component):
         self._state = CoreState.COMPUTING
         self._compute_remaining = 0
         self._l1_remaining = 0
-        self._pending_access = None
-        self._store_buffer: list = []
+        #: Scalar description of the current item's memory access: an address
+        #: plus a kind code (KIND_NONE when the item is pure compute).  Both
+        #: trace paths fill these, so the rest of the state machine never
+        #: touches TraceItem/MemoryAccess objects.
+        self._pending_address = 0
+        self._pending_kind = KIND_NONE
+        #: Columnar fast path: when the trace is materialised, the cursor
+        #: indexes its (gap, address, kind) columns directly.
+        self._columnar = bool(getattr(trace, "columnar", False))
+        if self._columnar:
+            self._gaps, self._addresses, self._kinds = trace.columns()
+            self._trace_len = len(self._gaps)
+        self._cursor = 0
+        self._store_buffer: list[int] = []
         self._store_in_flight = False
         self._deferred_request: BusRequest | None = None
-        self._stalled_store = None
+        self._stalled_store: int | None = None
         self._started = False
         self._finishing = False
         bus.connect_master(core_id, self)
@@ -212,12 +239,27 @@ class CoreModel(Component):
     # ------------------------------------------------------------------
     def _advance_trace(self) -> None:
         """Fetch the next trace item, or finish the task."""
-        item = self.trace.next_item()
-        if item is None:
-            self._finish()
-            return
-        self._compute_remaining = item.compute_cycles
-        self._pending_access = item.access
+        if self._columnar:
+            cursor = self._cursor
+            if cursor >= self._trace_len:
+                self._finish()
+                return
+            self._cursor = cursor + 1
+            self._compute_remaining = self._gaps[cursor]
+            self._pending_address = self._addresses[cursor]
+            self._pending_kind = self._kinds[cursor]
+        else:
+            item = self.trace.next_item()
+            if item is None:
+                self._finish()
+                return
+            self._compute_remaining = item.compute_cycles
+            access = item.access
+            if access is None:
+                self._pending_kind = KIND_NONE
+            else:
+                self._pending_address = access.address
+                self._pending_kind = KIND_BY_ACCESS[access.access]
         self._state = CoreState.COMPUTING
 
     def _begin_access(self) -> None:
@@ -227,7 +269,7 @@ class CoreModel(Component):
                 self._finishing = False
                 self._finish()
             return
-        if self._pending_access is None:
+        if self._pending_kind == KIND_NONE:
             # Pure compute item: move straight to the next one.
             self.counters.items_completed += 1
             self._advance_trace()
@@ -236,39 +278,34 @@ class CoreModel(Component):
         self._l1_remaining = self.l1_data.hit_latency
 
     def _finish_l1_access(self) -> None:
-        access = self._pending_access
-        assert access is not None
+        kind = self._pending_kind
+        address = self._pending_address
         self.counters.accesses += 1
-        if access.is_atomic:
+        if kind == KIND_ATOMIC:
             # Atomic operations always go to the bus (they are indivisible
             # read-modify-write transactions against the shared level).
             outcome_needs_bus = True
         else:
-            outcome = self.l1_data.access(access.address, access.is_write, self.now)
+            outcome = self.l1_data.access(address, kind == KIND_WRITE, self.now)
             if outcome.hit:
                 self.counters.l1_hits += 1
             outcome_needs_bus = outcome.needs_bus
         if not outcome_needs_bus:
             self.counters.items_completed += 1
-            self._pending_access = None
+            self._pending_kind = KIND_NONE
             self._advance_trace()
             return
-        buffer_store = (
-            self.store_buffer_entries > 0
-            and access.is_write
-            and not access.is_atomic
-        )
-        if buffer_store:
+        if kind == KIND_WRITE and self.store_buffer_entries > 0:
             if len(self._store_buffer) < self.store_buffer_entries:
-                self._accept_buffered_store(access)
+                self._accept_buffered_store(address)
             else:
-                self._stalled_store = access
+                self._stalled_store = address
                 self._state = CoreState.STORE_STALL
             return
         request = BusRequest(
             master_id=self.core_id,
-            address=access.address,
-            access=access.access,
+            address=address,
+            access=ACCESS_BY_KIND[kind],
             issue_cycle=self.now,
         )
         self.counters.bus_requests += 1
@@ -281,12 +318,12 @@ class CoreModel(Component):
             self._state = CoreState.WAITING_BUS
             self.bus.submit(request)
 
-    def _accept_buffered_store(self, access) -> None:
+    def _accept_buffered_store(self, address: int) -> None:
         """Put a store into the write buffer and let the pipeline continue."""
-        self._store_buffer.append(access)
+        self._store_buffer.append(address)
         self.counters.buffered_stores += 1
         self.counters.items_completed += 1
-        self._pending_access = None
+        self._pending_kind = KIND_NONE
         self._advance_trace()
 
     def _drain_store_buffer(self) -> None:
@@ -295,11 +332,11 @@ class CoreModel(Component):
             return
         if self._state in (CoreState.WAITING_BUS, CoreState.WAITING_PORT):
             return
-        access = self._store_buffer.pop(0)
+        address = self._store_buffer.pop(0)
         request = BusRequest(
             master_id=self.core_id,
-            address=access.address,
-            access=access.access,
+            address=address,
+            access=AccessType.WRITE,
             issue_cycle=self.now,
         )
         request.annotate(buffered_store=True)
@@ -313,7 +350,7 @@ class CoreModel(Component):
             # is only complete once its memory effects are globally visible.
             self._state = CoreState.COMPUTING
             self._compute_remaining = 0
-            self._pending_access = None
+            self._pending_kind = KIND_NONE
             self._finishing = True
             return
         self._state = CoreState.FINISHED
@@ -338,7 +375,7 @@ class CoreModel(Component):
             self.counters.bus_wait_cycles -= request.duration
         self.counters.request_latencies.append(request.total_latency)
         self.counters.items_completed += 1
-        self._pending_access = None
+        self._pending_kind = KIND_NONE
         self._advance_trace()
 
     def _complete_buffered_store(self, request: BusRequest) -> None:
@@ -348,9 +385,9 @@ class CoreModel(Component):
             self.counters.bus_hold_cycles += request.duration
         self.counters.request_latencies.append(request.total_latency)
         if self._state is CoreState.STORE_STALL and self._stalled_store is not None:
-            access = self._stalled_store
+            address = self._stalled_store
             self._stalled_store = None
-            self._accept_buffered_store(access)
+            self._accept_buffered_store(address)
         elif self._state is CoreState.WAITING_PORT and self._deferred_request is not None:
             deferred = self._deferred_request
             self._deferred_request = None
@@ -366,7 +403,9 @@ class CoreModel(Component):
         self._state = CoreState.COMPUTING
         self._compute_remaining = 0
         self._l1_remaining = 0
-        self._pending_access = None
+        self._pending_address = 0
+        self._pending_kind = KIND_NONE
+        self._cursor = 0
         self._store_buffer = []
         self._store_in_flight = False
         self._deferred_request = None

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..campaign.campaign import Campaign, aggregate_by_label
 from ..campaign.jobs import seed_block_jobs
 from ..mbpta.protocol import MBPTAResult, mbpta_from_samples
@@ -33,12 +35,16 @@ __all__ = ["MBPTAExperimentResult", "run_mbpta_experiment"]
 
 @dataclass(frozen=True)
 class MBPTAExperimentResult:
-    """pWCET analysis of one benchmark on one bus configuration."""
+    """pWCET analysis of one benchmark on one bus configuration.
+
+    Both sample vectors are read-only ``float64`` arrays, flowing unchanged
+    from the campaign aggregation layer.
+    """
 
     benchmark: str
     configuration: str
     mbpta: MBPTAResult
-    operation_samples: tuple[float, ...]
+    operation_samples: np.ndarray
     reference_exceedance: float
 
     @property
@@ -48,9 +54,9 @@ class MBPTAExperimentResult:
     @property
     def bound_dominates_operation(self) -> bool:
         """Whether the pWCET bound covers every operation-mode observation."""
-        if not self.operation_samples:
+        if len(self.operation_samples) == 0:
             return True
-        return self.pwcet_bound >= max(self.operation_samples)
+        return self.pwcet_bound >= float(np.max(self.operation_samples))
 
     def summary(self) -> dict[str, object]:
         return {
@@ -60,8 +66,8 @@ class MBPTAExperimentResult:
             "iid_ok": self.mbpta.iid_ok,
             "gof_ok": self.mbpta.evt.acceptable,
             "observed_max_analysis": self.mbpta.observed_max,
-            "observed_max_operation": max(self.operation_samples)
-            if self.operation_samples
+            "observed_max_operation": float(np.max(self.operation_samples))
+            if len(self.operation_samples)
             else 0.0,
             "pwcet_bound": self.pwcet_bound,
             "reference_exceedance": self.reference_exceedance,
@@ -117,7 +123,7 @@ def run_mbpta_experiment(
     aggregated = aggregate_by_label(jobs, campaign.run(jobs))
 
     mbpta = mbpta_from_samples(
-        list(aggregated[f"{prefix}/analysis"].samples),
+        aggregated[f"{prefix}/analysis"].samples,
         block_size=block_size,
         metadata={"benchmark": benchmark, "configuration": configuration},
     )
@@ -127,6 +133,6 @@ def run_mbpta_experiment(
         benchmark=benchmark,
         configuration=configuration,
         mbpta=mbpta,
-        operation_samples=tuple(operation_samples),
+        operation_samples=operation_samples,
         reference_exceedance=reference_exceedance,
     )

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+
 from ..analysis.metrics import MeanWithConfidence, mean_with_confidence
 from ..platform.scenarios import ScenarioResult
 from ..sim.config import PlatformConfig
@@ -22,10 +24,14 @@ ScenarioRunner = Callable[..., ScenarioResult]
 
 @dataclass(frozen=True)
 class RepeatedRuns:
-    """Execution-time statistics over repeated randomised runs."""
+    """Execution-time statistics over repeated randomised runs.
+
+    ``samples`` is a read-only ``float64`` array, matching the campaign
+    aggregation layer so sample vectors flow through without conversion.
+    """
 
     label: str
-    samples: tuple[float, ...]
+    samples: np.ndarray
     stats: MeanWithConfidence
 
     @property
@@ -34,11 +40,11 @@ class RepeatedRuns:
 
     @property
     def max_cycles(self) -> float:
-        return max(self.samples)
+        return float(self.samples.max())
 
     @property
     def min_cycles(self) -> float:
-        return min(self.samples)
+        return float(self.samples.min())
 
 
 def repeat_scenario(
@@ -59,26 +65,29 @@ def repeat_scenario(
     """
     if num_runs <= 0:
         raise ValueError("num_runs must be positive")
-    samples = []
+    samples = np.empty(num_runs, dtype=np.float64)
     for run_index in range(num_runs):
         result = scenario(
             workload, config, seed=seed, run_index=run_index, **scenario_kwargs
         )
-        samples.append(float(result.tua_cycles))
+        samples[run_index] = float(result.tua_cycles)
+    samples.setflags(write=False)
     return RepeatedRuns(
         label=label or f"{workload.name}/{config.arbitration}",
-        samples=tuple(samples),
+        samples=samples,
         stats=mean_with_confidence(samples),
     )
 
 
-def runs_from_samples(label: str, samples: Sequence[float]) -> RepeatedRuns:
+def runs_from_samples(label: str, samples: Sequence[float] | np.ndarray) -> RepeatedRuns:
     """Build a :class:`RepeatedRuns` record from already-collected samples.
 
     Used by the campaign-backed experiments, whose samples come back from the
-    executor/store instead of an in-process loop.
+    executor/store instead of an in-process loop; an existing ``float64``
+    array (the aggregation form) is adopted as a read-only view, not copied.
     """
-    values = tuple(float(x) for x in samples)
+    values = np.asarray(samples, dtype=np.float64).view()
+    values.flags.writeable = False
     return RepeatedRuns(label=label, samples=values, stats=mean_with_confidence(values))
 
 

@@ -35,9 +35,11 @@ def block_maxima(samples, block_size: int = 10) -> np.ndarray:
     """Split ``samples`` into consecutive blocks and return each block's maximum.
 
     Trailing observations that do not fill a complete block are dropped, as is
-    standard (they would bias the block-maximum distribution downwards).
+    standard (they would bias the block-maximum distribution downwards).  The
+    extraction is one reshape + row-max over the sample array; a ``float64``
+    input (e.g. the read-only campaign sample vector) is used without copying.
     """
-    data = np.asarray(samples, dtype=float)
+    data = np.asarray(samples, dtype=np.float64)
     if data.ndim != 1:
         raise AnalysisError("samples must be one-dimensional")
     if block_size < 1:
@@ -54,7 +56,7 @@ def block_maxima(samples, block_size: int = 10) -> np.ndarray:
 
 def goodness_of_fit(samples, fit: GumbelFit, alpha: float = 0.05) -> TestResult:
     """One-sample KS test of ``samples`` against the fitted Gumbel."""
-    data = np.asarray(samples, dtype=float)
+    data = np.asarray(samples, dtype=np.float64)
     statistic, p_value = stats.kstest(
         data, "gumbel_r", args=(fit.location, fit.scale)
     )
@@ -103,7 +105,7 @@ def fit_evt(
         # A perfectly deterministic tail (possible for tiny tests): widen it
         # with the raw sample's variability so a degenerate fit still yields a
         # usable, conservative model instead of crashing.
-        raw = np.asarray(samples, dtype=float)
+        raw = np.asarray(samples, dtype=np.float64)
         jitter = max(np.std(raw), 1.0) * 1e-3
         maxima = maxima + np.linspace(0.0, jitter, maxima.size)
     fitter = fit_gumbel_mle if use_mle else fit_gumbel_moments

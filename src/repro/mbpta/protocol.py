@@ -26,16 +26,36 @@ import numpy as np
 from ..sim.errors import AnalysisError
 from .evt import EVTFit, fit_evt
 from .iid import TestResult, iid_test_battery
-from .pwcet import DEFAULT_EXCEEDANCE_GRID, PWCETCurve
+from .pwcet import PWCETCurve
 
 __all__ = ["MBPTAResult", "run_mbpta", "mbpta_from_samples"]
 
 
+def _as_readonly_samples(samples: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Normalise ``samples`` into a read-only ``float64`` vector without copying.
+
+    A ``float64`` array is adopted in place (the returned object is a
+    read-only *view*, so the caller's own array keeps its writeability);
+    anything else — lists, tuples, integer arrays — is converted once.
+    """
+    data = np.asarray(samples, dtype=np.float64)
+    if data.ndim != 1:
+        raise AnalysisError("samples must be one-dimensional")
+    view = data.view()
+    view.flags.writeable = False
+    return view
+
+
 @dataclass(frozen=True)
 class MBPTAResult:
-    """Everything produced by one MBPTA campaign."""
+    """Everything produced by one MBPTA campaign.
 
-    samples: tuple[float, ...]
+    ``samples`` is held as a read-only ``float64`` array — the columnar form
+    every downstream consumer (i.i.d. battery, EVT fit, pWCET grid) operates
+    on directly.
+    """
+
+    samples: np.ndarray
     iid_tests: tuple[TestResult, ...]
     evt: EVTFit
     pwcet: PWCETCurve
@@ -48,48 +68,54 @@ class MBPTAResult:
 
     @property
     def observed_max(self) -> float:
-        return max(self.samples)
+        return float(self.samples.max())
 
     @property
     def observed_mean(self) -> float:
-        return float(np.mean(self.samples))
+        return float(self.samples.mean())
 
     def wcet_at(self, exceedance: float = 1e-12) -> float:
         """Convenience accessor for the pWCET bound at ``exceedance``."""
         return self.pwcet.wcet_at(exceedance)
 
     def summary(self) -> dict[str, object]:
+        pwcet_grid = {f"{p:g}": bound for p, bound in self.pwcet.points()}
         return {
-            "runs": len(self.samples),
+            "runs": int(self.samples.size),
             "mean": self.observed_mean,
             "max": self.observed_max,
             "iid_ok": self.iid_ok,
             "gof_ok": self.evt.acceptable,
-            "pwcet": {f"{p:g}": self.wcet_at(p) for p in DEFAULT_EXCEEDANCE_GRID},
+            "pwcet": pwcet_grid,
             **self.metadata,
         }
 
 
 def mbpta_from_samples(
-    samples: Sequence[float],
+    samples: Sequence[float] | np.ndarray,
     block_size: int = 10,
     alpha: float = 0.05,
     metadata: dict[str, object] | None = None,
 ) -> MBPTAResult:
-    """Run the analysis part of MBPTA on already-collected execution times."""
-    data = [float(x) for x in samples]
-    if len(data) < 20:
+    """Run the analysis part of MBPTA on already-collected execution times.
+
+    ``samples`` may be any sequence; a ``float64`` numpy array is adopted
+    without copying and held read-only, so campaign-sized sample vectors flow
+    straight from the aggregation layer into the analysis.
+    """
+    data = _as_readonly_samples(samples)
+    if data.size < 20:
         raise AnalysisError(
-            f"MBPTA needs a reasonable number of observations (got {len(data)}, want >= 20)"
+            f"MBPTA needs a reasonable number of observations (got {data.size}, want >= 20)"
         )
     tests = tuple(iid_test_battery(data, alpha=alpha))
     # Keep at least five block maxima so the Gumbel fit is well posed even
     # for small measurement campaigns: shrink the block size if necessary.
-    effective_block_size = max(2, min(block_size, len(data) // 5))
+    effective_block_size = max(2, min(block_size, int(data.size) // 5))
     evt = fit_evt(data, block_size=effective_block_size, alpha=alpha)
-    curve = PWCETCurve(evt=evt, observed_max=max(data))
+    curve = PWCETCurve(evt=evt, observed_max=float(data.max()))
     return MBPTAResult(
-        samples=tuple(data),
+        samples=data,
         iid_tests=tests,
         evt=evt,
         pwcet=curve,
@@ -118,7 +144,11 @@ def run_mbpta(
     """
     if num_runs < 20:
         raise AnalysisError("MBPTA needs at least 20 runs")
-    samples = [float(scenario_runner(run)) for run in range(num_runs)]
+    samples = np.fromiter(
+        (float(scenario_runner(run)) for run in range(num_runs)),
+        dtype=np.float64,
+        count=num_runs,
+    )
     return mbpta_from_samples(
         samples, block_size=block_size, alpha=alpha, metadata=metadata
     )

@@ -7,13 +7,17 @@ the integrity level (e.g. 10^-12 per run is a common reference point).
 
 :class:`PWCETCurve` wraps a fitted tail model and answers the two questions
 experiments ask: *what is the bound at probability p?* and *what is the
-probability of exceeding bound x?*  It also materialises the curve at a
-standard grid of probabilities for tabular reports.
+probability of exceeding bound x?*  Both accept either a scalar or a numpy
+array of arguments, so a whole grid of probabilities is evaluated in one
+vectorised call.  The curve also materialises itself at a standard grid of
+probabilities for tabular reports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..sim.errors import AnalysisError
 from .evt import EVTFit
@@ -39,28 +43,49 @@ class PWCETCurve:
     observed_max: float = 0.0
     exceedance_grid: tuple[float, ...] = field(default=DEFAULT_EXCEEDANCE_GRID)
 
-    def wcet_at(self, exceedance: float) -> float:
+    def wcet_at(self, exceedance: float | np.ndarray) -> float | np.ndarray:
         """pWCET bound at the given per-run exceedance probability.
 
         The EVT projection is clamped from below by the observed maximum: a
         probabilistic bound can never be smaller than something that was
-        actually measured.
+        actually measured.  An array argument evaluates every probability in
+        one vectorised call.
         """
+        if isinstance(exceedance, np.ndarray):
+            return np.maximum(
+                self.evt.fit.value_at_exceedance(exceedance), self.observed_max
+            )
         if not 0.0 < exceedance < 1.0:
             raise AnalysisError("exceedance probability must be in (0, 1)")
         return max(self.evt.fit.value_at_exceedance(exceedance), self.observed_max)
 
-    def exceedance_of(self, bound: float) -> float:
-        """Probability that one run exceeds ``bound`` according to the model."""
+    def exceedance_of(self, bound: float | np.ndarray) -> float | np.ndarray:
+        """Probability that one run exceeds ``bound`` according to the curve.
+
+        Consistent with the observed-max clamp of :meth:`wcet_at`: the curve
+        never emits a bound below the observed maximum, so for queries below
+        it the exceedance saturates at 1.0 (something at least that large was
+        actually measured; the raw model tail would not dominate there).
+        """
+        if isinstance(bound, np.ndarray):
+            model = self.evt.fit.exceedance_probability(bound)
+            return np.where(bound < self.observed_max, 1.0, model)
+        if bound < self.observed_max:
+            return 1.0
         return self.evt.fit.exceedance_probability(bound)
 
     def points(self) -> list[tuple[float, float]]:
-        """The curve sampled at the standard grid: (probability, bound) pairs."""
-        return [(p, self.wcet_at(p)) for p in self.exceedance_grid]
+        """The curve sampled at the standard grid: (probability, bound) pairs.
+
+        One vectorised evaluation of the whole grid.
+        """
+        grid = np.asarray(self.exceedance_grid, dtype=np.float64)
+        bounds = self.wcet_at(grid)
+        return [(float(p), float(b)) for p, b in zip(grid, bounds)]
 
     def as_dict(self) -> dict[str, object]:
         return {
             "observed_max": self.observed_max,
-            "points": {f"{p:g}": self.wcet_at(p) for p in self.exceedance_grid},
+            "points": {f"{p:g}": bound for p, bound in self.points()},
             "evt": self.evt.as_dict(),
         }

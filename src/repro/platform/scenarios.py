@@ -55,10 +55,20 @@ class ScenarioResult:
 
 
 def _build_system(
-    config: PlatformConfig, seed: int, run_index: int, label: str, fast_forward: bool = True
+    config: PlatformConfig,
+    seed: int,
+    run_index: int,
+    label: str,
+    fast_forward: bool = True,
+    materialize_traces: bool = True,
 ) -> MulticoreSystem:
     return MulticoreSystem(
-        config, seed=seed, run_index=run_index, label=label, fast_forward=fast_forward
+        config,
+        seed=seed,
+        run_index=run_index,
+        label=label,
+        fast_forward=fast_forward,
+        materialize_traces=materialize_traces,
     )
 
 
@@ -71,6 +81,7 @@ def run_isolation(
     max_cycles: int = 5_000_000,
     allow_truncation: bool = False,
     fast_forward: bool = True,
+    materialize_traces: bool = True,
 ) -> ScenarioResult:
     """Run ``workload`` alone on the platform (the ``*-ISO`` bars of Figure 1).
 
@@ -79,7 +90,12 @@ def run_isolation(
     overhead the paper quantifies at ~3% on average.
     """
     system = _build_system(
-        config, seed, run_index, label=f"{config.arbitration}-iso", fast_forward=fast_forward
+        config,
+        seed,
+        run_index,
+        label=f"{config.arbitration}-iso",
+        fast_forward=fast_forward,
+        materialize_traces=materialize_traces,
     )
     system.add_task(tua_core, workload)
     result = system.run(max_cycles=max_cycles, allow_truncation=allow_truncation)
@@ -101,10 +117,16 @@ def run_max_contention(
     max_cycles: int = 5_000_000,
     allow_truncation: bool = False,
     fast_forward: bool = True,
+    materialize_traces: bool = True,
 ) -> ScenarioResult:
     """Run ``workload`` against greedy maximum-length contenders (``*-CON``)."""
     system = _build_system(
-        config, seed, run_index, label=f"{config.arbitration}-con", fast_forward=fast_forward
+        config,
+        seed,
+        run_index,
+        label=f"{config.arbitration}-con",
+        fast_forward=fast_forward,
+        materialize_traces=materialize_traces,
     )
     system.add_task(tua_core, workload)
     for core in range(config.num_cores):
@@ -129,6 +151,7 @@ def run_wcet_estimation(
     max_cycles: int = 5_000_000,
     allow_truncation: bool = False,
     fast_forward: bool = True,
+    materialize_traces: bool = True,
 ) -> ScenarioResult:
     """Run the analysis-time scenario of Section III-B / Table I.
 
@@ -138,7 +161,12 @@ def run_wcet_estimation(
     hold the bus for ``MaxL`` when granted).
     """
     system = _build_system(
-        config, seed, run_index, label=f"{config.arbitration}-wcet", fast_forward=fast_forward
+        config,
+        seed,
+        run_index,
+        label=f"{config.arbitration}-wcet",
+        fast_forward=fast_forward,
+        materialize_traces=materialize_traces,
     )
     system.add_task(tua_core, workload)
     for core in range(config.num_cores):
@@ -164,10 +192,16 @@ def run_multiprogram(
     max_cycles: int = 10_000_000,
     allow_truncation: bool = False,
     fast_forward: bool = True,
+    materialize_traces: bool = True,
 ) -> ScenarioResult:
     """Consolidate several real tasks (one per core) and run them together."""
     system = _build_system(
-        config, seed, run_index, label=f"{config.arbitration}-multi", fast_forward=fast_forward
+        config,
+        seed,
+        run_index,
+        label=f"{config.arbitration}-multi",
+        fast_forward=fast_forward,
+        materialize_traces=materialize_traces,
     )
     for core_id, workload in workloads.items():
         system.add_task(core_id, workload)

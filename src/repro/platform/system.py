@@ -71,6 +71,7 @@ class MulticoreSystem:
         trace: TraceRecorder | None = None,
         label: str = "",
         fast_forward: bool = True,
+        materialize_traces: bool = True,
     ) -> None:
         """Build the platform.
 
@@ -78,9 +79,21 @@ class MulticoreSystem:
         It is bit-identical to plain stepping (enforced by the equivalence
         test matrix) and on by default; the switch exists for those tests and
         for benchmarking the skipping itself.
+
+        ``materialize_traces`` selects the columnar trace path: each task's
+        trace is pre-computed into parallel ``(gap, address, kind)`` arrays
+        that the core consumes with a cursor.  Bit-identical to the lazy
+        item-at-a-time path for the run this system executes (enforced by the
+        columnar equivalence matrix) and on by default; the switch exists for
+        those tests and benchmarks.  Each run builds a fresh system (the
+        campaign/scenario protocol), so traces are materialised once per run;
+        resetting and re-running the *same* system replays the materialised
+        sequence rather than redrawing it — pass ``materialize_traces=False``
+        if fresh draws across in-place resets are needed.
         """
         self.config = config
         self.label = label or config.arbitration
+        self.materialize_traces = materialize_traces
         self.kernel = Kernel(
             seed=seed,
             run_index=run_index,
@@ -158,7 +171,10 @@ class MulticoreSystem:
         spec = workload.with_updates(
             base_address=workload.base_address + core_id * 0x0100_0000
         )
-        trace = spec.build_trace(streams.stream(f"workload.core{core_id}"))
+        trace = spec.build_trace(
+            streams.stream(f"workload.core{core_id}"),
+            materialize=self.materialize_traces,
+        )
         core = CoreModel(
             name=f"core{core_id}",
             core_id=core_id,

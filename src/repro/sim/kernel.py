@@ -54,6 +54,10 @@ class Kernel:
         self._tickers: list[Component] = []
         self._post_tickers: list[Component] = []
         self._fast_forwarders: list[Component] = []
+        #: Pre-bound ``next_event`` methods, probed once per fast-forward
+        #: opportunity; binding them at registration spares the attribute
+        #: lookup per component per executed cycle.
+        self._hinters: list[Callable[[int], int | None]] = []
         self._all_hinted = True
         self._stop_conditions: list[Callable[[], bool]] = []
         self._stop_hints: list[Callable[[int], int | None]] = []
@@ -91,6 +95,7 @@ class Kernel:
             self._post_tickers.append(component)
         if type(component).fast_forward is not Component.fast_forward:
             self._fast_forwarders.append(component)
+        self._hinters.append(component.next_event)
         if type(component).next_event is Component.next_event:
             # The base hint pins the wake to the current cycle, so one
             # non-opted-in component disables skipping for the whole kernel;
@@ -177,8 +182,8 @@ class Kernel:
         clock = self.clock
         now = clock.cycle
         wake = limit
-        for component in self._components:
-            hint = component.next_event(now)
+        for hinter in self._hinters:
+            hint = hinter(now)
             if hint is None:
                 continue
             if hint <= now:

@@ -24,7 +24,13 @@ import numpy as np
 
 from ..bus.transaction import AccessType
 from ..cpu.requests import MemoryAccess, TraceItem
-from ..cpu.trace import GeneratorTrace, WorkloadTrace
+from ..cpu.trace import (
+    KIND_BY_ACCESS,
+    KIND_NONE,
+    GeneratorTrace,
+    MaterializedTrace,
+    WorkloadTrace,
+)
 from ..sim.errors import WorkloadError
 
 __all__ = ["AddressPattern", "WorkloadSpec"]
@@ -117,8 +123,49 @@ class WorkloadSpec:
         if self.tail_compute_cycles:
             yield TraceItem(compute_cycles=self.tail_compute_cycles, access=None)
 
-    def build_trace(self, rng: np.random.Generator) -> WorkloadTrace:
-        """Build a replayable trace bound to ``rng``."""
+    def generate_columns(
+        self, rng: np.random.Generator
+    ) -> tuple[list[int], list[int], list[int]]:
+        """Generate one run's trace as ``(gaps, addresses, kinds)`` columns.
+
+        The draw helpers are invoked per item in exactly the order
+        :meth:`generate_items` uses (gap, address, access type), so the RNG
+        stream is consumed identically and the columns encode the same
+        sequence the lazy trace would have produced — only without building a
+        ``TraceItem``/``MemoryAccess`` pair per item.
+        """
+        gaps: list[int] = []
+        addresses: list[int] = []
+        kinds: list[int] = []
+        pointer_state = 0
+        for index in range(self.num_accesses):
+            gaps.append(self._draw_gap(rng))
+            address, pointer_state = self._draw_address(rng, index, pointer_state)
+            addresses.append(address)
+            kinds.append(KIND_BY_ACCESS[self._draw_access_type(rng)])
+        if self.tail_compute_cycles:
+            gaps.append(self.tail_compute_cycles)
+            addresses.append(0)
+            kinds.append(KIND_NONE)
+        return gaps, addresses, kinds
+
+    def materialize_trace(self, rng: np.random.Generator) -> MaterializedTrace:
+        """Build one run's trace in columnar form (see :meth:`generate_columns`)."""
+        gaps, addresses, kinds = self.generate_columns(rng)
+        return MaterializedTrace.from_columns(gaps, addresses, kinds, name=self.name)
+
+    def build_trace(
+        self, rng: np.random.Generator, *, materialize: bool = False
+    ) -> WorkloadTrace:
+        """Build a replayable trace bound to ``rng``.
+
+        With ``materialize=True`` the whole run is drawn up front into a
+        :class:`~repro.cpu.trace.MaterializedTrace` (bit-identical items; the
+        workload stream is private to the trace, so eager drawing changes no
+        other component's randomness).  The default stays lazy.
+        """
+        if materialize:
+            return self.materialize_trace(rng)
         return GeneratorTrace(lambda: self.generate_items(rng), name=self.name)
 
     # ------------------------------------------------------------------

@@ -51,16 +51,19 @@ class GreedyContender(Component):
         self.requests_issued = 0
         self.requests_completed = 0
         self._in_flight = False
+        # Probed once per tick and once per wake hint; pre-binding spares the
+        # method lookups on the hot path (same idiom as the bus counters).
+        self._bus_has_pending = bus.has_pending
         bus.connect_master(core_id, self)
 
     def tick(self) -> None:
-        if self._in_flight or self.bus.has_pending(self.core_id):
+        if self._in_flight or self._bus_has_pending(self.core_id):
             return
         self._issue()
 
     def next_event(self, now: int) -> int | None:
         """Issue as soon as the previous request completes (a bus event)."""
-        if self._in_flight or self.bus.has_pending(self.core_id):
+        if self._in_flight or self._bus_has_pending(self.core_id):
             return None
         return now
 
@@ -123,6 +126,7 @@ class WCETModeContender(Component):
         self.requests_issued = 0
         self.requests_completed = 0
         self._in_flight = False
+        self._bus_has_pending = bus.has_pending
         bus.connect_master(core_id, self)
 
     def _budget_full(self) -> bool:
@@ -136,7 +140,7 @@ class WCETModeContender(Component):
             budget_full=self._budget_full(),
             tua_request_ready=bool(self.tua_request_ready()),
         )
-        if self._in_flight or self.bus.has_pending(self.core_id):
+        if self._in_flight or self._bus_has_pending(self.core_id):
             return
         if self.gate.compete:
             self._issue()
@@ -157,7 +161,7 @@ class WCETModeContender(Component):
         * TuA not requesting — the gate cannot open until the TuA's state
           changes, which is a ticked cycle by construction.
         """
-        if self._in_flight or self.bus.has_pending(self.core_id):
+        if self._in_flight or self._bus_has_pending(self.core_id):
             return None
         if self.gate.compete or self.gate.mode is OperatingMode.OPERATION:
             return now

@@ -10,26 +10,13 @@ from __future__ import annotations
 from ..sim.errors import WorkloadError
 from .base import WorkloadSpec
 from .eembc import EEMBC_AUTOBENCH
-from .synthetic import (
-    bus_hog_workload,
-    cpu_bound_workload,
-    mixed_workload,
-    short_request_workload,
-    streaming_workload,
-)
+from .synthetic import SYNTHETIC_BUILDERS
 
 __all__ = ["workload_by_name", "available_workloads", "SYNTHETIC_WORKLOADS"]
 
 
 SYNTHETIC_WORKLOADS: dict[str, WorkloadSpec] = {
-    spec.name: spec
-    for spec in (
-        streaming_workload(),
-        cpu_bound_workload(),
-        bus_hog_workload(),
-        short_request_workload(),
-        mixed_workload(),
-    )
+    name: builder() for name, builder in SYNTHETIC_BUILDERS.items()
 }
 
 

@@ -17,6 +17,9 @@ need a few archetypal traffic patterns:
 
 from __future__ import annotations
 
+from typing import Callable
+
+from ..sim.errors import WorkloadError
 from .base import AddressPattern, WorkloadSpec
 
 __all__ = [
@@ -25,6 +28,8 @@ __all__ = [
     "bus_hog_workload",
     "short_request_workload",
     "mixed_workload",
+    "SYNTHETIC_BUILDERS",
+    "synthetic_workload",
 ]
 
 
@@ -111,6 +116,26 @@ def short_request_workload(
     )
 
 
+#: Name -> default-parameter builder for every synthetic profile, so the
+#: registry, benchmarks and CLI can enumerate the profiles without
+#: re-instantiating this module's knowledge of them.
+SYNTHETIC_BUILDERS: dict[str, Callable[[], WorkloadSpec]] = {}
+
+
+def _register(builder: Callable[..., WorkloadSpec]) -> None:
+    SYNTHETIC_BUILDERS[builder().name] = builder
+
+
+def synthetic_workload(name: str) -> WorkloadSpec:
+    """Return the default-parameter spec of the synthetic profile ``name``."""
+    try:
+        return SYNTHETIC_BUILDERS[name]()
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown synthetic workload {name!r}; available: {sorted(SYNTHETIC_BUILDERS)}"
+        ) from exc
+
+
 def mixed_workload(
     num_accesses: int = 1500,
     name: str = "mixed",
@@ -130,3 +155,14 @@ def mixed_workload(
         description="mixed locality and miss traffic",
         tags=("synthetic", "mixed"),
     )
+
+
+for _builder in (
+    streaming_workload,
+    cpu_bound_workload,
+    bus_hog_workload,
+    short_request_workload,
+    mixed_workload,
+):
+    _register(_builder)
+del _builder

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.campaign.campaign import Campaign, aggregate_by_label
@@ -44,7 +45,7 @@ def test_duplicate_jobs_run_once_and_share_results(tiny_workload):
     report = campaign.last_report
     assert report.deduplicated_jobs == len(jobs)
     agg = aggregate_by_label(jobs + relabelled, results)
-    assert agg["first"].samples == agg["second"].samples
+    assert np.array_equal(agg["first"].samples, agg["second"].samples)
 
 
 def test_resume_skips_completed_jobs(tiny_workload, tmp_path):
@@ -61,7 +62,7 @@ def test_resume_skips_completed_jobs(tiny_workload, tmp_path):
 
     assert executor.executed == []
     assert resumed.last_report.all_reused
-    assert aggregate_by_label(jobs, results)["tiny"].samples == baseline
+    assert np.array_equal(aggregate_by_label(jobs, results)["tiny"].samples, baseline)
 
 
 def test_resume_runs_only_the_missing_jobs(tiny_workload, tmp_path):

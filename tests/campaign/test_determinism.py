@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.campaign.campaign import Campaign
 from repro.campaign.executor import ParallelExecutor
 from repro.experiments.figure1 import run_figure1
@@ -21,7 +23,7 @@ def test_figure1_parallel_matches_serial_exactly():
     assert parallel.slowdowns == serial.slowdowns
     for benchmark, runs in serial.runs.items():
         for label, record in runs.items():
-            assert parallel.runs[benchmark][label].samples == record.samples
+            assert np.array_equal(parallel.runs[benchmark][label].samples, record.samples)
 
 
 def test_mbpta_parallel_matches_serial_exactly():
@@ -32,6 +34,6 @@ def test_mbpta_parallel_matches_serial_exactly():
     parallel = run_mbpta_experiment(
         campaign=Campaign(executor=ParallelExecutor(max_workers=3)), **kwargs
     )
-    assert parallel.mbpta.samples == serial.mbpta.samples
-    assert parallel.operation_samples == serial.operation_samples
+    assert np.array_equal(parallel.mbpta.samples, serial.mbpta.samples)
+    assert np.array_equal(parallel.operation_samples, serial.operation_samples)
     assert parallel.pwcet_bound == serial.pwcet_bound

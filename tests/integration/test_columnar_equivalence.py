@@ -1,0 +1,197 @@
+"""Columnar trace equivalence matrix.
+
+The columnar data path promises that a run whose traces are pre-materialised
+into ``(gap, address, kind)`` arrays — and consumed by the core's cursor —
+is *bit-identical* to the item-at-a-time run: same RNG draws, same cache
+outcomes, same grant/completion cycles, same counters, same pWCET inputs.
+These tests enforce the promise across every arbitration policy, CBA on and
+off, and the scenarios that exercise every consumption state (greedy
+contention, the Table I WCET-estimation mode, multiprogram runs with store
+buffers), mirroring the fast-forward equivalence matrix of PR 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import MaterializedTrace
+from repro.platform.scenarios import (
+    ScenarioResult,
+    run_max_contention,
+    run_multiprogram,
+    run_wcet_estimation,
+)
+from repro.platform.system import MulticoreSystem
+from repro.sim.config import PlatformConfig
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.synthetic import cpu_bound_workload, mixed_workload
+
+ARBITERS = [
+    "fifo",
+    "round_robin",
+    "tdma",
+    "lottery",
+    "random_permutations",
+    "fixed_priority",
+]
+
+MAX_CYCLES = 2_000_000
+
+
+def _config(arbitration: str, use_cba: bool, **kwargs) -> PlatformConfig:
+    return PlatformConfig(
+        arbitration=arbitration, random_caches=True, use_cba=use_cba, **kwargs
+    )
+
+
+def _snapshot(result: ScenarioResult) -> dict:
+    """Flatten everything observable about a scenario run for comparison."""
+    system = result.system
+    return {
+        "scenario": result.scenario,
+        "tua_cycles": result.tua_cycles,
+        "truncated": result.truncated,
+        "total_cycles": system.total_cycles,
+        "core_counters": {
+            core: counters.as_dict() for core, counters in system.core_counters.items()
+        },
+        "request_latencies": {
+            core: counters.request_latencies
+            for core, counters in system.core_counters.items()
+        },
+        "bus_utilization": system.bus_utilization,
+        "bandwidth_shares": system.bandwidth_shares,
+        "grants_per_core": system.grants_per_core,
+        "cycles_per_core": system.cycles_per_core,
+        "cba_blocked_cycles": system.cba_blocked_cycles,
+        "l1_miss_rates": system.l1_miss_rates,
+        "l2_miss_rate": system.l2_miss_rate,
+        "extra": system.extra,
+    }
+
+
+@pytest.fixture
+def varied_workload() -> WorkloadSpec:
+    """A workload exercising every access kind and the pure-compute tail."""
+    return WorkloadSpec(
+        name="varied",
+        num_accesses=150,
+        working_set_bytes=32 * 1024,
+        mean_compute_gap=4.0,
+        gap_variability=0.6,
+        write_fraction=0.3,
+        atomic_fraction=0.05,
+        hot_fraction=0.4,
+        hot_region_bytes=2 * 1024,
+        tail_compute_cycles=25,
+    )
+
+
+@pytest.mark.parametrize("use_cba", [False, True], ids=["plain", "cba"])
+@pytest.mark.parametrize("arbitration", ARBITERS)
+def test_max_contention_identical_with_and_without_materialization(
+    arbitration: str, use_cba: bool, varied_workload: WorkloadSpec
+):
+    """Greedy contention across the full policy/CBA matrix, with a workload
+    that mixes reads, writes, atomics, hot-region reuse and a compute tail."""
+    config = _config(arbitration, use_cba)
+    kwargs = dict(seed=11, run_index=2, max_cycles=MAX_CYCLES)
+    lazy = run_max_contention(
+        varied_workload, config, materialize_traces=False, **kwargs
+    )
+    columnar = run_max_contention(
+        varied_workload, config, materialize_traces=True, **kwargs
+    )
+    assert _snapshot(lazy) == _snapshot(columnar)
+
+
+@pytest.mark.parametrize("use_cba", [True, False], ids=["cba", "plain"])
+@pytest.mark.parametrize("arbitration", ["random_permutations", "tdma", "round_robin"])
+def test_wcet_estimation_identical_with_and_without_materialization(
+    arbitration: str, use_cba: bool, varied_workload: WorkloadSpec
+):
+    """The Table I analysis-mode scenario: the contenders observe the TuA's
+    request line, which the cursor path must toggle on exactly the same
+    cycles as the item-at-a-time path."""
+    config = _config(arbitration, use_cba)
+    kwargs = dict(seed=5, run_index=7, max_cycles=MAX_CYCLES)
+    lazy = run_wcet_estimation(
+        varied_workload, config, materialize_traces=False, **kwargs
+    )
+    columnar = run_wcet_estimation(
+        varied_workload, config, materialize_traces=True, **kwargs
+    )
+    assert _snapshot(lazy) == _snapshot(columnar)
+
+
+@pytest.mark.parametrize("use_cba", [False, True], ids=["plain", "cba"])
+@pytest.mark.parametrize("arbitration", ["round_robin", "tdma"])
+def test_multiprogram_with_store_buffers_identical(arbitration: str, use_cba: bool):
+    """Real tasks on every core plus write buffers: exercises the buffered
+    store drain, port-wait and store-stall states on the cursor path."""
+    config = _config(arbitration, use_cba, store_buffer_entries=2)
+    store_heavy = WorkloadSpec(
+        name="store_heavy",
+        num_accesses=120,
+        working_set_bytes=64 * 1024,
+        mean_compute_gap=2.0,
+        write_fraction=0.6,
+    )
+    workloads = {
+        0: mixed_workload(num_accesses=120),
+        1: store_heavy,
+        2: cpu_bound_workload(num_accesses=80),
+    }
+    kwargs = dict(seed=3, run_index=1, max_cycles=MAX_CYCLES)
+    lazy = run_multiprogram(workloads, config, materialize_traces=False, **kwargs)
+    columnar = run_multiprogram(workloads, config, materialize_traces=True, **kwargs)
+    assert _snapshot(lazy) == _snapshot(columnar)
+
+
+@pytest.mark.parametrize("materialize", [False, True], ids=["lazy", "columnar"])
+@pytest.mark.parametrize("fast_forward", [False, True], ids=["stepped", "skipped"])
+def test_columnar_and_fast_forward_compose(
+    fast_forward: bool, materialize: bool, varied_workload: WorkloadSpec
+):
+    """All four (fast_forward x materialize) combinations are bit-identical:
+    the PR 2 and columnar equivalence guarantees compose."""
+    config = _config("random_permutations", use_cba=True)
+    result = run_wcet_estimation(
+        varied_workload,
+        config,
+        seed=23,
+        run_index=4,
+        max_cycles=MAX_CYCLES,
+        fast_forward=fast_forward,
+        materialize_traces=materialize,
+    )
+    baseline = run_wcet_estimation(
+        varied_workload,
+        config,
+        seed=23,
+        run_index=4,
+        max_cycles=MAX_CYCLES,
+        fast_forward=False,
+        materialize_traces=False,
+    )
+    assert _snapshot(result) == _snapshot(baseline)
+
+
+def test_materialization_is_not_vacuous(varied_workload: WorkloadSpec):
+    """The columnar run must actually use a materialised trace (and the lazy
+    run must not), so the matrix cannot pass by comparing identical paths."""
+    config = _config("random_permutations", use_cba=False)
+    columnar = MulticoreSystem(config, seed=1, run_index=0, materialize_traces=True)
+    lazy = MulticoreSystem(config, seed=1, run_index=0, materialize_traces=False)
+    columnar_core = columnar.add_task(0, varied_workload)
+    lazy_core = lazy.add_task(0, varied_workload)
+    assert isinstance(columnar_core.trace, MaterializedTrace)
+    assert not isinstance(lazy_core.trace, MaterializedTrace)
+    # The columnar trace holds the whole run pre-computed as parallel arrays.
+    trace = columnar_core.trace
+    assert len(trace) == varied_workload.num_accesses + 1  # + compute tail
+    assert trace.compute_gaps.dtype == np.int64
+    assert trace.addresses.dtype == np.int64
+    assert trace.kinds.dtype == np.int8
+    assert not trace.compute_gaps.flags.writeable

@@ -46,6 +46,27 @@ def test_run_mbpta_invokes_the_scenario_runner_once_per_run(rng):
     assert len(result.samples) == 40
 
 
+def test_samples_are_held_as_a_readonly_array_without_copying(rng):
+    source = np.asarray(rng.gumbel(30_000, 500, size=200), dtype=np.float64)
+    result = mbpta_from_samples(source)
+    assert isinstance(result.samples, np.ndarray)
+    assert result.samples.dtype == np.float64
+    # No copy: the held array is a view over the caller's buffer...
+    assert result.samples.base is source or np.shares_memory(result.samples, source)
+    # ...that cannot be written through, while the caller's array is untouched.
+    assert not result.samples.flags.writeable
+    assert source.flags.writeable
+    with pytest.raises(ValueError):
+        result.samples[0] = 0.0
+
+
+def test_list_input_still_produces_the_same_summary(rng):
+    values = [float(x) for x in rng.gumbel(30_000, 500, size=100)]
+    from_list = mbpta_from_samples(values, block_size=10)
+    from_array = mbpta_from_samples(np.asarray(values), block_size=10)
+    assert from_list.summary() == from_array.summary()
+
+
 def test_iid_flag_reflects_failing_tests():
     # A strongly trending sequence must be flagged as not i.i.d.
     samples = np.linspace(1_000, 2_000, 100) + np.random.default_rng(0).normal(0, 5, 100)

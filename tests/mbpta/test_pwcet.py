@@ -1,5 +1,6 @@
 """Tests for the pWCET curve."""
 
+import numpy as np
 import pytest
 
 from repro.mbpta.evt import fit_evt
@@ -33,6 +34,32 @@ def test_points_cover_the_default_grid(curve):
 def test_exceedance_of_inverts_the_bound(curve):
     bound = curve.wcet_at(1e-6)
     assert curve.exceedance_of(bound) <= 1.1e-6
+
+
+def test_exceedance_of_saturates_below_the_observed_maximum(curve):
+    """Consistency with the observed-max clamp of wcet_at: a bound below
+    something actually measured is exceeded with probability 1, not with the
+    raw (non-dominating) model tail probability."""
+    below = curve.observed_max - 1.0
+    assert curve.exceedance_of(below) == 1.0
+    assert curve.exceedance_of(curve.observed_max) < 1.0
+    raw_model = curve.evt.fit.exceedance_probability(below)
+    assert raw_model < 1.0  # the clamp is not vacuous
+
+
+def test_exceedance_of_vector_matches_scalars(curve):
+    bounds = np.array(
+        [curve.observed_max - 5.0, curve.observed_max + 100.0, curve.wcet_at(1e-9)]
+    )
+    vector = curve.exceedance_of(bounds)
+    assert list(vector) == [curve.exceedance_of(float(b)) for b in bounds]
+
+
+def test_wcet_at_vector_matches_scalars(curve):
+    grid = np.asarray(DEFAULT_EXCEEDANCE_GRID)
+    vector = curve.wcet_at(grid)
+    assert isinstance(vector, np.ndarray)
+    assert list(vector) == [curve.wcet_at(float(p)) for p in grid]
 
 
 def test_invalid_exceedance_rejected(curve):

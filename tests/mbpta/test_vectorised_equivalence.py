@@ -1,0 +1,177 @@
+"""Golden-value equivalence: vectorised analysis vs scalar references.
+
+The vectorised MBPTA layer (one-pass Ljung–Box, Newton-MLE Gumbel fit,
+vector pWCET grid) must reproduce what the straightforward scalar
+implementations compute.  The scalar references live *here*, written as the
+obvious per-lag / per-point Python loops (the pre-refactor implementations),
+and every comparison is at float64 precision (tiny reassociation differences
+of vectorised reductions only, bounded at 1e-12 relative).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.mbpta.gumbel import GumbelFit, fit_gumbel_mle, fit_gumbel_moments
+from repro.mbpta.iid import iid_test_battery, ljung_box_test, runs_test
+from repro.mbpta.pwcet import DEFAULT_EXCEEDANCE_GRID, PWCETCurve
+from repro.mbpta.evt import fit_evt
+
+
+@pytest.fixture
+def samples(rng) -> np.ndarray:
+    return rng.gumbel(loc=30_000.0, scale=600.0, size=1000)
+
+
+# ----------------------------------------------------------------------
+# Scalar reference implementations (the pre-vectorisation code paths)
+# ----------------------------------------------------------------------
+def _ljung_box_scalar(data: np.ndarray, lags: int = 10) -> float:
+    """Per-lag Python loop over dot products (the original implementation)."""
+    n = data.size
+    lags = min(lags, n // 4)
+    centred = data - data.mean()
+    denominator = float(np.dot(centred, centred))
+    q = 0.0
+    for lag in range(1, lags + 1):
+        autocorr = float(np.dot(centred[lag:], centred[:-lag])) / denominator
+        q += autocorr * autocorr / (n - lag)
+    return q * n * (n + 2)
+
+
+def _gumbel_mle_scalar(data: np.ndarray, beta0: float) -> tuple[float, float]:
+    """Scalar-loop Newton solve of the same likelihood equations."""
+    values = [float(x) for x in data]
+    n = len(values)
+    minimum = min(values)
+    mean = sum(values) / n
+    beta = beta0
+    for _ in range(100):
+        sum_z = sum_xz = sum_zu = sum_xzu = 0.0
+        for x in values:
+            z = math.exp(-(x - minimum) / beta)
+            u = (x - minimum) / (beta * beta)
+            sum_z += z
+            sum_xz += x * z
+            sum_zu += z * u
+            sum_xzu += x * z * u
+        f = beta - mean + sum_xz / sum_z
+        derivative = 1.0 + (sum_xzu * sum_z - sum_xz * sum_zu) / (sum_z * sum_z)
+        step = f / derivative
+        beta -= step
+        if abs(step) <= 1e-12 * max(1.0, abs(beta)):
+            break
+    sum_z = sum(math.exp(-(x - minimum) / beta) for x in values)
+    location = minimum - beta * math.log(sum_z / n)
+    return location, beta
+
+
+def _pwcet_grid_scalar(curve: PWCETCurve, grid) -> list[float]:
+    """Per-point loop through the scalar wcet_at path."""
+    return [curve.wcet_at(p) for p in grid]
+
+
+# ----------------------------------------------------------------------
+# Equivalence tests
+# ----------------------------------------------------------------------
+def test_ljung_box_matches_scalar_loop(samples):
+    result = ljung_box_test(samples)
+    reference_q = _ljung_box_scalar(np.asarray(samples, dtype=np.float64))
+    assert result.statistic == pytest.approx(reference_q, rel=1e-12)
+    assert result.p_value == pytest.approx(
+        float(stats.chi2.sf(reference_q, df=10)), rel=1e-9
+    )
+
+
+def test_ljung_box_matches_scalar_loop_on_correlated_data(rng):
+    # A strongly autocorrelated series: the vectorised path must agree on
+    # failing inputs, not only on well-behaved i.i.d. ones.
+    noise = rng.normal(0.0, 1.0, size=600)
+    correlated = np.cumsum(noise) + 50.0
+    result = ljung_box_test(correlated)
+    assert result.statistic == pytest.approx(_ljung_box_scalar(correlated), rel=1e-12)
+    assert not result.passed
+
+
+def test_ljung_box_fft_branch_matches_scalar_loop(rng):
+    """Many-lag analyses route through the FFT autocovariance sweep, which
+    must agree with the per-lag dot products (looser bound: FFT round-off,
+    still far inside statistical relevance)."""
+    from repro.mbpta.iid import _AUTOCOVARIANCE_FFT_LAGS
+
+    lags = _AUTOCOVARIANCE_FFT_LAGS * 2
+    big = rng.gumbel(30_000.0, 600.0, size=4000)
+    result = ljung_box_test(big, lags=lags)
+    assert result.statistic == pytest.approx(
+        _ljung_box_scalar(big, lags=lags), rel=1e-8, abs=1e-8
+    )
+
+
+def test_gumbel_newton_matches_scalar_newton(samples):
+    maxima = np.asarray(samples, dtype=np.float64).reshape(100, 10).max(axis=1)
+    guess = fit_gumbel_moments(maxima)
+    fit = fit_gumbel_mle(maxima)
+    ref_location, ref_scale = _gumbel_mle_scalar(maxima, guess.scale)
+    assert fit.method == "mle"
+    assert fit.location == pytest.approx(ref_location, rel=1e-12)
+    assert fit.scale == pytest.approx(ref_scale, rel=1e-12)
+
+
+def test_gumbel_newton_solves_the_likelihood_equations(samples):
+    maxima = np.asarray(samples, dtype=np.float64).reshape(100, 10).max(axis=1)
+    fit = fit_gumbel_mle(maxima)
+    z = np.exp(-(maxima - maxima.min()) / fit.scale)
+    scale_residual = fit.scale - maxima.mean() + float(np.dot(maxima, z) / z.sum())
+    assert abs(scale_residual) < 1e-9 * fit.scale
+    # Location equation: mu = -beta * log(mean(exp(-x / beta))).
+    location = maxima.min() - fit.scale * math.log(float(z.mean()))
+    assert fit.location == pytest.approx(location, rel=1e-12)
+
+
+def test_gumbel_newton_agrees_with_scipy_optimiser(samples):
+    maxima = np.asarray(samples, dtype=np.float64).reshape(100, 10).max(axis=1)
+    fit = fit_gumbel_mle(maxima)
+    guess = fit_gumbel_moments(maxima)
+    scipy_loc, scipy_scale = stats.gumbel_r.fit(
+        maxima, loc=guess.location, scale=guess.scale
+    )
+    # scipy's generic optimiser stops at ~1e-4 absolute; Newton refines the
+    # same root to machine precision, so agreement is loose but real.
+    assert fit.location == pytest.approx(float(scipy_loc), rel=1e-3)
+    assert fit.scale == pytest.approx(float(scipy_scale), rel=1e-3)
+
+
+def test_vector_value_at_exceedance_matches_scalar_path():
+    fit = GumbelFit(location=30_000.0, scale=500.0)
+    grid = np.array([0.5, 1e-3, 1e-6, 1e-9, 1e-12, 1e-15])
+    vector = fit.value_at_exceedance(grid)
+    scalar = [fit.value_at_exceedance(float(p)) for p in grid]
+    assert vector == pytest.approx(scalar, rel=1e-15)
+
+
+def test_pwcet_grid_matches_scalar_loop(samples):
+    evt = fit_evt(samples, block_size=10)
+    curve = PWCETCurve(evt=evt, observed_max=float(np.max(samples)))
+    grid = np.asarray(DEFAULT_EXCEEDANCE_GRID)
+    vector = curve.wcet_at(grid)
+    scalar = _pwcet_grid_scalar(curve, DEFAULT_EXCEEDANCE_GRID)
+    assert vector == pytest.approx(scalar, rel=1e-15)
+    assert [bound for _, bound in curve.points()] == pytest.approx(scalar, rel=1e-15)
+
+
+def test_battery_accepts_readonly_arrays_and_matches_lists(samples):
+    frozen = np.asarray(samples, dtype=np.float64).copy()
+    frozen.setflags(write=False)
+    from_array = iid_test_battery(frozen)
+    from_list = iid_test_battery([float(x) for x in samples])
+    assert [t.as_dict() for t in from_array] == [t.as_dict() for t in from_list]
+
+
+def test_runs_test_statistic_is_exact_under_both_input_forms(samples):
+    frozen = np.asarray(samples, dtype=np.float64).copy()
+    frozen.setflags(write=False)
+    assert runs_test(frozen).statistic == runs_test(list(samples)).statistic

@@ -129,6 +129,58 @@ class TestGeneration:
         assert spec.num_accesses == 10
 
 
+class TestColumnarGeneration:
+    def spec(self) -> WorkloadSpec:
+        return WorkloadSpec(
+            name="w",
+            num_accesses=300,
+            mean_compute_gap=6.0,
+            gap_variability=0.5,
+            write_fraction=0.3,
+            atomic_fraction=0.1,
+            hot_fraction=0.4,
+            pattern=AddressPattern.STRIDED,
+            tail_compute_cycles=12,
+        )
+
+    def test_generate_columns_is_bit_identical_to_generate_items(self):
+        """The columnar generator must consume the RNG stream in exactly the
+        item-at-a-time order, so both paths encode the same run."""
+        from repro.cpu.trace import KIND_BY_ACCESS, KIND_NONE
+
+        spec = self.spec()
+        items = list(spec.generate_items(np.random.default_rng(42)))
+        gaps, addresses, kinds = spec.generate_columns(np.random.default_rng(42))
+        assert len(items) == len(gaps) == len(addresses) == len(kinds)
+        for item, gap, address, kind in zip(items, gaps, addresses, kinds):
+            assert item.compute_cycles == gap
+            if item.access is None:
+                assert kind == KIND_NONE
+            else:
+                assert item.access.address == address
+                assert KIND_BY_ACCESS[item.access.access] == kind
+
+    def test_materialize_trace_equals_materializing_the_lazy_trace(self):
+        spec = self.spec()
+        direct = spec.materialize_trace(np.random.default_rng(9))
+        walked = spec.build_trace(np.random.default_rng(9)).materialize()
+        assert np.array_equal(direct.compute_gaps, walked.compute_gaps)
+        assert np.array_equal(direct.addresses, walked.addresses)
+        assert np.array_equal(direct.kinds, walked.kinds)
+
+    def test_build_trace_materialize_flag(self):
+        from repro.cpu.trace import MaterializedTrace
+
+        spec = self.spec()
+        assert isinstance(
+            spec.build_trace(np.random.default_rng(0), materialize=True),
+            MaterializedTrace,
+        )
+        assert not isinstance(
+            spec.build_trace(np.random.default_rng(0)), MaterializedTrace
+        )
+
+
 @given(
     st.integers(min_value=1, max_value=300),
     st.floats(min_value=0.0, max_value=1.0),
