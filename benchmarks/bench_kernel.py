@@ -1,9 +1,16 @@
-"""Wall-clock benchmark harness for the event-aware fast-forward kernel.
+"""Wall-clock benchmark harness for the simulation kernel's fast paths.
 
-Runs the paper's campaign scenarios once with fast-forwarding disabled
-(cycle-by-cycle stepping) and once enabled, verifies the results are
-bit-identical, and writes a ``BENCH_kernel.json`` report so the performance
-trajectory of the simulator is tracked from PR to PR.
+Runs the paper's campaign scenarios in three modes of the same binary —
+cycle-by-cycle stepping, event-aware fast-forwarding (the PR 3 default), and
+fast-forwarding plus the batch interpreter (the current default) — verifies
+all three are bit-identical, and writes a ``BENCH_kernel.json`` report so the
+performance trajectory of the simulator is tracked from PR to PR.
+
+The harness doubles as the CI regression gate for the batch path: the
+``low_contention/*`` scenarios are the tracked campaign wall-clock, and the
+process exits non-zero if the batch path regresses any of them by more than
+20% against the fast-forward baseline measured in the same process (a
+same-machine comparison, immune to runner speed differences).
 
 Not named ``test_*`` on purpose: this is a standalone harness (pytest tier-1
 must stay fast), run directly or by the CI ``bench`` job::
@@ -11,12 +18,11 @@ must stay fast), run directly or by the CI ``bench`` job::
     python benchmarks/bench_kernel.py --output BENCH_kernel.json
     python benchmarks/bench_kernel.py --quick      # CI-sized workloads
 
-Reading the numbers: ``speedup_vs_stepping`` compares the two modes of the
-*same* binary, so it isolates what cycle-skipping buys on top of this PR's
-hot-path work.  The hot-path overhaul also made the stepping baseline itself
-roughly 2x faster than the pre-PR code, so the end-to-end campaign speedup
-versus the previous revision is larger than this number (5-8x measured at PR
-time; see README "Performance").
+Reading the numbers: ``speedup_vs_stepping`` isolates what cycle-skipping
+buys over stepping; ``speedup_batch_vs_fast_forward`` isolates what the batch
+interpreter buys on top of that (large on low-contention/L1-resident runs,
+where whole hit stretches collapse into single events; ~neutral on
+memory-latency-bound runs, where every access goes to the bus anyway).
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.platform.scenarios import (  # noqa: E402  (path bootstrap above)
     ScenarioResult,
+    run_isolation,
     run_max_contention,
     run_wcet_estimation,
 )
@@ -42,6 +49,10 @@ from repro.workloads.base import WorkloadSpec  # noqa: E402
 from repro.workloads.synthetic import streaming_workload  # noqa: E402
 
 MAX_CYCLES = 20_000_000
+
+#: Regression gate: the batch path may not be more than this factor slower
+#: than the fast-forward baseline on any tracked low-contention scenario.
+REGRESSION_FACTOR = 1.2
 
 
 @dataclass(frozen=True)
@@ -53,12 +64,19 @@ class BenchScenario:
     config: PlatformConfig
     workload: WorkloadSpec
 
+    @property
+    def tracked(self) -> bool:
+        """Whether this scenario is part of the batch regression gate."""
+        return self.name.startswith("low_contention/")
+
 
 def scenarios(accesses: int) -> list[BenchScenario]:
     """The benchmark grid: memory-latency-bound contention runs (every access
     of the task under analysis misses to DRAM while greedy neighbours keep
     maximum-length transactions pending) across the paper's key bus
-    configurations, plus the Table I analysis-mode scenario."""
+    configurations, the Table I analysis-mode scenario, and the tracked
+    low-contention campaign runs (L1-resident working sets where the batch
+    interpreter collapses whole hit stretches into single events)."""
     streaming = streaming_workload(num_accesses=accesses)
     memlat = WorkloadSpec(
         name="memlat",
@@ -68,11 +86,36 @@ def scenarios(accesses: int) -> list[BenchScenario]:
         gap_variability=0.5,
         write_fraction=0.2,
     )
+    # The working set fits in half the (default 4 KiB) L1: after the cold
+    # misses nearly every read hits, which is the regime MBPTA isolation
+    # campaigns and cache-friendly tasks spend their time in.
+    l1_resident = WorkloadSpec(
+        name="l1_resident",
+        num_accesses=accesses * 4,
+        working_set_bytes=2 * 1024,
+        mean_compute_gap=6.0,
+        gap_variability=0.5,
+        write_fraction=0.0,
+        hot_fraction=0.2,
+        hot_region_bytes=512,
+    )
 
     def config(arbitration: str, use_cba: bool = False) -> PlatformConfig:
         return PlatformConfig(arbitration=arbitration, use_cba=use_cba)
 
     return [
+        BenchScenario(
+            "low_contention/isolation/round_robin",
+            run_isolation,
+            config("round_robin"),
+            l1_resident,
+        ),
+        BenchScenario(
+            "low_contention/isolation/random_permutations+cba",
+            run_isolation,
+            config("random_permutations", use_cba=True),
+            l1_resident,
+        ),
         BenchScenario(
             "contention/random_permutations",
             run_max_contention,
@@ -134,7 +177,7 @@ def _time_best(fn: Callable[[], ScenarioResult], repeats: int) -> tuple[float, S
 
 
 def bench_scenario(scenario: BenchScenario, repeats: int) -> dict:
-    def run(fast_forward: bool) -> ScenarioResult:
+    def run(fast_forward: bool, batch: bool) -> ScenarioResult:
         return scenario.runner(
             scenario.workload,
             scenario.config,
@@ -142,24 +185,33 @@ def bench_scenario(scenario: BenchScenario, repeats: int) -> dict:
             run_index=0,
             max_cycles=MAX_CYCLES,
             fast_forward=fast_forward,
+            batch_interpreter=batch,
         )
 
-    stepped_s, stepped = _time_best(lambda: run(False), repeats)
-    skipped_s, skipped = _time_best(lambda: run(True), repeats)
+    stepped_s, stepped = _time_best(lambda: run(False, False), repeats)
+    skipped_s, skipped = _time_best(lambda: run(True, False), repeats)
+    batch_s, batched = _time_best(lambda: run(True, True), repeats)
 
     if _fingerprint(stepped) != _fingerprint(skipped):
         raise AssertionError(
             f"{scenario.name}: fast-forward run is NOT bit-identical to stepping"
         )
+    if _fingerprint(stepped) != _fingerprint(batched):
+        raise AssertionError(
+            f"{scenario.name}: batch-interpreter run is NOT bit-identical to stepping"
+        )
 
-    cycles = skipped.system.total_cycles
+    cycles = batched.system.total_cycles
     return {
         "cycles": cycles,
         "wall_s_stepping": round(stepped_s, 6),
         "wall_s_fast_forward": round(skipped_s, 6),
+        "wall_s_batch": round(batch_s, 6),
         "speedup_vs_stepping": round(stepped_s / skipped_s, 3),
+        "speedup_batch_vs_fast_forward": round(skipped_s / batch_s, 3),
         "mcycles_per_s_stepping": round(cycles / stepped_s / 1e6, 3),
         "mcycles_per_s_fast_forward": round(cycles / skipped_s / 1e6, 3),
+        "mcycles_per_s_batch": round(cycles / batch_s / 1e6, 3),
         "bit_identical": True,
     }
 
@@ -188,17 +240,23 @@ def main(argv: list[str] | None = None) -> int:
         args.repeats = min(args.repeats, 2)
 
     results: dict[str, dict] = {}
+    tracked: dict[str, dict] = {}
     for scenario in scenarios(args.accesses):
         entry = bench_scenario(scenario, args.repeats)
         results[scenario.name] = entry
+        if scenario.tracked:
+            tracked[scenario.name] = entry
         print(
-            f"{scenario.name:45s} {entry['cycles']:>9d} cycles  "
+            f"{scenario.name:50s} {entry['cycles']:>9d} cycles  "
             f"stepping {entry['wall_s_stepping']:7.3f}s  "
             f"fast-forward {entry['wall_s_fast_forward']:7.3f}s  "
-            f"-> {entry['speedup_vs_stepping']:5.2f}x"
+            f"batch {entry['wall_s_batch']:7.3f}s  "
+            f"-> {entry['speedup_vs_stepping']:5.2f}x / "
+            f"{entry['speedup_batch_vs_fast_forward']:5.2f}x"
         )
 
     speedups = [entry["speedup_vs_stepping"] for entry in results.values()]
+    batch_speedups = [e["speedup_batch_vs_fast_forward"] for e in tracked.values()]
     report = {
         "benchmark": "kernel_fast_forward",
         "created_unix": int(time.time()),
@@ -210,11 +268,27 @@ def main(argv: list[str] | None = None) -> int:
         "summary": {
             "min_speedup_vs_stepping": min(speedups),
             "max_speedup_vs_stepping": max(speedups),
+            "batch_speedup_low_contention": min(batch_speedups),
             "all_bit_identical": True,
         },
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")
+
+    # Regression gate on the tracked low-contention campaign wall-clock: the
+    # batch path (the shipped default) must not be more than 20% slower than
+    # the fast-forward baseline measured in this same process.
+    regressed = [
+        name
+        for name, entry in tracked.items()
+        if entry["wall_s_batch"] > REGRESSION_FACTOR * entry["wall_s_fast_forward"]
+    ]
+    if regressed:
+        print(
+            f"REGRESSION: batch path >{(REGRESSION_FACTOR - 1) * 100:.0f}% slower "
+            f"than the fast-forward baseline on: {', '.join(regressed)}"
+        )
+        return 1
     return 0
 
 

@@ -90,6 +90,37 @@ class SetAssociativeCache:
         return way is not None and self._sets[set_index][way].dirty
 
     # ------------------------------------------------------------------
+    # Batch read-hit fast path
+    # ------------------------------------------------------------------
+    # The batch interpreter pre-computes (set index, tag) for a whole trace
+    # via the placement's vectorised form and then needs the two halves of the
+    # read-hit path separately: a pure residency probe to decide whether the
+    # stretch continues, and a commit applying exactly the side effects
+    # access() performs on a read hit.  A read hit never changes residency,
+    # so consecutive probes against the same cache state stay valid for the
+    # whole stretch.
+
+    def read_hit_way(self, set_index: int, tag: int) -> int | None:
+        """Residency probe: the way holding ``(set_index, tag)``, or ``None``.
+
+        No statistics or replacement state are touched — a probe that comes
+        back ``None`` leaves the miss to be performed (and counted) by the
+        ordinary :meth:`access` path at its cycle-accurate time.
+        """
+        return self._find_way(set_index, tag)
+
+    def commit_read_hit(self, set_index: int, way: int, cycle: int) -> None:
+        """Apply the side effects of a read hit found via :meth:`read_hit_way`.
+
+        Mirrors the read-hit branch of :meth:`access` exactly: the replacement
+        policy sees the touch (at the cycle the hit would have completed in
+        cycle-accurate stepping, so LRU state stays bit-identical) and the hit
+        counter advances.
+        """
+        self.replacement.on_access(self._sets[set_index], way, cycle)
+        self._c_read_hits.value += 1
+
+    # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     def access(self, address: int, is_write: bool, cycle: int) -> AccessResult:

@@ -70,6 +70,27 @@ class L1Cache:
             return L1AccessOutcome(hit=True, needs_bus=False, latency=self.hit_latency)
         return L1AccessOutcome(hit=False, needs_bus=True, latency=self.hit_latency)
 
+    @property
+    def placement(self):
+        """The underlying placement policy (deterministic within a run).
+
+        Exposed so the batch interpreter can pre-compute set/tag columns for
+        a whole trace in one vectorised call — random placement is a seeded
+        hash, fixed for the run, so the mapping is known up front.
+        """
+        return self.cache.placement
+
+    def batch_read_hooks(self):
+        """``(probe, commit)`` pair for the core's batch interpreter.
+
+        ``probe(set_index, tag)`` returns the resident way or ``None`` with no
+        side effects; ``commit(set_index, way, cycle)`` applies exactly the
+        read-hit side effects of :meth:`access`.  Only *reads that hit* are
+        eligible for batching: a read hit never needs the bus regardless of
+        the write policy, while stores (write-through) and misses do.
+        """
+        return self.cache.read_hit_way, self.cache.commit_read_hit
+
     def miss_rate(self) -> float:
         return self.cache.miss_rate()
 

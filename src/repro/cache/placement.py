@@ -17,7 +17,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 __all__ = ["PlacementPolicy", "ModuloPlacement", "RandomPlacement"]
+
+_U64 = np.uint64
 
 
 class PlacementPolicy(ABC):
@@ -55,6 +59,54 @@ class PlacementPolicy(ABC):
         """
         return self.block_address(address)
 
+    # ------------------------------------------------------------------
+    # Vectorised forms (whole address columns at once)
+    # ------------------------------------------------------------------
+    def block_address_array(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`block_address` over a column of addresses.
+
+        Returns ``uint64`` block addresses, bit-identical per element to the
+        scalar path.  This is what the batch interpreter uses to precompute a
+        whole trace's placement in one call per run.
+        """
+        blocks = np.asarray(addresses, dtype=np.uint64)
+        if self._offset_shift is not None:
+            return blocks >> _U64(self._offset_shift)
+        return blocks // _U64(self.line_bytes)
+
+    def tag_array(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`tag` (the block address, see above)."""
+        return self.block_address_array(addresses)
+
+    def set_index_array(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`set_index`, bit-identical per element."""
+        return self._set_indices_from_blocks(
+            self.block_address_array(addresses), addresses
+        )
+
+    def _set_indices_from_blocks(
+        self, blocks: np.ndarray, addresses: np.ndarray
+    ) -> np.ndarray:
+        """Set indices for already-computed block addresses.
+
+        The generic fallback evaluates the scalar mapping per element (from
+        the raw addresses); subclasses override it with fully vectorised
+        arithmetic on ``blocks``.
+        """
+        return np.array(
+            [self.set_index(int(a)) for a in np.asarray(addresses)], dtype=np.int64
+        )
+
+    def index_tag_arrays(self, addresses: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(set indices, tags)`` for a whole address column, one block pass.
+
+        Equivalent to ``(set_index_array(a), tag_array(a))`` but shares the
+        block-address computation, which is what the per-run batch-interpreter
+        precompute calls.
+        """
+        blocks = self.block_address_array(addresses)
+        return self._set_indices_from_blocks(blocks, addresses), blocks
+
 
 class ModuloPlacement(PlacementPolicy):
     """Conventional placement: low-order block-address bits select the set."""
@@ -63,6 +115,13 @@ class ModuloPlacement(PlacementPolicy):
         if self._set_mask is not None:
             return self.block_address(address) & self._set_mask
         return self.block_address(address) % self.num_sets
+
+    def _set_indices_from_blocks(
+        self, blocks: np.ndarray, addresses: np.ndarray
+    ) -> np.ndarray:
+        if self._set_mask is not None:
+            return (blocks & _U64(self._set_mask)).astype(np.int64)
+        return (blocks % _U64(self.num_sets)).astype(np.int64)
 
 
 class RandomPlacement(PlacementPolicy):
@@ -90,3 +149,18 @@ class RandomPlacement(PlacementPolicy):
         if self._set_mask is not None:
             return self._mix(block ^ self.seed) & self._set_mask
         return self._mix(block ^ self.seed) % self.num_sets
+
+    def _set_indices_from_blocks(
+        self, blocks: np.ndarray, addresses: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised splitmix64 placement (wrapping uint64 arithmetic is
+        exactly the scalar path's masked Python-int arithmetic)."""
+        value = blocks ^ _U64(self.seed)
+        with np.errstate(over="ignore"):
+            value = value + _U64(0x9E3779B97F4A7C15)
+            value = (value ^ (value >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+            value = (value ^ (value >> _U64(27))) * _U64(0x94D049BB133111EB)
+            value = value ^ (value >> _U64(31))
+        if self._set_mask is not None:
+            return (value & _U64(self._set_mask)).astype(np.int64)
+        return (value % _U64(self.num_sets)).astype(np.int64)

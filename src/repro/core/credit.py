@@ -106,6 +106,105 @@ class CreditAccount:
         self.total_replenished += new_balance - self.balance
         self.balance = new_balance
 
+    def advance_as_holder(self, cycles: int) -> None:
+        """Apply ``cycles`` cycles of interleaved replenish-then-drain at once.
+
+        Exactly equivalent to ``cycles`` iterations of the per-cycle holder
+        update (:meth:`replenish` followed by :meth:`drain`), in O(1) time:
+
+        ``new = min(balance + share, cap); paid = min(drain, new); balance = new - paid``
+
+        The trajectory of that recurrence passes through at most three
+        regimes, each with a closed form:
+
+        * **cap clip** — ``balance + share`` saturates at the cap before the
+          drain is applied.  With ``share <= drain`` this happens at most once
+          (the first cycle of a transaction started at a cap above the full
+          budget); with ``share > min(drain, cap)`` the balance pins at the
+          cap and every following cycle clips identically (a fixed point).
+        * **linear** — no saturation and the drain is fully covered, so the
+          balance moves by ``share - drain`` per cycle; the number of cycles
+          until the regime exits (into the floor going down, into the clip
+          going up) is a single division.
+        * **floor** — the drain exceeds the (unclipped) balance, the whole
+          balance is paid out and sticks at zero; every following cycle earns
+          and immediately pays ``min(share, cap)`` (a fixed point).
+
+        ``total_replenished``/``total_drained`` accumulate exactly what the
+        per-cycle loop would have accumulated.  The loop below iterates over
+        *regime transitions* (at most three), never over cycles, which is what
+        makes CBA fast-forward jumps O(1) regardless of transaction length.
+        """
+        if cycles <= 0:
+            return
+        share = self.replenish_share
+        drain = self.drain_per_cycle
+        cap = self.cap
+        balance = self.balance
+        replenished = 0
+        drained = 0
+        remaining = cycles
+        while remaining > 0:
+            new_balance = balance + share
+            if new_balance > cap:
+                # Cap-clip cycle: saturate, then drain from the cap.
+                gained = cap - balance
+                paid = drain if drain < cap else cap
+                balance = cap - paid
+                if balance + share > cap:
+                    # Fixed point: every following cycle regains exactly what
+                    # the drain took (clipped at the cap) and pays it again.
+                    replenished += gained + paid * (remaining - 1)
+                    drained += paid * remaining
+                    remaining = 0
+                else:
+                    replenished += gained
+                    drained += paid
+                    remaining -= 1
+            elif new_balance < drain:
+                # Floor cycle: the whole balance is paid out; afterwards the
+                # balance sticks at zero, earning and paying min(share, cap)
+                # every cycle (share < drain here, so it never recovers).
+                replenished += share
+                drained += new_balance
+                balance = 0
+                remaining -= 1
+                if remaining:
+                    steady = share if share < cap else cap
+                    replenished += steady * remaining
+                    drained += steady * remaining
+                    remaining = 0
+            else:
+                # Linear regime: balance moves by share - drain per cycle.
+                if share == drain:
+                    replenished += share * remaining
+                    drained += drain * remaining
+                    remaining = 0
+                elif share > drain:
+                    # Rising towards the cap: count the cycles that stay
+                    # unclipped, bulk-apply them, then the clip fixed point
+                    # (next iteration) absorbs the rest.
+                    rise = share - drain
+                    unclipped = (cap - share - balance) // rise + 1
+                    steps = unclipped if unclipped < remaining else remaining
+                    replenished += share * steps
+                    drained += drain * steps
+                    balance += rise * steps
+                    remaining -= steps
+                else:
+                    # Falling towards the floor: the regime holds while
+                    # balance >= drain - share.
+                    fall = drain - share
+                    covered = balance // fall
+                    steps = covered if covered < remaining else remaining
+                    replenished += share * steps
+                    drained += drain * steps
+                    balance -= fall * steps
+                    remaining -= steps
+        self.balance = balance
+        self.total_replenished += replenished
+        self.total_drained += drained
+
     def drain(self) -> None:
         """Charge one cycle of bus usage.
 
@@ -165,32 +264,14 @@ class CreditBank:
     def advance(self, cycles: int, holder: int | None) -> None:
         """Advance ``cycles`` cycles at once with a constant bus ``holder``.
 
-        Exactly equivalent to ``cycles`` :meth:`step` calls.  Non-holders only
-        replenish, which has a closed form; the holder interleaves replenish
-        and drain (whose saturation/floor interplay has regimes), so its
-        account is stepped cycle by cycle — bounded by the transaction length,
-        i.e. at most ``MaxL`` iterations, inlined on local variables because
-        this runs for every fast-forwarded stretch of a CBA run.
+        Exactly equivalent to ``cycles`` :meth:`step` calls, in O(1) time per
+        account: non-holders only replenish (:meth:`CreditAccount.replenish_many`)
+        and the holder's interleaved replenish/drain dynamics collapse into the
+        three-regime closed form of :meth:`CreditAccount.advance_as_holder`.
         """
         for account in self.accounts:
             if account.core_id == holder:
-                share = account.replenish_share
-                drain = account.drain_per_cycle
-                cap = account.cap
-                balance = account.balance
-                replenished = 0
-                drained = 0
-                for _ in range(cycles):
-                    new_balance = balance + share
-                    if new_balance > cap:
-                        new_balance = cap
-                    replenished += new_balance - balance
-                    paid = drain if drain < new_balance else new_balance
-                    drained += paid
-                    balance = new_balance - paid
-                account.balance = balance
-                account.total_replenished += replenished
-                account.total_drained += drained
+                account.advance_as_holder(cycles)
             else:
                 account.replenish_many(cycles)
 

@@ -29,6 +29,24 @@ matrix).  The paths differ only on :meth:`CoreModel.reset` reuse of the same
 core across runs: a materialised trace replays its pre-drawn sequence, while
 a lazy generator trace draws a fresh one (see
 :class:`~repro.cpu.trace.MaterializedTrace`).
+
+On top of the columnar path sits the **batch interpreter** (on by default,
+``batch_interpreter=``): whenever the trace cursor advances, the core scans
+the maximal upcoming stretch of items that provably never touch the bus —
+pure-compute gaps and reads that hit in the L1, decided against per-run
+pre-computed ``(set index, tag)`` placement columns and a residency probe —
+and executes the whole stretch at once: cache hit effects are applied with
+their exact cycle-accurate stamps, counters and the cursor advance in bulk,
+and the core then merely counts down the stretch's cycles, exposing the
+stretch end as its :meth:`next_event` wake hint so the kernel can jump it in
+one fast-forward.  Because a read hit changes no residency, draws no RNG and
+needs no bus, the executed events (the boundary bus access, every grant,
+every draw) land on exactly the cycles plain stepping produces — batch runs
+are bit-identical to stepped runs (enforced by the same equivalence matrix).
+The one observable difference is cosmetic: during a batched stretch
+:attr:`CoreModel.state` reads ``COMPUTING`` where stepping would alternate
+``COMPUTING``/``L1_ACCESS``; nothing on the platform consumes that
+distinction (contenders watch ``WAITING_BUS`` only).
 """
 
 from __future__ import annotations
@@ -40,7 +58,15 @@ from ..bus.transaction import AccessType, BusRequest
 from ..cache.l1 import L1Cache
 from ..sim.component import Component
 from .counters import CoreCounters
-from .trace import ACCESS_BY_KIND, KIND_ATOMIC, KIND_BY_ACCESS, KIND_NONE, KIND_WRITE, WorkloadTrace
+from .trace import (
+    ACCESS_BY_KIND,
+    KIND_ATOMIC,
+    KIND_BY_ACCESS,
+    KIND_NONE,
+    KIND_READ,
+    KIND_WRITE,
+    WorkloadTrace,
+)
 
 __all__ = ["CoreState", "CoreModel"]
 
@@ -71,6 +97,7 @@ class CoreModel(Component):
         bus: SharedBus,
         l1_instruction: L1Cache | None = None,
         store_buffer_entries: int = 0,
+        batch_interpreter: bool = True,
     ) -> None:
         """Create the core.
 
@@ -79,6 +106,11 @@ class CoreModel(Component):
         background and the core only stalls when the buffer is full or when a
         demand access needs the (single) bus port while a store is draining.
         The default of 0 keeps the fully blocking behaviour.
+
+        ``batch_interpreter`` enables the bulk execution of bus-free trace
+        stretches (see the module docstring).  It requires the columnar trace
+        path and is bit-identical to per-cycle stepping; the switch exists
+        for the equivalence tests and benchmarks, not as a safety valve.
         """
         super().__init__(name)
         if store_buffer_entries < 0:
@@ -106,6 +138,19 @@ class CoreModel(Component):
             self._gaps, self._addresses, self._kinds = trace.columns()
             self._trace_len = len(self._gaps)
         self._cursor = 0
+        #: Batch interpreter state: pre-computed per-item placement columns
+        #: plus pre-bound cache probe/commit hooks, and the count of cycles
+        #: left in the stretch currently being replayed in bulk (0 = not in a
+        #: stretch).  ``batched_items``/``batch_stretches`` are observability
+        #: counters kept outside CoreCounters so result snapshots stay
+        #: comparable across batch-on/off runs.
+        self._batch = self._columnar and batch_interpreter
+        self._batch_remaining = 0
+        self.batched_items = 0
+        self.batch_stretches = 0
+        if self._batch:
+            self._l1_sets, self._l1_tags = trace.placement_columns(l1_data.placement)
+            self._l1_probe, self._l1_commit = l1_data.batch_read_hooks()
         self._store_buffer: list[int] = []
         self._store_in_flight = False
         self._deferred_request: BusRequest | None = None
@@ -147,9 +192,19 @@ class CoreModel(Component):
         if not self._started:
             self.counters.start_cycle = self.now
             self._started = True
-            self._advance_trace()
+            self._advance_trace(first_tick=True)
             if self._state is CoreState.FINISHED:
                 return
+
+        if self._batch_remaining:
+            # Mid-stretch: all effects were applied at stretch entry; the
+            # remaining ticks only count down to the boundary item, which is
+            # loaded (cycle-accurately) the moment the count hits zero.
+            remaining = self._batch_remaining - 1
+            self._batch_remaining = remaining
+            if not remaining:
+                self._advance_trace()
+            return
 
         self._drain_store_buffer()
 
@@ -196,6 +251,10 @@ class CoreModel(Component):
             return None
         if not self._started:
             return now
+        if self._batch_remaining:
+            # The stretch end is the wake hint: only the tick that loads the
+            # boundary item does anything (store buffer is empty mid-stretch).
+            return now + self._batch_remaining - 1
         if (
             self._store_buffer
             and not self._store_in_flight
@@ -220,6 +279,11 @@ class CoreModel(Component):
 
     def fast_forward(self, cycles: int) -> None:
         """Replay the uniform per-cycle accounting of ``cycles`` skipped ticks."""
+        if self._batch_remaining:
+            # Counters were advanced at stretch entry; skipped ticks would
+            # only have counted down.
+            self._batch_remaining -= cycles
+            return
         state = self._state
         counters = self.counters
         if state is CoreState.WAITING_BUS or state is CoreState.WAITING_PORT:
@@ -237,13 +301,27 @@ class CoreModel(Component):
     # ------------------------------------------------------------------
     # Trace walking
     # ------------------------------------------------------------------
-    def _advance_trace(self) -> None:
-        """Fetch the next trace item, or finish the task."""
+    def _advance_trace(self, first_tick: bool = False) -> None:
+        """Fetch the next trace item, or finish the task.
+
+        With the batch interpreter enabled, first try to swallow a whole
+        bus-free stretch; the single-item load below then only ever sees
+        items that (may) need the bus, plus everything on the lazy path.
+        """
         if self._columnar:
             cursor = self._cursor
             if cursor >= self._trace_len:
                 self._finish()
                 return
+            if self._batch:
+                # Cheap viability precheck: writes and atomics always go to
+                # the bus, so the scan cannot start there — skip its fixed
+                # setup cost entirely on miss/store-bound trace regions.
+                kind = self._kinds[cursor]
+                if (kind == KIND_READ or kind == KIND_NONE) and self._try_enter_batch(
+                    first_tick
+                ):
+                    return
             self._cursor = cursor + 1
             self._compute_remaining = self._gaps[cursor]
             self._pending_address = self._addresses[cursor]
@@ -261,6 +339,110 @@ class CoreModel(Component):
                 self._pending_address = access.address
                 self._pending_kind = KIND_BY_ACCESS[access.access]
         self._state = CoreState.COMPUTING
+
+    def _try_enter_batch(self, first_tick: bool) -> bool:
+        """Scan the maximal upcoming bus-free stretch and execute it in bulk.
+
+        A stretch is a run of consecutive items that provably never interact
+        with the bus: pure-compute items, and reads resident in the L1 (probed
+        against the pre-computed placement columns; hits change no residency,
+        so earlier hits in the stretch cannot invalidate later probes).  It
+        ends at the first write or atomic (mandatory bus), the first read
+        miss, or the end of the trace.
+
+        Effects are applied eagerly, exactly as cycle-accurate stepping would
+        accumulate them: each hit's replacement touch is stamped with the
+        cycle the stepped L1 pipeline would have completed it (one transition
+        cycle plus the compute gap plus the hit latency per item), and the
+        core counters/cursor advance in bulk.  The core is then left counting
+        down ``_batch_remaining`` cycles; the tick in which the count hits
+        zero loads the boundary item — the same cycle in which stepping would
+        have loaded it.
+
+        ``first_tick`` marks the call from the core's very first tick, which
+        (unlike every other call site) executes the first countdown cycle
+        within the same tick, so the stamp base shifts back by one cycle.
+
+        Eager effects are bounded by the kernel's :meth:`~repro.sim.kernel.Kernel.run_horizon`
+        (fetched lazily, once the first item qualifies): an item is only
+        swallowed if its completion tick is guaranteed to execute, so a run
+        truncated at its cycle budget reports exactly the partial work the
+        stepped run reports — the unswallowed tail re-enters the
+        cycle-accurate path and truncates item-by-item like stepping does.
+        Hinted stop conditions may watch fast-forwarded *accounting* (the
+        :meth:`~repro.sim.kernel.Kernel.add_stop_condition` contract), which
+        eager bulk counters would flip cycles early, so any hinted stop
+        disables batching outright; outside :meth:`~repro.sim.kernel.Kernel.run`
+        (bare ``kernel.step()`` driving) there is no horizon at all and
+        batching stays off, keeping stepped partial state exact.
+        """
+        kernel = self.kernel
+        if self._store_buffer or self._store_in_flight or kernel.has_hinted_stops:
+            return False
+        cursor = self._cursor
+        end = self._trace_len
+        gaps = self._gaps
+        kinds = self._kinds
+        sets = self._l1_sets
+        tags = self._l1_tags
+        probe = self._l1_probe
+        commit = self._l1_commit
+        latency = self.l1_data.hit_latency
+        read_kind = KIND_READ
+        compute_kind = KIND_NONE
+        base = self.now - 1 if first_tick else self.now
+        budget = None
+        bounded = False
+        cycles = 0
+        reads = 0
+        j = cursor
+        while j < end:
+            kind = kinds[j]
+            if kind == read_kind:
+                set_index = sets[j]
+                way = probe(set_index, tags[j])
+                if way is None:
+                    break
+                cost = gaps[j] + 1 + latency
+            elif kind == compute_kind:
+                way = None
+                cost = gaps[j] + 1
+            else:
+                break
+            if not bounded:
+                horizon = kernel.run_horizon(self.now)
+                if horizon is None:
+                    # No run in progress (the core is being driven by bare
+                    # kernel.step() calls): there is no bound on how soon the
+                    # caller may inspect partial state, so eager execution is
+                    # never safe — stay cycle-accurate.
+                    break
+                budget = horizon - 1 - base
+                bounded = True
+            if cycles + cost > budget:
+                break
+            cycles += cost
+            if kind == read_kind:
+                commit(set_index, way, base + cycles)
+                reads += 1
+            j += 1
+        if j == cursor:
+            return False
+        items = j - cursor
+        counters = self.counters
+        counters.items_completed += items
+        counters.compute_cycles += cycles - items - latency * reads
+        counters.l1_cycles += latency * reads
+        counters.accesses += reads
+        counters.l1_hits += reads
+        self.batched_items += items
+        self.batch_stretches += 1
+        self._cursor = j
+        self._batch_remaining = cycles
+        self._pending_kind = KIND_NONE
+        self._compute_remaining = 0
+        self._state = CoreState.COMPUTING
+        return True
 
     def _begin_access(self) -> None:
         if getattr(self, "_finishing", False):
@@ -406,6 +588,9 @@ class CoreModel(Component):
         self._pending_address = 0
         self._pending_kind = KIND_NONE
         self._cursor = 0
+        self._batch_remaining = 0
+        self.batched_items = 0
+        self.batch_stretches = 0
         self._store_buffer = []
         self._store_in_flight = False
         self._deferred_request = None

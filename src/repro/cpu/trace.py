@@ -275,6 +275,7 @@ class MaterializedTrace(WorkloadTrace):
         self.kinds = kind_codes
         self._position = 0
         self._columns: tuple[list[int], list[int], list[int]] | None = None
+        self._placement_columns: tuple[object, tuple[list[int], list[int]]] | None = None
 
     @classmethod
     def from_columns(
@@ -314,6 +315,24 @@ class MaterializedTrace(WorkloadTrace):
                 self.kinds.tolist(),
             )
         return self._columns
+
+    def placement_columns(self, placement) -> tuple[list[int], list[int]]:
+        """Per-item ``(set_index, tag)`` columns under ``placement``.
+
+        Computed with the placement's vectorised form over the whole address
+        column in one call (bit-identical per element to the scalar mapping)
+        and cached against the placement object, so a run's batch interpreter
+        pays for the hashing once.  Items without a memory access carry
+        address 0; their entries are never probed.  Treat the returned lists
+        as read-only.
+        """
+        cached = self._placement_columns
+        if cached is not None and cached[0] is placement:
+            return cached[1]
+        set_array, tag_array = placement.index_tag_arrays(self.addresses)
+        columns = (set_array.tolist(), tag_array.tolist())
+        self._placement_columns = (placement, columns)
+        return columns
 
     def next_item(self) -> TraceItem | None:
         position = self._position

@@ -68,7 +68,9 @@ class GumbelFit:
         """Value not exceeded with the given probability (inverse CDF)."""
         if isinstance(probability, np.ndarray):
             p = np.asarray(probability, dtype=np.float64)
-            if p.size and (float(p.min()) <= 0.0 or float(p.max()) >= 1.0):
+            # Element-wise check rather than min/max bounds: NaN compares
+            # False against both bounds and would otherwise slip through.
+            if p.size and not bool(np.all((p > 0.0) & (p < 1.0))):
                 raise AnalysisError("quantile probability must be in (0, 1)")
             return self.location - self.scale * np.log(-np.log(p))
         if not 0.0 < probability < 1.0:
@@ -86,7 +88,9 @@ class GumbelFit:
         """
         if isinstance(exceedance, np.ndarray):
             e = np.asarray(exceedance, dtype=np.float64)
-            if e.size and (float(e.min()) <= 0.0 or float(e.max()) >= 1.0):
+            # Element-wise for the same reason as quantile(): NaN must raise,
+            # not propagate into the pWCET grid.
+            if e.size and not bool(np.all((e > 0.0) & (e < 1.0))):
                 raise AnalysisError("exceedance probability must be in (0, 1)")
             values = np.empty_like(e)
             tiny = e < 1e-12

@@ -15,6 +15,7 @@ probabilities for tabular reports.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -49,11 +50,16 @@ class PWCETCurve:
         The EVT projection is clamped from below by the observed maximum: a
         probabilistic bound can never be smaller than something that was
         actually measured.  An array argument evaluates every probability in
-        one vectorised call.
+        one vectorised call; the same ``(0, 1)`` domain check as the scalar
+        path applies element-wise (NaN entries fail it too), so out-of-domain
+        grids raise instead of yielding NaN/garbage bounds.
         """
         if isinstance(exceedance, np.ndarray):
+            e = np.asarray(exceedance, dtype=np.float64)
+            if e.size and not bool(np.all((e > 0.0) & (e < 1.0))):
+                raise AnalysisError("exceedance probability must be in (0, 1)")
             return np.maximum(
-                self.evt.fit.value_at_exceedance(exceedance), self.observed_max
+                self.evt.fit.value_at_exceedance(e), self.observed_max
             )
         if not 0.0 < exceedance < 1.0:
             raise AnalysisError("exceedance probability must be in (0, 1)")
@@ -66,10 +72,19 @@ class PWCETCurve:
         never emits a bound below the observed maximum, so for queries below
         it the exceedance saturates at 1.0 (something at least that large was
         actually measured; the raw model tail would not dominate there).
+
+        NaN bounds are rejected: a NaN compares False against the observed
+        maximum, so it would silently bypass the clamp and propagate a NaN
+        probability into downstream tables.
         """
         if isinstance(bound, np.ndarray):
-            model = self.evt.fit.exceedance_probability(bound)
-            return np.where(bound < self.observed_max, 1.0, model)
+            b = np.asarray(bound, dtype=np.float64)
+            if b.size and bool(np.isnan(b).any()):
+                raise AnalysisError("pWCET bound query must not be NaN")
+            model = self.evt.fit.exceedance_probability(b)
+            return np.where(b < self.observed_max, 1.0, model)
+        if math.isnan(bound):
+            raise AnalysisError("pWCET bound query must not be NaN")
         if bound < self.observed_max:
             return 1.0
         return self.evt.fit.exceedance_probability(bound)

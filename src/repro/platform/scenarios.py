@@ -61,6 +61,7 @@ def _build_system(
     label: str,
     fast_forward: bool = True,
     materialize_traces: bool = True,
+    batch_interpreter: bool = True,
 ) -> MulticoreSystem:
     return MulticoreSystem(
         config,
@@ -69,6 +70,7 @@ def _build_system(
         label=label,
         fast_forward=fast_forward,
         materialize_traces=materialize_traces,
+        batch_interpreter=batch_interpreter,
     )
 
 
@@ -82,6 +84,7 @@ def run_isolation(
     allow_truncation: bool = False,
     fast_forward: bool = True,
     materialize_traces: bool = True,
+    batch_interpreter: bool = True,
 ) -> ScenarioResult:
     """Run ``workload`` alone on the platform (the ``*-ISO`` bars of Figure 1).
 
@@ -96,6 +99,7 @@ def run_isolation(
         label=f"{config.arbitration}-iso",
         fast_forward=fast_forward,
         materialize_traces=materialize_traces,
+        batch_interpreter=batch_interpreter,
     )
     system.add_task(tua_core, workload)
     result = system.run(max_cycles=max_cycles, allow_truncation=allow_truncation)
@@ -118,6 +122,7 @@ def run_max_contention(
     allow_truncation: bool = False,
     fast_forward: bool = True,
     materialize_traces: bool = True,
+    batch_interpreter: bool = True,
 ) -> ScenarioResult:
     """Run ``workload`` against greedy maximum-length contenders (``*-CON``)."""
     system = _build_system(
@@ -127,6 +132,7 @@ def run_max_contention(
         label=f"{config.arbitration}-con",
         fast_forward=fast_forward,
         materialize_traces=materialize_traces,
+        batch_interpreter=batch_interpreter,
     )
     system.add_task(tua_core, workload)
     for core in range(config.num_cores):
@@ -152,6 +158,7 @@ def run_wcet_estimation(
     allow_truncation: bool = False,
     fast_forward: bool = True,
     materialize_traces: bool = True,
+    batch_interpreter: bool = True,
 ) -> ScenarioResult:
     """Run the analysis-time scenario of Section III-B / Table I.
 
@@ -167,6 +174,7 @@ def run_wcet_estimation(
         label=f"{config.arbitration}-wcet",
         fast_forward=fast_forward,
         materialize_traces=materialize_traces,
+        batch_interpreter=batch_interpreter,
     )
     system.add_task(tua_core, workload)
     for core in range(config.num_cores):
@@ -193,6 +201,7 @@ def run_multiprogram(
     allow_truncation: bool = False,
     fast_forward: bool = True,
     materialize_traces: bool = True,
+    batch_interpreter: bool = True,
 ) -> ScenarioResult:
     """Consolidate several real tasks (one per core) and run them together."""
     system = _build_system(
@@ -202,6 +211,7 @@ def run_multiprogram(
         label=f"{config.arbitration}-multi",
         fast_forward=fast_forward,
         materialize_traces=materialize_traces,
+        batch_interpreter=batch_interpreter,
     )
     for core_id, workload in workloads.items():
         system.add_task(core_id, workload)

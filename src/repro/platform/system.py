@@ -72,6 +72,7 @@ class MulticoreSystem:
         label: str = "",
         fast_forward: bool = True,
         materialize_traces: bool = True,
+        batch_interpreter: bool = True,
     ) -> None:
         """Build the platform.
 
@@ -90,10 +91,19 @@ class MulticoreSystem:
         resetting and re-running the *same* system replays the materialised
         sequence rather than redrawing it — pass ``materialize_traces=False``
         if fresh draws across in-place resets are needed.
+
+        ``batch_interpreter`` enables the cores' bulk execution of bus-free
+        trace stretches (consecutive L1 hits and pure compute, see
+        :mod:`repro.cpu.core_model`).  It rides on the columnar path (inert
+        when ``materialize_traces=False``), composes with fast-forwarding and
+        is bit-identical to per-cycle stepping (enforced by the batch rows of
+        the columnar equivalence matrix); on by default, the switch exists
+        for those tests and benchmarks.
         """
         self.config = config
         self.label = label or config.arbitration
         self.materialize_traces = materialize_traces
+        self.batch_interpreter = batch_interpreter
         self.kernel = Kernel(
             seed=seed,
             run_index=run_index,
@@ -182,6 +192,7 @@ class MulticoreSystem:
             l1_data=l1,
             bus=self.bus,
             store_buffer_entries=self.config.store_buffer_entries,
+            batch_interpreter=self.batch_interpreter,
         )
         self.cores[core_id] = core
         return core

@@ -20,6 +20,14 @@ step, replaying the skipped cycles' uniform accounting through
 skipped when *no* component can change state in it, the executed event cycles
 (grants, completions, cache accesses, RNG draws) are identical to plain
 stepping — fast-forwarded runs are bit-identical to cycle-by-cycle runs.
+
+Components may do arbitrarily much work per *event* to widen the gaps between
+events: the cores' batch interpreter (:mod:`repro.cpu.core_model`) executes a
+whole bus-free trace stretch at the cycle it becomes known and then exposes
+the stretch end as its wake hint, so the kernel jumps stretches that the
+per-item hints would have broken into per-item wakes.  The kernel needs no
+knowledge of this — the ``next_event``/``fast_forward`` contract already
+expresses it.
 """
 
 from __future__ import annotations
@@ -63,6 +71,9 @@ class Kernel:
         self._stop_hints: list[Callable[[int], int | None]] = []
         self.finished = False
         self.stop_condition_fired = False
+        #: Cycle bound of the :meth:`run` in progress (``start + max_cycles``),
+        #: ``None`` outside a run.  See :meth:`run_horizon`.
+        self._run_limit: int | None = None
         #: Enable event-aware fast-forwarding in :meth:`run`.  Skipping is
         #: bit-identical to stepping by construction; the switch exists for
         #: equivalence tests and benchmarking, not as a safety valve.
@@ -129,19 +140,24 @@ class Kernel:
     ) -> None:
         """Stop the run as soon as ``predicate()`` returns True (checked once per cycle).
 
-        ``predicate`` is assumed to watch *event* state — state that only
-        changes inside a component's :meth:`tick` (task finished, request
-        granted, ...).  Such predicates cannot flip across a fast-forwarded
-        stretch, because cycles are only skipped when every tick in them
-        would be a no-op.  A predicate that instead watches the clock ("stop
-        at cycle X") or the uniform accounting replayed by ``fast_forward``
-        (stall-cycle counters, credit balances, monitor windows — which *do*
-        advance inside a jump) must supply ``next_event``, the same wake-hint
-        contract as components: given the current cycle, return the earliest
-        future cycle at which the predicate could flip, or ``None`` for "no
-        time bound".  Without a hint such a predicate is only observed at the
-        next event boundary, which would end the run later than stepping
-        would have.
+        ``predicate`` is assumed to watch *event* state — state that flips on
+        the exact cycle its event executes (task finished, request granted,
+        bus released, ...).  Such predicates cannot flip across a
+        fast-forwarded stretch, because cycles are only skipped when every
+        tick in them would be a no-op.  A predicate that instead watches the
+        clock ("stop at cycle X") or *accounting* — anything replayed in bulk
+        by ``fast_forward`` (stall-cycle counters, credit balances, monitor
+        windows) or applied eagerly by the cores' batch interpreter
+        (trace-progress counters such as ``items_completed``/``l1_hits`` and
+        cache hit statistics, which advance whole bus-free stretches at a
+        time) — must supply ``next_event``, the same wake-hint contract as
+        components: given the current cycle, return the earliest future cycle
+        at which the predicate could flip, or ``None`` for "no time bound"
+        (even a conservative ``lambda now: now`` suffices).  Without a hint
+        such a predicate would fire on the wrong cycle; with one, the kernel
+        re-checks it at the hinted cycles and the batch interpreter disables
+        itself (:attr:`has_hinted_stops`), so the firing cycle is exactly the
+        stepped one.
         """
         self._stop_conditions.append(predicate)
         if next_event is not None:
@@ -200,6 +216,39 @@ class Kernel:
                 wake = hint
         return wake
 
+    @property
+    def has_hinted_stops(self) -> bool:
+        """Whether any registered stop condition supplied a wake hint.
+
+        Hinted predicates are the ones allowed to watch the clock or
+        fast-forwarded accounting (see :meth:`add_stop_condition`); a
+        counter-watching one would observe eagerly-applied batch effects
+        cycles before their real completion ticks, so the cores' batch
+        interpreter falls back to cycle-accurate execution whenever such a
+        predicate exists.
+        """
+        return bool(self._stop_hints)
+
+    def run_horizon(self, now: int) -> int | None:
+        """Earliest cycle whose tick might *not* execute, or ``None`` if unbounded.
+
+        The cycle budget of the :meth:`run` in progress bounds how far the
+        run can possibly step: the tick at the returned cycle — and at every
+        later cycle — may never run.  Components that apply work *eagerly*
+        for future cycles (the cores' batch interpreter) must keep that work
+        strictly below this horizon, otherwise a run truncated at its budget
+        would report effects from cycles it never executed.  Hinted stop
+        conditions could also end the run early, but they disable eager
+        batching altogether (:attr:`has_hinted_stops`), so they need no
+        bounding here; they are still folded in as defense in depth.
+        """
+        bound = self._run_limit
+        for stop_hint in self._stop_hints:
+            hint = stop_hint(now)
+            if hint is not None and (bound is None or hint < bound):
+                bound = hint
+        return bound
+
     def _jump_to(self, wake: int) -> None:
         """Fast-forward every component and the clock to cycle ``wake``."""
         delta = wake - self.clock.cycle
@@ -222,6 +271,7 @@ class Kernel:
         clock = self.clock
         start = clock.cycle
         limit = start + max_cycles
+        self._run_limit = limit
         fast_forward = self.fast_forward and self._all_hinted
         tickers = self._tickers
         post_tickers = self._post_tickers
@@ -269,6 +319,7 @@ class Kernel:
         self.clock.reset()
         self.finished = False
         self.stop_condition_fired = False
+        self._run_limit = None
         self.cycles_skipped = 0
         for component in self._components:
             component.reset()

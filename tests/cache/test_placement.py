@@ -1,5 +1,6 @@
 """Tests for cache placement functions."""
 
+import numpy as np
 import pytest
 
 from repro.cache.placement import ModuloPlacement, RandomPlacement
@@ -68,3 +69,46 @@ class TestRandomPlacement:
             key = (placement.set_index(address), placement.tag(address))
             assert key not in seen or seen[key] == address
             seen[key] = address
+
+
+class TestVectorisedPlacement:
+    """The array forms feeding the batch interpreter must be bit-identical
+    per element to the scalar mapping — for both placements, power-of-two and
+    non-power-of-two geometries, and addresses spanning the full span the
+    workloads generate (including the per-core base-address offsets)."""
+
+    ADDRESSES = np.array(
+        [0, 1, 31, 32, 0x100, 0x11F, 0x1000_0000, 0x1000_0020, 0x7123_4567]
+        + [0x1000_0000 + 37 * k for k in range(500)],
+        dtype=np.int64,
+    )
+
+    @pytest.mark.parametrize("num_sets,line_bytes", [(16, 32), (12, 48)])
+    def test_modulo_matches_scalar(self, num_sets, line_bytes):
+        placement = ModuloPlacement(num_sets=num_sets, line_bytes=line_bytes)
+        sets = placement.set_index_array(self.ADDRESSES)
+        tags = placement.tag_array(self.ADDRESSES)
+        assert sets.tolist() == [placement.set_index(int(a)) for a in self.ADDRESSES]
+        assert tags.tolist() == [placement.tag(int(a)) for a in self.ADDRESSES]
+
+    @pytest.mark.parametrize("num_sets,line_bytes", [(16, 32), (12, 48)])
+    @pytest.mark.parametrize("seed", [0, 7, 2**63 - 1, 2**64 - 1])
+    def test_random_matches_scalar(self, num_sets, line_bytes, seed):
+        placement = RandomPlacement(num_sets=num_sets, line_bytes=line_bytes, seed=seed)
+        sets = placement.set_index_array(self.ADDRESSES)
+        tags = placement.tag_array(self.ADDRESSES)
+        assert sets.tolist() == [placement.set_index(int(a)) for a in self.ADDRESSES]
+        assert tags.tolist() == [placement.tag(int(a)) for a in self.ADDRESSES]
+
+    def test_generic_fallback_matches_scalar(self):
+        """A placement subclass that only defines the scalar mapping still
+        gets a correct (if slow) vectorised form from the base class."""
+        from repro.cache.placement import PlacementPolicy
+
+        class ReversedPlacement(PlacementPolicy):
+            def set_index(self, address: int) -> int:
+                return self.num_sets - 1 - self.block_address(address) % self.num_sets
+
+        placement = ReversedPlacement(num_sets=8, line_bytes=32)
+        sets = placement.set_index_array(self.ADDRESSES)
+        assert sets.tolist() == [placement.set_index(int(a)) for a in self.ADDRESSES]

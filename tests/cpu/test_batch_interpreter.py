@@ -1,0 +1,252 @@
+"""Unit tests for the core's batch interpreter.
+
+The integration matrix (tests/integration/test_columnar_equivalence.py)
+proves whole-system bit-identity; these tests pin down the mechanism itself
+against a minimal bus + deterministic cache: stretch boundaries, exact cycle
+accounting, LRU timestamp stamping, trace-end finishing and the store-buffer
+suspension.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arbiters.round_robin import RoundRobinArbiter
+from repro.bus.bus import SharedBus
+from repro.bus.ports import FixedLatencySlave
+from repro.cache.l1 import build_l1_cache
+from repro.cpu.core_model import CoreModel
+from repro.cpu.trace import KIND_NONE, KIND_READ, KIND_WRITE, MaterializedTrace
+from repro.sim.config import CacheGeometry
+from repro.sim.kernel import Kernel
+
+
+def build_system(
+    trace: MaterializedTrace,
+    batch: bool,
+    fast_forward: bool = True,
+    bus_latency: int = 4,
+    store_buffer_entries: int = 0,
+    lru: bool = True,
+):
+    kernel = Kernel(fast_forward=fast_forward)
+    bus = SharedBus(
+        "bus",
+        num_masters=1,
+        arbiter=RoundRobinArbiter(1),
+        slave=FixedLatencySlave(bus_latency),
+        max_latency=56,
+    )
+    l1 = build_l1_cache(
+        "l1",
+        CacheGeometry(size_bytes=1024, line_bytes=32, associativity=2),
+        random_caches=not lru,
+        rng=np.random.default_rng(0),
+    )
+    core = CoreModel(
+        "core0",
+        0,
+        trace,
+        l1,
+        bus,
+        store_buffer_entries=store_buffer_entries,
+        batch_interpreter=batch,
+    )
+    kernel.register(core)
+    kernel.register(bus)
+    kernel.add_stop_condition(lambda: core.finished)
+    return kernel, core
+
+
+def run_both(trace_columns, fast_forward: bool = True, **kwargs):
+    """Run the same trace with and without batching; return the two cores."""
+    results = []
+    for batch in (False, True):
+        trace = MaterializedTrace(*trace_columns)
+        kernel, core = build_system(
+            trace, batch=batch, fast_forward=fast_forward, **kwargs
+        )
+        kernel.run(max_cycles=100_000)
+        assert core.finished
+        results.append((kernel, core))
+    return results
+
+
+def state_of(kernel, core):
+    cache = core.l1_data.cache
+    return (
+        kernel.clock.cycle,
+        core.counters.as_dict(),
+        core.counters.request_latencies,
+        (cache.hits, cache.misses),
+        [
+            [(line.valid, line.tag, line.dirty, line.last_used) for line in ways]
+            for ways in cache._sets
+        ],
+    )
+
+
+# One line per set under modulo placement (32-byte lines): addresses 0, 32,
+# 64... land in sets 0, 1, 2...
+A, B, C = 0x000, 0x020, 0x040
+
+
+def test_hit_stretch_executes_in_one_batch():
+    # Warm the cache with three misses, then a long run of hits.
+    columns = (
+        [0, 0, 0] + [3] * 9,
+        [A, B, C] + [A, B, C] * 3,
+        [KIND_READ] * 12,
+    )
+    (k_plain, plain), (k_batch, batched) = run_both(columns)
+    assert state_of(k_plain, plain) == state_of(k_batch, batched)
+    assert batched.batched_items == 9
+    # The nine hits form one stretch (entered when the third miss completes).
+    assert batched.batch_stretches == 1
+    assert plain.batched_items == 0
+
+
+def test_stretch_ends_at_write_and_at_miss():
+    columns = (
+        [0, 2, 2, 2, 2, 2],
+        [A, A, A, B, A, A],
+        [KIND_READ, KIND_READ, KIND_WRITE, KIND_READ, KIND_READ, KIND_READ],
+    )
+    (k_plain, plain), (k_batch, batched) = run_both(columns)
+    assert state_of(k_plain, plain) == state_of(k_batch, batched)
+    # Stretch 1: the hit on A before the write; the write goes to the bus;
+    # B misses (the scan comes back empty there, not a stretch); stretch 2:
+    # the final two hits on A.
+    assert batched.batch_stretches == 2
+    assert batched.batched_items == 3
+
+
+def test_pure_compute_tail_finishes_at_identical_cycle():
+    columns = (
+        [0, 5, 7, 25],
+        [A, 0, 0, 0],
+        [KIND_READ, KIND_NONE, KIND_NONE, KIND_NONE],
+    )
+    (k_plain, plain), (k_batch, batched) = run_both(columns)
+    assert state_of(k_plain, plain) == state_of(k_batch, batched)
+    assert plain.counters.finish_cycle == batched.counters.finish_cycle
+    assert batched.batched_items == 3
+
+
+def test_whole_trace_batchable_from_first_tick():
+    columns = ([4, 4, 4], [0, 0, 0], [KIND_NONE] * 3)
+    (k_plain, plain), (k_batch, batched) = run_both(columns)
+    assert state_of(k_plain, plain) == state_of(k_batch, batched)
+    assert batched.batched_items == 3
+    assert batched.batch_stretches == 1
+
+
+@pytest.mark.parametrize("fast_forward", [False, True], ids=["stepped", "skipped"])
+def test_stepped_and_skipped_batch_agree(fast_forward):
+    columns = (
+        [1, 0, 3, 2, 0, 4],
+        [A, B, A, C, B, A],
+        [KIND_READ, KIND_READ, KIND_READ, KIND_WRITE, KIND_READ, KIND_READ],
+    )
+    (k_plain, plain), (k_batch, batched) = run_both(columns, fast_forward=fast_forward)
+    assert state_of(k_plain, plain) == state_of(k_batch, batched)
+
+
+def test_lru_timestamps_match_exactly():
+    """Batched hits must stamp last_used with the cycle the stepped L1
+    pipeline would have completed them — LRU victim choice depends on it."""
+    columns = (
+        [0, 1, 2, 3, 4],
+        [A, A, A, A, A],
+        [KIND_READ] * 5,
+    )
+    (k_plain, plain), (k_batch, batched) = run_both(columns, lru=True)
+    plain_lines = [
+        (line.tag, line.last_used)
+        for ways in plain.l1_data.cache._sets
+        for line in ways
+        if line.valid
+    ]
+    batch_lines = [
+        (line.tag, line.last_used)
+        for ways in batched.l1_data.cache._sets
+        for line in ways
+        if line.valid
+    ]
+    assert plain_lines == batch_lines
+
+
+def test_store_buffer_suspends_batching_without_divergence():
+    columns = (
+        [0, 1, 1, 1, 1, 1],
+        [A, A, A, B, A, A],
+        [KIND_READ, KIND_WRITE, KIND_READ, KIND_WRITE, KIND_READ, KIND_READ],
+    )
+    (k_plain, plain), (k_batch, batched) = run_both(columns, store_buffer_entries=2)
+    assert state_of(k_plain, plain) == state_of(k_batch, batched)
+
+
+@pytest.mark.parametrize("stop_at", [3, 7, 15, 29])
+def test_hinted_clock_stop_stays_bit_identical(stop_at):
+    """A hinted stop condition ("stop at cycle X") can end the run mid-run;
+    hinted predicates may watch fast-forwarded accounting, which eager batch
+    counters would flip cycles early, so batching falls back to the
+    cycle-accurate path and the results stay bit-identical."""
+    columns = ([0] + [3] * 9, [A] * 10, [KIND_READ] * 10)
+    states = []
+    for batch in (False, True):
+        trace = MaterializedTrace(*columns)
+        kernel, core = build_system(trace, batch=batch)
+        kernel.add_stop_condition(
+            lambda k=kernel: k.clock.cycle >= stop_at,
+            next_event=lambda now: stop_at,
+        )
+        kernel.run(max_cycles=10_000)
+        states.append(state_of(kernel, core))
+        assert core.batched_items == 0  # hinted stops disable batching
+    assert states[0] == states[1]
+
+
+@pytest.mark.parametrize("threshold", [1, 3, 7])
+def test_hinted_accounting_stop_stays_bit_identical(threshold):
+    """The add_stop_condition contract explicitly allows hinted predicates
+    that watch counters advanced by fast_forward; such a predicate must fire
+    on the same cycle with batching enabled as with stepping."""
+    columns = ([0] + [3] * 9, [A] * 10, [KIND_READ] * 10)
+    cycles_at_stop = []
+    for batch in (False, True):
+        trace = MaterializedTrace(*columns)
+        kernel, core = build_system(trace, batch=batch)
+        kernel.add_stop_condition(
+            lambda c=core: c.counters.items_completed >= threshold,
+            next_event=lambda now: now,  # conservative: re-check every cycle
+        )
+        kernel.run(max_cycles=10_000)
+        cycles_at_stop.append((kernel.clock.cycle, core.counters.as_dict()))
+    assert cycles_at_stop[0] == cycles_at_stop[1]
+
+
+def test_bare_stepping_gets_exact_partial_state():
+    """Outside Kernel.run there is no run horizon, so batching stays off:
+    kernel.step(N) must leave exactly the cycle-accurate partial state a
+    non-batch core would have (no eagerly applied future work)."""
+    columns = ([0] + [5] * 19, [A] * 20, [KIND_READ] * 20)
+    partials = []
+    for batch in (False, True):
+        trace = MaterializedTrace(*columns)
+        kernel, core = build_system(trace, batch=batch)
+        kernel.step(30)
+        partials.append(state_of(kernel, core))
+        assert core.batched_items == 0
+    assert partials[0] == partials[1]
+
+
+def test_reset_clears_batch_state_and_replays_identically():
+    columns = ([0, 2, 2], [A, A, A], [KIND_READ] * 3)
+    trace = MaterializedTrace(*columns)
+    kernel, core = build_system(trace, batch=True)
+    kernel.run(max_cycles=10_000)
+    first = (core.counters.as_dict(), core.batched_items)
+    kernel.reset()
+    assert core.batched_items == 0
+    kernel.run(max_cycles=10_000)
+    assert (core.counters.as_dict(), core.batched_items) == first

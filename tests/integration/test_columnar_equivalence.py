@@ -178,6 +178,125 @@ def test_columnar_and_fast_forward_compose(
     assert _snapshot(result) == _snapshot(baseline)
 
 
+# ----------------------------------------------------------------------
+# Batch interpreter rows
+# ----------------------------------------------------------------------
+# The batch interpreter executes whole bus-free stretches (L1-hit reads and
+# pure compute) in one call; these rows extend the matrix with the promise
+# that doing so is bit-identical to per-cycle stepping across every arbiter,
+# CBA on/off and fast-forward on/off.
+
+
+@pytest.mark.parametrize("fast_forward", [False, True], ids=["stepped", "skipped"])
+@pytest.mark.parametrize("use_cba", [False, True], ids=["plain", "cba"])
+@pytest.mark.parametrize("arbitration", ARBITERS)
+def test_batch_interpreter_identical_across_arbiters(
+    arbitration: str, use_cba: bool, fast_forward: bool, varied_workload: WorkloadSpec
+):
+    """Greedy contention across the full policy/CBA/fast-forward matrix: the
+    batch path must place every boundary bus access, grant and RNG draw on
+    exactly the cycles the per-cycle columnar path produces."""
+    config = _config(arbitration, use_cba)
+    kwargs = dict(seed=17, run_index=3, max_cycles=MAX_CYCLES, fast_forward=fast_forward)
+    plain = run_max_contention(
+        varied_workload, config, batch_interpreter=False, **kwargs
+    )
+    batched = run_max_contention(
+        varied_workload, config, batch_interpreter=True, **kwargs
+    )
+    assert _snapshot(plain) == _snapshot(batched)
+
+
+@pytest.mark.parametrize("fast_forward", [False, True], ids=["stepped", "skipped"])
+@pytest.mark.parametrize("batch", [False, True], ids=["item", "batch"])
+def test_batch_and_fast_forward_compose(
+    fast_forward: bool, batch: bool, varied_workload: WorkloadSpec
+):
+    """All four (fast_forward x batch) combinations equal the lazy stepped
+    baseline in the WCET-estimation scenario, where the contenders watch the
+    TuA's request line cycle-by-cycle — the most timing-sensitive observer."""
+    config = _config("random_permutations", use_cba=True)
+    result = run_wcet_estimation(
+        varied_workload,
+        config,
+        seed=23,
+        run_index=4,
+        max_cycles=MAX_CYCLES,
+        fast_forward=fast_forward,
+        batch_interpreter=batch,
+    )
+    baseline = run_wcet_estimation(
+        varied_workload,
+        config,
+        seed=23,
+        run_index=4,
+        max_cycles=MAX_CYCLES,
+        fast_forward=False,
+        materialize_traces=False,
+    )
+    assert _snapshot(result) == _snapshot(baseline)
+
+
+@pytest.mark.parametrize("use_cba", [False, True], ids=["plain", "cba"])
+def test_batch_with_store_buffers_identical(use_cba: bool):
+    """Write buffers suspend batching while stores drain; the suspension must
+    be invisible in the results."""
+    config = _config("round_robin", use_cba, store_buffer_entries=2)
+    workloads = {
+        0: mixed_workload(num_accesses=120),
+        1: WorkloadSpec(
+            name="store_heavy",
+            num_accesses=120,
+            working_set_bytes=64 * 1024,
+            mean_compute_gap=2.0,
+            write_fraction=0.6,
+        ),
+        2: cpu_bound_workload(num_accesses=80),
+    }
+    kwargs = dict(seed=3, run_index=1, max_cycles=MAX_CYCLES)
+    plain = run_multiprogram(workloads, config, batch_interpreter=False, **kwargs)
+    batched = run_multiprogram(workloads, config, batch_interpreter=True, **kwargs)
+    assert _snapshot(plain) == _snapshot(batched)
+
+
+@pytest.mark.parametrize("max_cycles", [1_500, 3_000, 8_000, 12_345])
+def test_batch_truncated_runs_identical(max_cycles: int):
+    """A run truncated at its cycle budget mid-stretch must report exactly
+    the partial work the stepped run reports: the batch interpreter bounds
+    its eager effects by the kernel's run horizon, so nothing from cycles
+    past the truncation point leaks into counters or cache state."""
+    config = _config("round_robin", use_cba=False)
+    l1_resident = WorkloadSpec(
+        name="l1_resident",
+        num_accesses=2_000,
+        working_set_bytes=512,
+        mean_compute_gap=6.0,
+        write_fraction=0.0,
+    )
+    kwargs = dict(seed=7, run_index=0, max_cycles=max_cycles, allow_truncation=True)
+    from repro.platform.scenarios import run_isolation
+
+    plain = run_isolation(l1_resident, config, batch_interpreter=False, **kwargs)
+    batched = run_isolation(l1_resident, config, batch_interpreter=True, **kwargs)
+    assert plain.truncated and batched.truncated
+    assert _snapshot(plain) == _snapshot(batched)
+
+
+def test_batching_is_not_vacuous(varied_workload: WorkloadSpec):
+    """The batch rows must actually exercise the batch path: an isolation run
+    of the hot-region workload batches a substantial share of its items."""
+    config = _config("round_robin", use_cba=False)
+    system = MulticoreSystem(config, seed=1, run_index=0)
+    core = system.add_task(0, varied_workload)
+    system.run(max_cycles=MAX_CYCLES)
+    assert core.batch_stretches > 0
+    assert core.batched_items > 0
+    off_system = MulticoreSystem(config, seed=1, run_index=0, batch_interpreter=False)
+    off_core = off_system.add_task(0, varied_workload)
+    off_system.run(max_cycles=MAX_CYCLES)
+    assert off_core.batched_items == 0
+
+
 def test_materialization_is_not_vacuous(varied_workload: WorkloadSpec):
     """The columnar run must actually use a materialised trace (and the lazy
     run must not), so the matrix cannot pass by comparing identical paths."""

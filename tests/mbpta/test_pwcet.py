@@ -69,6 +69,23 @@ def test_invalid_exceedance_rejected(curve):
         curve.wcet_at(1.0)
 
 
+def test_invalid_exceedance_array_rejected(curve):
+    """The array path applies the same (0, 1) domain check as the scalar
+    path instead of silently returning NaN/garbage bounds."""
+    for bad in ([0.0, 1e-6], [1e-6, 1.0], [-1e-6], [2.0], [float("nan")]):
+        with pytest.raises(AnalysisError):
+            curve.wcet_at(np.asarray(bad))
+
+
+def test_nan_bound_rejected_by_exceedance_of(curve):
+    """A NaN bound compares False against the observed maximum, so without
+    the explicit check it would bypass the dominance clamp and propagate."""
+    with pytest.raises(AnalysisError):
+        curve.exceedance_of(float("nan"))
+    with pytest.raises(AnalysisError):
+        curve.exceedance_of(np.array([curve.observed_max + 1.0, float("nan")]))
+
+
 def test_as_dict_contains_grid_points(curve):
     data = curve.as_dict()
     assert "points" in data and "1e-12" in data["points"]
