@@ -22,15 +22,14 @@ must stay fast), run directly or by the CI ``bench`` job::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from common import bootstrap_src, report_header, write_report
+
+bootstrap_src()
 
 from repro.campaign.campaign import Campaign, aggregate_by_label  # noqa: E402
 from repro.campaign.executor import ParallelExecutor, SerialExecutor  # noqa: E402
@@ -198,11 +197,8 @@ def main(argv: list[str] | None = None) -> int:
     mbpta_campaign = best_mbpta_timings(campaign_vector, args.repeats)
     mbpta_campaign["samples"] = int(campaign_vector.size)
 
-    report = {
-        "benchmark": "campaign_orchestration",
-        "created_unix": int(time.time()),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+    report = report_header("campaign_orchestration")
+    report.update({
         "grid": {
             "labels": [f"{b}/{c}:{s}" for b, c, s in GRID],
             "runs_per_label": args.runs,
@@ -218,9 +214,8 @@ def main(argv: list[str] | None = None) -> int:
         },
         "mbpta_post_1000_samples": mbpta_1000,
         "mbpta_post_campaign_samples": mbpta_campaign,
-    }
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
+    })
+    write_report(args.output, report)
     return 0
 
 

@@ -1,0 +1,189 @@
+"""CI regression gate over the benchmark reports.
+
+Compares freshly produced ``BENCH_kernel.json``/``BENCH_campaign.json``
+reports against hard same-process bounds and against the committed
+baselines, exiting non-zero on a regression.  Moving the gate here (out of
+``bench_kernel.py``'s process) makes it reusable — CI, local runs and other
+harnesses all call the same checks — and lets the gate reason about the
+*committed* baseline, not only the current process.
+
+Two kinds of check, chosen for robustness across machines:
+
+* **same-process gates** (current report only): wall-clock ratios between
+  modes measured in one process on one machine — the batch interpreter must
+  stay within ``factor`` of the fast-forward baseline and the event-queue
+  scheduler within ``factor`` of the hint scan on every tracked scenario;
+  every scenario must be bit-identical; the campaign's pool executor must be
+  bit-identical to serial and MBPTA post-processing under its latency
+  budget.
+* **baseline diffs** (current vs committed): absolute wall clocks are
+  machine-dependent (the committed baseline comes from a developer machine,
+  the current report from a CI runner), so the gated quantity is the
+  *normalised throughput* of each tracked scenario — its default-mode
+  Mcycles/s divided by the same process's stepping Mcycles/s — which cancels
+  machine speed.  A tracked scenario failing ``current >= baseline/factor``
+  fails the gate; everything else is printed as an informational delta.
+
+Usage (what the CI bench job runs)::
+
+    python benchmarks/bench_kernel.py --quick --output BENCH_kernel.new.json
+    python benchmarks/bench_campaign.py --quick --output BENCH_campaign.new.json
+    python benchmarks/compare_bench.py \
+        --kernel-current BENCH_kernel.new.json \
+        --kernel-baseline BENCH_kernel.json \
+        --campaign-current BENCH_campaign.new.json \
+        --campaign-baseline BENCH_campaign.json
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Any
+
+from common import REGRESSION_FACTOR, load_report, tracked_scenarios
+
+
+def _normalised_throughput(entry: dict[str, Any]) -> float | None:
+    """Default-mode throughput over stepping throughput (machine-neutral).
+
+    Falls back through the mode columns so reports predating the event
+    queue still diff cleanly.
+    """
+    stepping = entry.get("mcycles_per_s_stepping")
+    default = entry.get("mcycles_per_s_event_queue") or entry.get("mcycles_per_s_batch")
+    if not stepping or not default:
+        return None
+    return default / stepping
+
+
+def check_kernel_current(report: dict[str, Any], factor: float) -> list[str]:
+    """Same-process gates on a fresh kernel report."""
+    failures = []
+    for name, entry in report.get("scenarios", {}).items():
+        if not entry.get("bit_identical", False):
+            failures.append(f"kernel/{name}: modes are not bit-identical")
+    for name, entry in tracked_scenarios(report).items():
+        batch = entry.get("wall_s_batch")
+        fast_forward = entry.get("wall_s_fast_forward")
+        if batch is not None and fast_forward is not None and batch > factor * fast_forward:
+            failures.append(
+                f"kernel/{name}: batch path {batch:.3f}s is more than "
+                f"{factor:.2f}x the fast-forward baseline {fast_forward:.3f}s"
+            )
+        queue = entry.get("wall_s_event_queue")
+        if queue is not None and batch is not None and queue > factor * batch:
+            failures.append(
+                f"kernel/{name}: event-queue scheduler {queue:.3f}s is more than "
+                f"{factor:.2f}x the hint-scan baseline {batch:.3f}s"
+            )
+    return failures
+
+
+def check_kernel_baseline(
+    current: dict[str, Any], baseline: dict[str, Any], factor: float
+) -> list[str]:
+    """Normalised-throughput diff of the tracked scenarios vs the baseline.
+
+    Only gating when both reports ran the same workload size: normalised
+    throughput cancels machine speed but not workload size (smaller traces
+    carry proportionally more fixed per-run cost), so a ``--quick`` report
+    diffed against a full-size baseline is informational only.
+    """
+    failures = []
+    if current.get("accesses") != baseline.get("accesses"):
+        print(
+            "\nbaseline diff skipped: workload sizes differ "
+            f"(current accesses={current.get('accesses')}, "
+            f"baseline accesses={baseline.get('accesses')}) — "
+            "normalised throughput is only comparable at equal size"
+        )
+        return failures
+    baseline_tracked = tracked_scenarios(baseline)
+    print("\ntracked scenarios vs committed baseline (normalised throughput):")
+    for name, entry in tracked_scenarios(current).items():
+        base_entry = baseline_tracked.get(name)
+        if base_entry is None:
+            print(f"  {name:50s} (new scenario, no baseline)")
+            continue
+        now = _normalised_throughput(entry)
+        then = _normalised_throughput(base_entry)
+        if now is None or then is None:
+            print(f"  {name:50s} (incomparable schemas)")
+            continue
+        verdict = "ok" if now >= then / factor else "REGRESSED"
+        print(f"  {name:50s} baseline {then:6.2f}x  current {now:6.2f}x  {verdict}")
+        if verdict != "ok":
+            failures.append(
+                f"kernel/{name}: normalised throughput fell from {then:.2f}x "
+                f"to {now:.2f}x (allowed floor {then / factor:.2f}x)"
+            )
+    return failures
+
+
+def check_campaign_current(report: dict[str, Any]) -> list[str]:
+    """Same-process gates on a fresh campaign report."""
+    failures = []
+    campaign = report.get("campaign", {})
+    if not campaign.get("bit_identical", False):
+        failures.append("campaign: pool executor is not bit-identical to serial")
+    mbpta = report.get("mbpta_post_1000_samples", {})
+    if not mbpta.get("under_50ms", False):
+        failures.append(
+            f"campaign: MBPTA post-processing of 1000 samples took "
+            f"{mbpta.get('total_ms', float('nan'))} ms (budget 50 ms)"
+        )
+    return failures
+
+
+def diff_campaign_baseline(current: dict[str, Any], baseline: dict[str, Any]) -> None:
+    """Informational only: executor wall clocks are machine-dependent."""
+    now = current.get("campaign", {})
+    then = baseline.get("campaign", {})
+    print(
+        "\ncampaign vs committed baseline (informational): "
+        f"serial {then.get('wall_s_serial')}s -> {now.get('wall_s_serial')}s, "
+        f"pool {then.get('wall_s_pool')}s -> {now.get('wall_s_pool')}s, "
+        f"mbpta total {baseline.get('mbpta_post_1000_samples', {}).get('total_ms')}ms "
+        f"-> {current.get('mbpta_post_1000_samples', {}).get('total_ms')}ms"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernel-current", type=Path, required=True)
+    parser.add_argument("--kernel-baseline", type=Path, default=None)
+    parser.add_argument("--campaign-current", type=Path, default=None)
+    parser.add_argument("--campaign-baseline", type=Path, default=None)
+    parser.add_argument(
+        "--factor", type=float, default=REGRESSION_FACTOR,
+        help=f"allowed slowdown factor (default: {REGRESSION_FACTOR})",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+
+    kernel_current = load_report(args.kernel_current)
+    failures += check_kernel_current(kernel_current, args.factor)
+    if args.kernel_baseline is not None and args.kernel_baseline.exists():
+        failures += check_kernel_baseline(
+            kernel_current, load_report(args.kernel_baseline), args.factor
+        )
+
+    if args.campaign_current is not None:
+        campaign_current = load_report(args.campaign_current)
+        failures += check_campaign_current(campaign_current)
+        if args.campaign_baseline is not None and args.campaign_baseline.exists():
+            diff_campaign_baseline(campaign_current, load_report(args.campaign_baseline))
+
+    if failures:
+        print("\nREGRESSION GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,16 @@ __all__ = ["SharedBus"]
 class SharedBus(Component):
     """Cycle-accurate model of a non-split shared bus."""
 
+    #: The bus pushes its wake into the kernel's event queue at the end of
+    #: every tick: the release cycle while a transaction holds the bus, the
+    #: arbiter's next grant opportunity while idle with pending requests
+    #: (TDMA slot boundaries, CBA credit-replenish targets), nothing while
+    #: idle and empty (only a master's submission — an executed tick by
+    #: construction — can change anything).  Re-assertions of an unchanged
+    #: wake are deduplicated by the queue, so the steady state costs no heap
+    #: churn.
+    event_driven = True
+
     def __init__(
         self,
         name: str,
@@ -68,6 +78,12 @@ class SharedBus(Component):
         self._holder: int | None = None
         self._active_request: BusRequest | None = None
         self._release_cycle = 0
+        #: Wake currently pushed into the kernel's event queue (``None`` when
+        #: nothing is scheduled).  Caching it locally keeps the steady state
+        #: — re-asserting the same release cycle every tick of a long
+        #: transaction — a single comparison instead of a call into the
+        #: kernel's dedup.
+        self._wake_target: int | None = None
         self.stats = StatGroup(name=f"{name}.stats")
         # The per-cycle and per-transaction paths below run millions of times
         # per campaign; bind the counters/histograms once instead of paying a
@@ -162,6 +178,35 @@ class SharedBus(Component):
             # transaction granted this very cycle), which is what drives CBA
             # budget draining.
             self.arbiter.cycle_update(cycle, self._holder)
+        if self._wake_push:
+            # After the whole cycle's bus activity (and the arbiter's budget
+            # update) is in: push the wake the hint scan would compute when
+            # polled for cycle + 1.  The steady states — holding with the
+            # release cycle already pushed, idle-empty with nothing pushed —
+            # skip the call entirely.
+            if self._holder is not None:
+                if self._wake_target != self._release_cycle:
+                    self._reschedule_wake(cycle + 1)
+            elif self._num_pending or self._wake_target is not None:
+                self._reschedule_wake(cycle + 1)
+
+    def _reschedule_wake(self, next_cycle: int) -> None:
+        """Event-queue push mirroring :meth:`next_event` at ``next_cycle``."""
+        if self._holder is not None:
+            wake = self._release_cycle
+        elif self._num_pending:
+            wake = self.arbiter.next_grant_opportunity(
+                self.pending_masters, next_cycle
+            )
+        else:
+            wake = None
+        if wake == self._wake_target:
+            return
+        self._wake_target = wake
+        if wake is None:
+            self._wake_cancel(self._wake_slot)
+        else:
+            self._wake_schedule(self._wake_slot, wake)
 
     def _complete_if_done(self, cycle: int) -> None:
         if self._holder is None or self._active_request is None:
@@ -303,5 +348,6 @@ class SharedBus(Component):
         self._holder = None
         self._active_request = None
         self._release_cycle = 0
+        self._wake_target = None
         self.stats.reset()
         self.arbiter.reset()

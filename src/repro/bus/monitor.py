@@ -48,6 +48,12 @@ class BandwidthWindow:
 class BusMonitor(Component):
     """Samples bus occupancy every cycle and aggregates it into windows."""
 
+    #: Event-queue protocol: the monitor is a pure observer and never pushes
+    #: a wake at all — the absence of a heap entry is exactly its permanent
+    #: ``next_event`` answer of ``None``.  Declaring it event-driven removes
+    #: it from the kernel's poll fallback.
+    event_driven = True
+
     def __init__(self, name: str, bus: SharedBus, window_cycles: int = 1000) -> None:
         super().__init__(name)
         if window_cycles <= 0:

@@ -19,6 +19,13 @@ __all__ = ["ReplacementPolicy", "LRUReplacement", "RandomReplacement"]
 class ReplacementPolicy(ABC):
     """Chooses the victim way within a set when a fill needs space."""
 
+    #: Whether the policy ever *reads* the access history it is notified of
+    #: (``last_used`` stamps).  LRU does; random replacement accepts the
+    #: notifications but never looks at them, so bulk paths (the batch
+    #: interpreter's read-hit commit) may skip the per-line stamping loop
+    #: entirely without changing any observable behaviour.
+    uses_access_history: bool = True
+
     @abstractmethod
     def select_victim(self, ways: list[CacheLine], cycle: int) -> int:
         """Return the index of the way to evict.
@@ -41,6 +48,8 @@ class LRUReplacement(ReplacementPolicy):
 
 class RandomReplacement(ReplacementPolicy):
     """Evict a uniformly random way (MBPTA-compliant)."""
+
+    uses_access_history = False
 
     def __init__(self, rng: np.random.Generator) -> None:
         self._rng = rng

@@ -13,7 +13,7 @@ shapes with :func:`aggregate_by_label`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np

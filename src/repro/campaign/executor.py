@@ -17,7 +17,7 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from ..sim.errors import ConfigurationError
 from .jobs import CampaignJob, JobResult, run_job

@@ -28,7 +28,7 @@ import time
 from dataclasses import asdict, dataclass, field, replace
 from functools import cached_property
 from importlib import import_module
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping
 
 import numpy as np
 

@@ -210,9 +210,15 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
     print()
     print(format_key_values(
         {
-            "worst RP-CON slowdown": f"{result.worst_contention_slowdown('RP-CON'):.2f} (paper: 3.34)",
-            "worst CBA-CON slowdown": f"{result.worst_contention_slowdown('CBA-CON'):.2f} (paper: 2.34)",
-            "CBA isolation overhead": f"{100 * result.isolation_overhead('CBA-ISO'):.1f}% (paper: ~3%)",
+            "worst RP-CON slowdown": (
+                f"{result.worst_contention_slowdown('RP-CON'):.2f} (paper: 3.34)"
+            ),
+            "worst CBA-CON slowdown": (
+                f"{result.worst_contention_slowdown('CBA-CON'):.2f} (paper: 2.34)"
+            ),
+            "CBA isolation overhead": (
+                f"{100 * result.isolation_overhead('CBA-ISO'):.1f}% (paper: ~3%)"
+            ),
             "H-CBA isolation overhead": f"{100 * result.isolation_overhead('H-CBA-ISO'):.1f}%",
         },
         title="Figure 1 headline numbers",

@@ -104,9 +104,7 @@ class CreditBasedArbiter(Arbiter):
             opportunity = self.base.next_grant_opportunity(eligible, cycle)
         blocked = [master for master in pending if not self.credits[master].eligible]
         if blocked:
-            refill = cycle + min(
-                self.credits[master].cycles_until_eligible() for master in blocked
-            )
+            refill = cycle + self.credits.cycles_until_any_eligible(blocked)
             if opportunity is None or refill < opportunity:
                 opportunity = refill
         return opportunity

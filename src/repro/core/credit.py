@@ -18,6 +18,7 @@ the filter rule of Section III-A.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..sim.config import CBAParameters
 from ..sim.errors import BudgetError
@@ -274,6 +275,19 @@ class CreditBank:
                 account.advance_as_holder(cycles)
             else:
                 account.replenish_many(cycles)
+
+    def cycles_until_any_eligible(self, core_ids: Iterable[int]) -> int:
+        """Fewest replenish cycles until one of ``core_ids`` becomes eligible.
+
+        0 when one already is.  This is the credit side of the event-queue
+        wake protocol: replenishment is deterministic while the bus idles, so
+        the first cycle at which a blocked core clears the budget filter is
+        known in advance, and the bus schedules its grant-opportunity wake
+        there (:meth:`repro.core.cba.CreditBasedArbiter.next_grant_opportunity`)
+        instead of being polled every cycle.  A grant restarts the holder's
+        drain and invalidates that wake — the bus re-pushes at its next tick.
+        """
+        return min(self.accounts[core].cycles_until_eligible() for core in core_ids)
 
     def balances(self) -> list[int]:
         return [account.balance for account in self.accounts]

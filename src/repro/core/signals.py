@@ -252,7 +252,9 @@ class ArbiterSignalModel:
     # ------------------------------------------------------------------
     # Convenience drivers
     # ------------------------------------------------------------------
-    def run_tua_requests(self, num_requests: int, gap_cycles: int = 0, max_cycles: int = 1_000_000) -> int:
+    def run_tua_requests(
+        self, num_requests: int, gap_cycles: int = 0, max_cycles: int = 1_000_000
+    ) -> int:
         """Drive the model until the TuA completes ``num_requests`` requests.
 
         The TuA asserts a request, waits for it to complete, then waits

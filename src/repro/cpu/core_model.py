@@ -53,6 +53,8 @@ from __future__ import annotations
 
 from enum import Enum
 
+import numpy as np
+
 from ..bus.bus import SharedBus
 from ..bus.transaction import AccessType, BusRequest
 from ..cache.l1 import L1Cache
@@ -70,6 +72,21 @@ from .trace import (
 
 __all__ = ["CoreState", "CoreModel"]
 
+#: The vectorised residency probe is used when both the candidate window and
+#: the core's running stretch-length estimate reach this many items; below
+#: it the scalar per-item probe wins (measured parity ~64 items, clear
+#: vector wins from ~128 — the numpy fixed cost per probe round needs that
+#: many items to amortise; the estimate runs at 1.5x the observed stretch).
+_VEC_MIN_WINDOW = 96
+#: Cap on the adaptive stretch-length estimate, i.e. on the vectorised
+#: scan's *first* probe width.  Within one scan the width then gallops (4x
+#: per round), so a fully resident trace is decided in a handful of numpy
+#: operations while the wasted probe past an early miss stays proportional
+#: to the items actually taken.
+_VEC_CHUNK = 256
+#: Initial stretch-length estimate (and smallest vectorised probe width).
+_VEC_CHUNK_FIRST = 16
+
 
 class CoreState(str, Enum):
     """What the core is doing in the current cycle."""
@@ -86,7 +103,20 @@ class CoreState(str, Enum):
 
 
 class CoreModel(Component):
-    """An in-order, blocking, trace-driven core."""
+    """An in-order, blocking, trace-driven core.
+
+    Event-queue protocol: the core pushes its wake whenever its state machine
+    *transitions* (a trace item loaded, an access begun or finished, a store
+    drained, a completion callback) and leaves the heap entry untouched
+    across pure countdown ticks — an absolute wake does not move while a
+    compute gap, an L1 latency or a batch stretch merely counts down.
+    Transition helpers set :attr:`_wake_dirty`; the tick wrapper (and the bus
+    callbacks, which run outside the core's own tick) re-derive the wake from
+    :meth:`next_event` exactly once per dirty tick, so push sites cannot
+    drift from the polled hint.
+    """
+
+    event_driven = True
 
     def __init__(
         self,
@@ -151,12 +181,50 @@ class CoreModel(Component):
         if self._batch:
             self._l1_sets, self._l1_tags = trace.placement_columns(l1_data.placement)
             self._l1_probe, self._l1_commit = l1_data.batch_read_hooks()
+            # Vectorised residency: the candidate stretch between two
+            # mandatory bus items is decided against the L1's (num_sets,
+            # ways) tag-store mirror in one numpy comparison per chunk; the
+            # scalar probe above stays as the fallback for short windows,
+            # where the fixed cost of array indexing exceeds a handful of
+            # probe calls.
+            self._set_array, self._tag_array = trace.placement_arrays(l1_data.placement)
+            self._mirror_tags = l1_data.residency_mirror()
+            self._bus_bounds = trace.bus_bound_indices().tolist()
+            self._bound_pos = 0
+            self._commit_hits = l1_data.commit_read_hits
+            #: Random replacement never reads the access history, so batch
+            #: commits may count hits without computing per-hit stamps/ways.
+            self._hits_cheap = l1_data.hit_stamps_droppable
+            self._count_hits = l1_data.cache.count_read_hits
+            # Per-run prefix sums: item i's cost is gap + transition cycle
+            # (+ hit latency for reads), so a stretch's cycle count and every
+            # hit's exact completion stamp fall out of one subtraction
+            # against these instead of a cumsum per probe.
+            self._read_mask = trace.kinds == np.int8(KIND_READ)
+            self._cost_prefix = np.cumsum(
+                trace.compute_gaps + 1 + l1_data.hit_latency * self._read_mask
+            )
+            #: Adaptive stretch-length estimate: ~1.5x the *smaller* of the
+            #: two most recent stretches (updated by both scan paths in
+            #: :meth:`_commit_batch`).  Taking the pairwise minimum adds
+            #: hysteresis — one long stretch in a short-stretch regime does
+            #: not flip the route, so spiky distributions stay on the scalar
+            #: probe while genuinely resident phases (consecutive long
+            #: stretches) move to the vectorised one, which the estimate
+            #: also sizes so a typical stretch is decided in one numpy round
+            #: without over-probing far past its end.
+            self._stretch_estimate = _VEC_CHUNK_FIRST
+            self._last_stretch = 0
         self._store_buffer: list[int] = []
         self._store_in_flight = False
         self._deferred_request: BusRequest | None = None
         self._stalled_store: int | None = None
         self._started = False
         self._finishing = False
+        #: Set by the state-machine transition helpers; consumed once at the
+        #: end of the tick (or completion callback) that caused it, where the
+        #: event-queue wake is re-derived from :meth:`next_event`.
+        self._wake_dirty = False
         bus.connect_master(core_id, self)
 
     # ------------------------------------------------------------------
@@ -187,6 +255,13 @@ class CoreModel(Component):
     # Per-cycle behaviour
     # ------------------------------------------------------------------
     def tick(self) -> None:
+        self._tick_cycle()
+        if self._wake_dirty:
+            self._wake_dirty = False
+            if self._wake_push:
+                self._reschedule_wake()
+
+    def _tick_cycle(self) -> None:
         if self._state is CoreState.FINISHED:
             return
         if not self._started:
@@ -239,6 +314,20 @@ class CoreModel(Component):
     # ------------------------------------------------------------------
     # Fast-forward support
     # ------------------------------------------------------------------
+    def _reschedule_wake(self) -> None:
+        """Push the wake the hint scan would compute for the next cycle.
+
+        Deriving the pushed wake from :meth:`next_event` (evaluated at the
+        next scheduling decision's ``now``) makes the two mechanisms equal by
+        construction — the state machine cannot push one thing and poll
+        another.
+        """
+        wake = self.next_event(self.now + 1)
+        if wake is None:
+            self._wake_cancel(self._wake_slot)
+        else:
+            self._wake_schedule(self._wake_slot, wake)
+
     def next_event(self, now: int) -> int | None:
         """Wake hint for the kernel's fast-forward.
 
@@ -308,6 +397,7 @@ class CoreModel(Component):
         bus-free stretch; the single-item load below then only ever sees
         items that (may) need the bus, plus everything on the lazy path.
         """
+        self._wake_dirty = True
         if self._columnar:
             cursor = self._cursor
             if cursor >= self._trace_len:
@@ -375,21 +465,52 @@ class CoreModel(Component):
         disables batching outright; outside :meth:`~repro.sim.kernel.Kernel.run`
         (bare ``kernel.step()`` driving) there is no horizon at all and
         batching stays off, keeping stepped partial state exact.
+
+        Two scan implementations share these semantics: the candidate window
+        runs from the cursor to the next write/atomic (which must go to the
+        bus no matter what the cache holds, pre-computed per trace).  When
+        both the window and the core's adaptive stretch-length estimate
+        reach ``_VEC_MIN_WINDOW``, the window is decided *vectorised* — the
+        reads' pre-computed ``(set, tag)`` placements are compared against
+        the L1 tag-store mirror in one numpy operation per probe round, the
+        stretch ending at the first read miss or the run-horizon cut found
+        on per-run cost prefix sums.  Short windows and short-stretch
+        regimes use the scalar per-item probe, whose fixed cost is lower.
+        Both commit identical effects — the equivalence matrix covers
+        workloads exercising each.
         """
         kernel = self.kernel
         if self._store_buffer or self._store_in_flight or kernel.has_hinted_stops:
             return False
         cursor = self._cursor
-        end = self._trace_len
+        # The next mandatory bus item bounds the window; the position cursor
+        # into the per-trace boundary list only ever moves forward.
+        bounds = self._bus_bounds
+        pos = self._bound_pos
+        num_bounds = len(bounds)
+        while pos < num_bounds and bounds[pos] < cursor:
+            pos += 1
+        self._bound_pos = pos
+        hard_end = bounds[pos] if pos < num_bounds else self._trace_len
+        if (
+            hard_end - cursor >= _VEC_MIN_WINDOW
+            and self._stretch_estimate >= _VEC_MIN_WINDOW
+        ):
+            return self._enter_batch_vector(first_tick, cursor, hard_end)
+        return self._enter_batch_scalar(first_tick, cursor, hard_end)
+
+    def _enter_batch_scalar(self, first_tick: bool, cursor: int, end: int) -> bool:
+        """Per-item probe scan over a short candidate window."""
+        kernel = self.kernel
         gaps = self._gaps
         kinds = self._kinds
         sets = self._l1_sets
         tags = self._l1_tags
         probe = self._l1_probe
         commit = self._l1_commit
+        cheap = self._hits_cheap
         latency = self.l1_data.hit_latency
         read_kind = KIND_READ
-        compute_kind = KIND_NONE
         base = self.now - 1 if first_tick else self.now
         budget = None
         bounded = False
@@ -404,11 +525,9 @@ class CoreModel(Component):
                 if way is None:
                     break
                 cost = gaps[j] + 1 + latency
-            elif kind == compute_kind:
+            else:  # pure compute (writes/atomics bound the window)
                 way = None
                 cost = gaps[j] + 1
-            else:
-                break
             if not bounded:
                 horizon = kernel.run_horizon(self.now)
                 if horizon is None:
@@ -423,12 +542,120 @@ class CoreModel(Component):
                 break
             cycles += cost
             if kind == read_kind:
-                commit(set_index, way, base + cycles)
+                if not cheap:
+                    commit(set_index, way, base + cycles)
                 reads += 1
             j += 1
         if j == cursor:
             return False
-        items = j - cursor
+        if cheap and reads:
+            self._count_hits(reads)
+        self._commit_batch(cursor, j, cycles, reads)
+        return True
+
+    def _enter_batch_vector(self, first_tick: bool, cursor: int, hard_end: int) -> bool:
+        """Vectorised scan: the window's hits fall out of one numpy compare
+        per chunk against the L1 tag-store mirror.
+
+        Correct for the same reason the scalar scan is: read hits change no
+        residency, so the mirror probed once at stretch entry stays valid for
+        every item of the stretch; the first read miss (or the run-horizon
+        budget) ends it before any state the probe relied on could change.
+        """
+        # Fail fast on a leading read miss with one scalar probe — the
+        # common exit after a bus completion loads the very item that missed,
+        # and it should not cost a whole vectorised chunk to find out.
+        if (
+            self._kinds[cursor] == KIND_READ
+            and self._l1_probe(self._l1_sets[cursor], self._l1_tags[cursor]) is None
+        ):
+            return False
+        kernel = self.kernel
+        horizon = kernel.run_horizon(self.now)
+        if horizon is None:
+            # Bare step() driving — eager execution is never safe (see the
+            # scalar path).
+            return False
+        base = self.now - 1 if first_tick else self.now
+        budget = horizon - 1 - base
+        if budget <= 0:
+            return False
+        read_mask = self._read_mask
+        cost_prefix = self._cost_prefix
+        sets = self._set_array
+        tags = self._tag_array
+        mirror_tags = self._mirror_tags
+        commit = self._commit_hits
+        # Everything is priced off the per-run prefix sums: the cost of
+        # items ``cursor..k`` is ``cost_prefix[k] - prev``, and a hit at
+        # item ``i`` completes at ``stamp_base + cost_prefix[i]``.
+        prev = int(cost_prefix[cursor - 1]) if cursor else 0
+        stamp_base = base - prev
+        # The longest prefix whose completion ticks all execute before the
+        # run horizon, as an absolute index bound (one binary search on the
+        # whole-run prefix sums).
+        budget_end = int(np.searchsorted(cost_prefix, prev + budget, side="right"))
+        if budget_end < hard_end:
+            hard_end = budget_end
+        j = cursor
+        reads = 0
+        width = self._stretch_estimate
+        while j < hard_end:
+            end = j + width
+            if end > hard_end:
+                end = hard_end
+            width <<= 2  # gallop: long stretches finish in few rounds
+            chunk_reads = read_mask[j:end]
+            set_chunk = sets[j:end]
+            # Invalid ways mirror as a sentinel no real tag equals, so the
+            # residency of the whole chunk is one compare against the tag
+            # plane (no validity mask needed).
+            match = mirror_tags[set_chunk] == tags[j:end, None]
+            viable = match.any(axis=1) | ~chunk_reads
+            if viable.all():
+                take = end - j
+                stop = False
+            else:
+                # First read miss: the stretch ends just before it.
+                take = int(np.argmin(viable))
+                stop = True
+            if take:
+                if self._hits_cheap:
+                    count = int(np.count_nonzero(chunk_reads[:take]))
+                    if count:
+                        self._count_hits(count)
+                        reads += count
+                else:
+                    hits = np.flatnonzero(chunk_reads[:take])
+                    if hits.size:
+                        # Every read in the prefix is a hit by construction;
+                        # stamp each with the exact cycle the stepped L1
+                        # pipeline would have completed it.
+                        stamps = stamp_base + cost_prefix[j + hits]
+                        ways = match[hits].argmax(axis=1)
+                        commit(set_chunk[hits].tolist(), ways.tolist(), stamps.tolist())
+                        reads += int(hits.size)
+                j += take
+            if stop:
+                break
+        if j == cursor:
+            return False
+        cycles = int(cost_prefix[j - 1]) - prev
+        self._commit_batch(cursor, j, cycles, reads)
+        return True
+
+    def _commit_batch(self, cursor: int, end: int, cycles: int, reads: int) -> None:
+        """Advance counters/cursor for a swallowed stretch and start the
+        countdown (shared tail of the scalar and vectorised scans)."""
+        items = end - cursor
+        # Re-aim the stretch estimate (route + vectorised probe width) at
+        # ~1.5x the smaller of this stretch and the previous one.
+        floor = items if items < self._last_stretch else self._last_stretch
+        self._last_stretch = items
+        self._stretch_estimate = min(
+            _VEC_CHUNK, max(_VEC_CHUNK_FIRST, floor + (floor >> 1))
+        )
+        latency = self.l1_data.hit_latency
         counters = self.counters
         counters.items_completed += items
         counters.compute_cycles += cycles - items - latency * reads
@@ -437,14 +664,14 @@ class CoreModel(Component):
         counters.l1_hits += reads
         self.batched_items += items
         self.batch_stretches += 1
-        self._cursor = j
+        self._cursor = end
         self._batch_remaining = cycles
         self._pending_kind = KIND_NONE
         self._compute_remaining = 0
         self._state = CoreState.COMPUTING
-        return True
 
     def _begin_access(self) -> None:
+        self._wake_dirty = True
         if getattr(self, "_finishing", False):
             # Trace already exhausted; we are only waiting for stores to drain.
             if not self._store_buffer and not self._store_in_flight:
@@ -460,6 +687,7 @@ class CoreModel(Component):
         self._l1_remaining = self.l1_data.hit_latency
 
     def _finish_l1_access(self) -> None:
+        self._wake_dirty = True
         kind = self._pending_kind
         address = self._pending_address
         self.counters.accesses += 1
@@ -524,6 +752,7 @@ class CoreModel(Component):
         request.annotate(buffered_store=True)
         self.counters.bus_requests += 1
         self._store_in_flight = True
+        self._wake_dirty = True
         self.bus.submit(request)
 
     def _finish(self) -> None:
@@ -559,10 +788,20 @@ class CoreModel(Component):
         self.counters.items_completed += 1
         self._pending_kind = KIND_NONE
         self._advance_trace()
+        # This callback runs inside the *bus's* tick, after the core's own
+        # tick already flushed its wake — flush again here.
+        if self._wake_dirty:
+            self._wake_dirty = False
+            if self._wake_push:
+                self._reschedule_wake()
 
     def _complete_buffered_store(self, request: BusRequest) -> None:
         """A background store drained; free the port and unblock stalls."""
         self._store_in_flight = False
+        # Every branch below can change the wake (another buffered store may
+        # drain next tick, a finishing core resumes polling, a deferred
+        # request goes out): re-derive it unconditionally at the end.
+        self._wake_dirty = True
         if request.duration is not None:
             self.counters.bus_hold_cycles += request.duration
         self.counters.request_latencies.append(request.total_latency)
@@ -575,6 +814,10 @@ class CoreModel(Component):
             self._deferred_request = None
             self._state = CoreState.WAITING_BUS
             self.bus.submit(deferred)
+        if self._wake_dirty:
+            self._wake_dirty = False
+            if self._wake_push:
+                self._reschedule_wake()
 
     def reset(self) -> None:
         self.counters = CoreCounters(core_id=self.core_id)
@@ -591,9 +834,14 @@ class CoreModel(Component):
         self._batch_remaining = 0
         self.batched_items = 0
         self.batch_stretches = 0
+        if self._batch:
+            self._bound_pos = 0
+            self._stretch_estimate = _VEC_CHUNK_FIRST
+            self._last_stretch = 0
         self._store_buffer = []
         self._store_in_flight = False
         self._deferred_request = None
         self._stalled_store = None
         self._finishing = False
         self._started = False
+        self._wake_dirty = False

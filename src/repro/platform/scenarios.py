@@ -62,6 +62,7 @@ def _build_system(
     fast_forward: bool = True,
     materialize_traces: bool = True,
     batch_interpreter: bool = True,
+    event_queue: bool = True,
 ) -> MulticoreSystem:
     return MulticoreSystem(
         config,
@@ -71,6 +72,7 @@ def _build_system(
         fast_forward=fast_forward,
         materialize_traces=materialize_traces,
         batch_interpreter=batch_interpreter,
+        event_queue=event_queue,
     )
 
 
@@ -85,6 +87,7 @@ def run_isolation(
     fast_forward: bool = True,
     materialize_traces: bool = True,
     batch_interpreter: bool = True,
+    event_queue: bool = True,
 ) -> ScenarioResult:
     """Run ``workload`` alone on the platform (the ``*-ISO`` bars of Figure 1).
 
@@ -100,6 +103,7 @@ def run_isolation(
         fast_forward=fast_forward,
         materialize_traces=materialize_traces,
         batch_interpreter=batch_interpreter,
+        event_queue=event_queue,
     )
     system.add_task(tua_core, workload)
     result = system.run(max_cycles=max_cycles, allow_truncation=allow_truncation)
@@ -123,6 +127,7 @@ def run_max_contention(
     fast_forward: bool = True,
     materialize_traces: bool = True,
     batch_interpreter: bool = True,
+    event_queue: bool = True,
 ) -> ScenarioResult:
     """Run ``workload`` against greedy maximum-length contenders (``*-CON``)."""
     system = _build_system(
@@ -133,6 +138,7 @@ def run_max_contention(
         fast_forward=fast_forward,
         materialize_traces=materialize_traces,
         batch_interpreter=batch_interpreter,
+        event_queue=event_queue,
     )
     system.add_task(tua_core, workload)
     for core in range(config.num_cores):
@@ -159,6 +165,7 @@ def run_wcet_estimation(
     fast_forward: bool = True,
     materialize_traces: bool = True,
     batch_interpreter: bool = True,
+    event_queue: bool = True,
 ) -> ScenarioResult:
     """Run the analysis-time scenario of Section III-B / Table I.
 
@@ -175,6 +182,7 @@ def run_wcet_estimation(
         fast_forward=fast_forward,
         materialize_traces=materialize_traces,
         batch_interpreter=batch_interpreter,
+        event_queue=event_queue,
     )
     system.add_task(tua_core, workload)
     for core in range(config.num_cores):
@@ -202,6 +210,7 @@ def run_multiprogram(
     fast_forward: bool = True,
     materialize_traces: bool = True,
     batch_interpreter: bool = True,
+    event_queue: bool = True,
 ) -> ScenarioResult:
     """Consolidate several real tasks (one per core) and run them together."""
     system = _build_system(
@@ -212,6 +221,7 @@ def run_multiprogram(
         fast_forward=fast_forward,
         materialize_traces=materialize_traces,
         batch_interpreter=batch_interpreter,
+        event_queue=event_queue,
     )
     for core_id, workload in workloads.items():
         system.add_task(core_id, workload)

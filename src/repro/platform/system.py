@@ -24,7 +24,7 @@ from ..cpu.core_model import CoreModel
 from ..cpu.counters import CoreCounters
 from ..memory.controller import MemoryController
 from ..memory.dram import DRAM
-from ..sim.config import CBAParameters, PlatformConfig
+from ..sim.config import PlatformConfig
 from ..sim.errors import ConfigurationError
 from ..sim.kernel import Kernel
 from ..sim.trace import TraceRecorder
@@ -73,6 +73,7 @@ class MulticoreSystem:
         fast_forward: bool = True,
         materialize_traces: bool = True,
         batch_interpreter: bool = True,
+        event_queue: bool = True,
     ) -> None:
         """Build the platform.
 
@@ -80,6 +81,13 @@ class MulticoreSystem:
         It is bit-identical to plain stepping (enforced by the equivalence
         test matrix) and on by default; the switch exists for those tests and
         for benchmarking the skipping itself.
+
+        ``event_queue`` selects the kernel's heap-based wake scheduling
+        (components push wakes at state transitions) over the per-component
+        hint scan.  Both find the same wakes and are bit-identical (enforced
+        by the event-queue rows of the equivalence matrix); on by default,
+        the switch exists for those tests and for benchmarking the two
+        scheduling mechanisms against each other.
 
         ``materialize_traces`` selects the columnar trace path: each task's
         trace is pre-computed into parallel ``(gap, address, kind)`` arrays
@@ -110,6 +118,7 @@ class MulticoreSystem:
             frequency_hz=config.frequency_hz,
             trace=trace,
             fast_forward=fast_forward,
+            event_queue=event_queue,
         )
         streams = self.kernel.streams
         self.latency_table = LatencyTable(config.bus_timings)

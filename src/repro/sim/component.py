@@ -18,7 +18,7 @@ between components within a cycle for state that is latched in
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from .clock import Clock
 
@@ -31,10 +31,31 @@ __all__ = ["Component"]
 class Component:
     """Base class for everything that is ticked by the kernel."""
 
+    #: Whether this component *pushes* its wake into the kernel's event queue
+    #: (:meth:`schedule_wake`/:meth:`cancel_wake` at state transitions)
+    #: instead of being polled through :meth:`next_event` at every scheduling
+    #: decision.  Event-driven components must keep :meth:`next_event`
+    #: implemented and consistent with what they push: the kernel uses the
+    #: hint to seed the heap entry at registration/reset and falls back to
+    #: polling it when the event queue is disabled, so a component behaves
+    #: identically under both scheduling mechanisms.
+    event_driven: bool = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self._kernel: "Kernel | None" = None
         self._clock: Clock | None = None
+        #: Event-queue slot assigned by ``Kernel.register``.
+        self._wake_slot = -1
+        #: Cached ``kernel.event_queue`` so hot paths can skip computing a
+        #: wake they would push into a disabled queue.
+        self._wake_push = False
+        #: Pre-bound queue hooks (set by ``Kernel.register`` when the event
+        #: queue is on): hot push sites call these with ``_wake_slot``
+        #: directly, skipping the ``schedule_wake`` dispatch chain.  Only
+        #: valid while ``_wake_push`` is True.
+        self._wake_schedule: "Callable[[int, int], None] | None" = None
+        self._wake_cancel: "Callable[[int], None] | None" = None
 
     # ------------------------------------------------------------------
     # Kernel wiring
@@ -45,6 +66,7 @@ class Component:
         # Cached so the heavily used :attr:`now` is one attribute hop instead
         # of a three-property chain through kernel and clock.
         self._clock = kernel.clock
+        self._wake_push = kernel.event_queue
 
     @property
     def kernel(self) -> "Kernel":
@@ -86,6 +108,27 @@ class Component:
     # ------------------------------------------------------------------
     # Fast-forward (event-aware skipping) hooks
     # ------------------------------------------------------------------
+    def schedule_wake(self, cycle: int) -> None:
+        """Push this component's wake to ``cycle`` (event-queue protocol).
+
+        Carries the same meaning as :meth:`next_event` returning ``cycle``
+        and stays in force until rescheduled or cancelled; see
+        :meth:`repro.sim.kernel.Kernel.schedule_wake`.  Safe to call on an
+        unbound component (no-op) and under the hint scan (the kernel
+        ignores it), so push sites need no mode checks for correctness —
+        hot paths may still consult :attr:`_wake_push` to skip computing a
+        wake nobody will read.
+        """
+        kernel = self._kernel
+        if kernel is not None:
+            kernel.schedule_wake(self, cycle)
+
+    def cancel_wake(self) -> None:
+        """Drop this component's scheduled wake (hint value ``None``)."""
+        kernel = self._kernel
+        if kernel is not None:
+            kernel.cancel_wake(self)
+
     def next_event(self, now: int) -> int | None:
         """Wake hint: the first cycle at which ticking this component matters.
 

@@ -1,4 +1,4 @@
-"""Cycle-driven simulation kernel with event-aware fast-forwarding.
+"""Cycle-driven simulation kernel with an event queue for dead-cycle skipping.
 
 The kernel owns the clock, the component list, the trace recorder and the
 per-run random streams.  One call to :meth:`Kernel.step` advances the
@@ -12,26 +12,49 @@ simulated platform by exactly one cycle:
 
 :meth:`Kernel.run` steps until a stop condition (cycle limit or a registered
 completion predicate) is met.  In addition, ``run`` *fast-forwards* through
-dead cycles: before each cycle it asks every component for a wake hint
-(:meth:`~repro.sim.component.Component.next_event`) and, when every component
-promises to be inert until some future cycle, it jumps the clock there in one
-step, replaying the skipped cycles' uniform accounting through
+dead cycles: when every component promises to be inert until some future
+cycle, the kernel jumps the clock there in one step, replaying the skipped
+cycles' uniform accounting through
 :meth:`~repro.sim.component.Component.fast_forward`.  Because a cycle is only
 skipped when *no* component can change state in it, the executed event cycles
 (grants, completions, cache accesses, RNG draws) are identical to plain
 stepping — fast-forwarded runs are bit-identical to cycle-by-cycle runs.
 
+Two scheduling mechanisms decide how far the kernel may jump:
+
+* the **event queue** (default, ``event_queue=True``) — components *push*
+  their wakes into a binary heap (:class:`EventQueue`) via
+  :meth:`Kernel.schedule_wake` at the state transitions where the wake
+  changes (a bus grant, a request completion, a trace item boundary), and
+  invalidate superseded wakes lazily through per-component generation
+  counters.  Finding the next wake is then an O(log n) heap peek per
+  executed cycle instead of an O(components) poll;
+* the **hint scan** (``event_queue=False``, and the compatibility fallback
+  for components that do not push) — before each cycle the kernel polls
+  every component's :meth:`~repro.sim.component.Component.next_event` and
+  takes the minimum.
+
+Both mechanisms express the same contract and produce bit-identical runs
+(enforced by the event-queue rows of the equivalence matrix).  Components
+migrate incrementally: a component that sets
+:attr:`~repro.sim.component.Component.event_driven` owns its heap entry; any
+other component keeps being polled, and the kernel combines the heap minimum
+with the polled hints.  A wake that is scheduled but stale (the component's
+state moved on without rescheduling) only ever *adds* executed cycles — by
+the hint contract a tick before a component's true wake is uniform
+bookkeeping, so staleness degrades skipping, never correctness.
+
 Components may do arbitrarily much work per *event* to widen the gaps between
 events: the cores' batch interpreter (:mod:`repro.cpu.core_model`) executes a
 whole bus-free trace stretch at the cycle it becomes known and then exposes
-the stretch end as its wake hint, so the kernel jumps stretches that the
-per-item hints would have broken into per-item wakes.  The kernel needs no
-knowledge of this — the ``next_event``/``fast_forward`` contract already
-expresses it.
+the stretch end as its wake, so the kernel jumps stretches that the per-item
+hints would have broken into per-item wakes.  The kernel needs no knowledge
+of this — the wake/``fast_forward`` contract already expresses it.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, Iterable
 
 from .clock import Clock
@@ -40,7 +63,95 @@ from .errors import SchedulingError
 from .rng import RandomStreams
 from .trace import NullTraceRecorder, TraceRecorder
 
-__all__ = ["Kernel"]
+__all__ = ["EventQueue", "Kernel"]
+
+
+class EventQueue:
+    """A heap of scheduled component wakes with lazy invalidation.
+
+    Each registered component owns one *slot*.  Scheduling a wake pushes a
+    ``(cycle, slot, generation)`` entry and bumps the slot's generation, so
+    every previously pushed entry for the slot becomes stale; stale entries
+    are discarded lazily when they reach the heap top (:meth:`next_wake`),
+    which keeps both :meth:`schedule` and :meth:`cancel` O(log n) worst case
+    and O(1) amortised — no in-heap deletion ever happens.
+
+    A slot has at most one *live* entry (its most recent schedule).  A live
+    entry persists until rescheduled or cancelled, even after its cycle
+    passes: a live entry at or before the current cycle reads as "this
+    component may act every cycle", which forces execution rather than
+    skipping — the safe direction.
+    """
+
+    __slots__ = ("_heap", "_generations", "_targets")
+
+    def __init__(self) -> None:
+        #: Pending ``(cycle, slot, generation)`` entries (stale ones included).
+        self._heap: list[tuple[int, int, int]] = []
+        #: Current generation per slot; only entries carrying it are live.
+        self._generations: list[int] = []
+        #: Cycle of the slot's live entry, or ``None`` when nothing is
+        #: scheduled.  Used to deduplicate same-cycle reschedules.
+        self._targets: list[int | None] = []
+
+    def add_slot(self) -> int:
+        """Allocate a slot for one more component and return its index."""
+        self._generations.append(0)
+        self._targets.append(None)
+        return len(self._generations) - 1
+
+    def schedule(self, slot: int, cycle: int) -> None:
+        """Make ``cycle`` the slot's wake, superseding any earlier schedule.
+
+        Re-scheduling the already-live cycle is a no-op (no heap churn), which
+        keeps steady-state re-confirmations — e.g. the bus re-asserting its
+        release cycle every executed cycle of a long transaction — free.
+        """
+        if self._targets[slot] == cycle:
+            return
+        generation = self._generations[slot] + 1
+        self._generations[slot] = generation
+        self._targets[slot] = cycle
+        heappush(self._heap, (cycle, slot, generation))
+
+    def cancel(self, slot: int) -> None:
+        """Drop the slot's live entry (the component has no self-scheduled wake)."""
+        if self._targets[slot] is None:
+            return
+        self._generations[slot] += 1
+        self._targets[slot] = None
+
+    def next_wake(self) -> int | None:
+        """Earliest live wake, or ``None`` when nothing is scheduled.
+
+        Pops stale heap entries on the way; the returned entry itself is left
+        in place (it stays live until its component reschedules or cancels).
+        """
+        heap = self._heap
+        generations = self._generations
+        while heap:
+            cycle, slot, generation = heap[0]
+            if generation == generations[slot]:
+                return cycle
+            heappop(heap)
+        return None
+
+    def scheduled_cycle(self, slot: int) -> int | None:
+        """Cycle of the slot's live entry, or ``None`` (observability)."""
+        return self._targets[slot]
+
+    def clear(self) -> None:
+        """Invalidate every entry (all slots keep their identity)."""
+        self._heap.clear()
+        generations = self._generations
+        targets = self._targets
+        for slot in range(len(generations)):
+            generations[slot] += 1
+            targets[slot] = None
+
+    def __len__(self) -> int:
+        """Number of heap entries, stale ones included (observability)."""
+        return len(self._heap)
 
 
 class Kernel:
@@ -53,6 +164,7 @@ class Kernel:
         frequency_hz: float = 100_000_000.0,
         trace: TraceRecorder | None = None,
         fast_forward: bool = True,
+        event_queue: bool = True,
     ) -> None:
         self.clock = Clock(frequency_hz=frequency_hz)
         self.streams = RandomStreams(seed=seed, run_index=run_index)
@@ -62,10 +174,14 @@ class Kernel:
         self._tickers: list[Component] = []
         self._post_tickers: list[Component] = []
         self._fast_forwarders: list[Component] = []
-        #: Pre-bound ``next_event`` methods, probed once per fast-forward
-        #: opportunity; binding them at registration spares the attribute
-        #: lookup per component per executed cycle.
+        #: Pre-bound ``next_event`` methods of every component — the hint
+        #: scan used when the event queue is off; binding them at
+        #: registration spares the attribute lookup per component per
+        #: executed cycle.
         self._hinters: list[Callable[[int], int | None]] = []
+        #: The subset of hinters still polled when the event queue is on:
+        #: components that do not push wakes (the compatibility fallback).
+        self._poll_hinters: list[Callable[[int], int | None]] = []
         self._all_hinted = True
         self._stop_conditions: list[Callable[[], bool]] = []
         self._stop_hints: list[Callable[[int], int | None]] = []
@@ -78,6 +194,13 @@ class Kernel:
         #: bit-identical to stepping by construction; the switch exists for
         #: equivalence tests and benchmarking, not as a safety valve.
         self.fast_forward = fast_forward
+        #: Use the heap-based :class:`EventQueue` to find the next wake
+        #: (components push at state transitions) instead of polling every
+        #: component's hint.  Bit-identical to the scan (enforced by the
+        #: event-queue equivalence rows); the switch exists for those tests
+        #: and for benchmarking the scheduling mechanisms against each other.
+        self.event_queue = event_queue
+        self._events = EventQueue()
         #: Cycles :meth:`run` jumped over instead of stepping (observability).
         self.cycles_skipped = 0
 
@@ -95,6 +218,10 @@ class Kernel:
         if component.name in self._by_name:
             raise SchedulingError(f"a component named {component.name!r} is already registered")
         component.bind(self)
+        component._wake_slot = self._events.add_slot()
+        if self.event_queue:
+            component._wake_schedule = self._events.schedule
+            component._wake_cancel = self._events.cancel
         self._components.append(component)
         self._by_name[component.name] = component
         # Components that keep the base class's no-op hooks are excluded from
@@ -107,12 +234,28 @@ class Kernel:
         if type(component).fast_forward is not Component.fast_forward:
             self._fast_forwarders.append(component)
         self._hinters.append(component.next_event)
-        if type(component).next_event is Component.next_event:
-            # The base hint pins the wake to the current cycle, so one
-            # non-opted-in component disables skipping for the whole kernel;
-            # remember that and spare run() the per-cycle probing.
-            self._all_hinted = False
+        if component.event_driven:
+            # The component owns a heap entry; seed it from its current state
+            # so the first scheduling decision sees a valid wake even before
+            # the component's first tick had a chance to push one.
+            if self.event_queue:
+                self._prime_wake(component)
+        else:
+            self._poll_hinters.append(component.next_event)
+            if type(component).next_event is Component.next_event:
+                # The base hint pins the wake to the current cycle, so one
+                # non-opted-in component disables skipping for the whole
+                # kernel; remember that and spare run() the per-cycle probing.
+                self._all_hinted = False
         return component
+
+    def _prime_wake(self, component: Component) -> None:
+        """Seed an event-driven component's heap entry from its hint."""
+        hint = component.next_event(self.clock.cycle)
+        if hint is None:
+            self._events.cancel(component._wake_slot)
+        else:
+            self._events.schedule(component._wake_slot, hint)
 
     def register_all(self, components: Iterable[Component]) -> None:
         """Register several components in order."""
@@ -129,6 +272,39 @@ class Kernel:
             return self._by_name[name]
         except KeyError:
             raise KeyError(f"no component named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Wake scheduling (the event-queue side of the fast-forward contract)
+    # ------------------------------------------------------------------
+    def schedule_wake(self, component: Component, cycle: int) -> None:
+        """Schedule (or move) ``component``'s wake to ``cycle``.
+
+        The wake carries the same meaning as a ``next_event`` hint returning
+        ``cycle``: every tick of the component before ``cycle`` is uniform
+        bookkeeping replayed by ``fast_forward``, and the component must be
+        ticked at ``cycle``.  It stays in force — superseding any earlier
+        schedule via the queue's generation counters — until rescheduled or
+        cancelled; components therefore push exactly at the state transitions
+        after which their previous wake no longer describes them (a bus
+        grant, a completion, a credit replenish target, a stretch end).
+
+        No-op when the kernel runs the hint scan (``event_queue=False``) —
+        components push unconditionally and the kernel ignores what it does
+        not use, so a component behaves identically under both mechanisms.
+        """
+        if self.event_queue:
+            self._events.schedule(component._wake_slot, cycle)
+
+    def cancel_wake(self, component: Component) -> None:
+        """Drop ``component``'s scheduled wake (hint value ``None``: only
+        another component's activity — a tick the kernel executes anyway —
+        can affect it)."""
+        if self.event_queue:
+            self._events.cancel(component._wake_slot)
+
+    def scheduled_wake(self, component: Component) -> int | None:
+        """The component's currently scheduled wake cycle (observability)."""
+        return self._events.scheduled_cycle(component._wake_slot)
 
     # ------------------------------------------------------------------
     # Stop conditions
@@ -189,16 +365,17 @@ class Kernel:
             clock.advance()
         return clock.cycle
 
-    def _next_wake(self, limit: int) -> int:
-        """Earliest cycle at which any component (or stop hint) may act.
+    def _fold_hints(
+        self, hinters: list[Callable[[int], int | None]], wake: int, now: int
+    ) -> int:
+        """Fold polled component hints plus the stop hints into ``wake``.
 
-        Returns the current cycle when some component needs to run now (no
-        skipping possible), otherwise a cycle in ``(now, limit]`` to jump to.
+        Returns ``now`` as soon as any hint pins the current cycle (no
+        skipping possible), otherwise the earliest future wake not above the
+        starting ``wake``.  One implementation serves both scheduling
+        mechanisms so their folding semantics cannot drift apart.
         """
-        clock = self.clock
-        now = clock.cycle
-        wake = limit
-        for hinter in self._hinters:
+        for hinter in hinters:
             hint = hinter(now)
             if hint is None:
                 continue
@@ -215,6 +392,24 @@ class Kernel:
             if hint < wake:
                 wake = hint
         return wake
+
+    def _next_wake(self, limit: int) -> int:
+        """Hint scan: earliest cycle at which any component (or stop hint) may act.
+
+        Returns the current cycle when some component needs to run now (no
+        skipping possible), otherwise a cycle in ``(now, limit]`` to jump to.
+        """
+        return self._fold_hints(self._hinters, limit, self.clock.cycle)
+
+    def _poll_refine(self, wake: int, now: int) -> int:
+        """Fold the poll-fallback hints and stop hints into a heap ``wake``.
+
+        Only components that do not push wakes (the compatibility fallback,
+        e.g. the WCET-mode contenders whose hint reads *another* component's
+        state) and the hinted stop conditions are polled; the run loop skips
+        this entirely when neither exists.
+        """
+        return self._fold_hints(self._poll_hinters, wake, now)
 
     @property
     def has_hinted_stops(self) -> bool:
@@ -273,15 +468,35 @@ class Kernel:
         limit = start + max_cycles
         self._run_limit = limit
         fast_forward = self.fast_forward and self._all_hinted
+        use_queue = fast_forward and self.event_queue
         tickers = self._tickers
         post_tickers = self._post_tickers
+        # The heap peek is inlined below (the queue's internals are bound
+        # once): at a handful of components the scheduling decision is only
+        # a few hundred nanoseconds, and a call per executed cycle is
+        # measurable against it.
+        events_heap = self._events._heap
+        events_generations = self._events._generations
+        must_poll = bool(self._poll_hinters or self._stop_hints)
         stop_fired = False
         while clock.cycle < limit:
             if self._should_stop():
                 stop_fired = True
                 break
             if fast_forward:
-                wake = self._next_wake(limit)
+                if use_queue:
+                    wake = limit
+                    while events_heap:
+                        cycle_, slot_, generation_ = events_heap[0]
+                        if generation_ == events_generations[slot_]:
+                            if cycle_ < limit:
+                                wake = cycle_
+                            break
+                        heappop(events_heap)
+                    if must_poll and wake > clock.cycle:
+                        wake = self._poll_refine(wake, clock.cycle)
+                else:
+                    wake = self._next_wake(limit)
                 if wake > clock.cycle:
                     self._jump_to(wake)
                     # No tick ran during the jump, so an event-state stop
@@ -321,8 +536,15 @@ class Kernel:
         self.stop_condition_fired = False
         self._run_limit = None
         self.cycles_skipped = 0
+        self._events.clear()
         for component in self._components:
             component.reset()
+        if self.event_queue:
+            # Re-seed the heap from the components' power-on hints, exactly
+            # as registration did.
+            for component in self._components:
+                if component.event_driven:
+                    self._prime_wake(component)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

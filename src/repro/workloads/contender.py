@@ -35,7 +35,14 @@ __all__ = ["GreedyContender", "WCETModeContender"]
 
 
 class GreedyContender(Component):
-    """A contender that always keeps one maximum-length request pending."""
+    """A contender that always keeps one maximum-length request pending.
+
+    Event-queue protocol: the contender's only self-scheduled event is the
+    re-issue after a completion, so it cancels its wake when a request goes
+    out and schedules the next cycle when the completion callback arrives.
+    """
+
+    event_driven = True
 
     def __init__(
         self,
@@ -79,6 +86,9 @@ class GreedyContender(Component):
         self.bus.submit(request)
         self.requests_issued += 1
         self._in_flight = True
+        # Nothing self-scheduled until the completion callback (a bus event).
+        if self._wake_push:
+            self._wake_cancel(self._wake_slot)
 
     def on_grant(self, request: BusRequest, cycle: int) -> None:
         """Bus master protocol: nothing to do at grant time."""
@@ -86,6 +96,10 @@ class GreedyContender(Component):
     def on_complete(self, request: BusRequest, cycle: int) -> None:
         self.requests_completed += 1
         self._in_flight = False
+        # Re-issue on the next tick (the bus completes during its own tick
+        # at ``cycle``; the contender's next chance to act is cycle + 1).
+        if self._wake_push:
+            self._wake_schedule(self._wake_slot, cycle + 1)
 
     def reset(self) -> None:
         self.requests_issued = 0
@@ -95,6 +109,16 @@ class GreedyContender(Component):
 
 class WCETModeContender(Component):
     """The WCET-estimation-mode contender of Table I.
+
+    This contender stays on the kernel's *poll* fallback (``event_driven``
+    remains False) on purpose: its wake hint reads state it does not own —
+    the task under analysis's request line and its own CBA budget, both of
+    which can change during *other* components' ticks (the bus completing
+    the TuA's transaction, a deferred TuA request going out) after this
+    contender already ticked in the same cycle.  A pushed wake computed at
+    its own tick could therefore be *later* than the true one, which the
+    event-queue contract forbids; polling re-evaluates the cross-component
+    condition at every scheduling decision, exactly like the scan kernel.
 
     Parameters
     ----------

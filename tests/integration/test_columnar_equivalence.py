@@ -297,6 +297,131 @@ def test_batching_is_not_vacuous(varied_workload: WorkloadSpec):
     assert off_core.batched_items == 0
 
 
+# ----------------------------------------------------------------------
+# Event-queue rows
+# ----------------------------------------------------------------------
+# The heap-based event queue finds the same wakes the per-component hint
+# scan finds, only O(log n) instead of O(components); these rows extend the
+# matrix with the promise that the two scheduling mechanisms are
+# bit-identical across every arbiter, CBA on/off, batch on/off, the
+# poll-fallback WCET contenders, store buffers and truncated runs.
+
+
+@pytest.mark.parametrize("batch", [False, True], ids=["item", "batch"])
+@pytest.mark.parametrize("use_cba", [False, True], ids=["plain", "cba"])
+@pytest.mark.parametrize("arbitration", ARBITERS)
+def test_event_queue_identical_across_arbiters(
+    arbitration: str, use_cba: bool, batch: bool, varied_workload: WorkloadSpec
+):
+    """Greedy contention across the full policy/CBA/batch matrix: the queue
+    must wake the platform on exactly the cycles the hint scan does."""
+    config = _config(arbitration, use_cba)
+    kwargs = dict(seed=13, run_index=5, max_cycles=MAX_CYCLES, batch_interpreter=batch)
+    scanned = run_max_contention(varied_workload, config, event_queue=False, **kwargs)
+    queued = run_max_contention(varied_workload, config, event_queue=True, **kwargs)
+    assert _snapshot(scanned) == _snapshot(queued)
+
+
+@pytest.mark.parametrize("use_cba", [True, False], ids=["cba", "plain"])
+def test_event_queue_wcet_estimation_identical(
+    use_cba: bool, varied_workload: WorkloadSpec
+):
+    """The Table I scenario mixes pushed components (cores, bus, monitor)
+    with the poll-fallback WCET contenders, whose hint reads the TuA's
+    request line — the cross-component case the queue cannot own."""
+    config = _config("random_permutations", use_cba)
+    kwargs = dict(seed=5, run_index=7, max_cycles=MAX_CYCLES)
+    scanned = run_wcet_estimation(varied_workload, config, event_queue=False, **kwargs)
+    queued = run_wcet_estimation(varied_workload, config, event_queue=True, **kwargs)
+    assert _snapshot(scanned) == _snapshot(queued)
+
+
+def test_event_queue_multiprogram_with_store_buffers_identical():
+    """Buffered stores reschedule core wakes from inside the bus's tick
+    (completion callbacks); the queue must see every such transition."""
+    config = _config("tdma", use_cba=True, store_buffer_entries=2)
+    workloads = {
+        0: mixed_workload(num_accesses=120),
+        1: WorkloadSpec(
+            name="store_heavy",
+            num_accesses=120,
+            working_set_bytes=64 * 1024,
+            mean_compute_gap=2.0,
+            write_fraction=0.6,
+        ),
+        2: cpu_bound_workload(num_accesses=80),
+    }
+    kwargs = dict(seed=3, run_index=1, max_cycles=MAX_CYCLES)
+    scanned = run_multiprogram(workloads, config, event_queue=False, **kwargs)
+    queued = run_multiprogram(workloads, config, event_queue=True, **kwargs)
+    assert _snapshot(scanned) == _snapshot(queued)
+
+
+@pytest.mark.parametrize("max_cycles", [1_500, 3_000, 8_000, 12_345])
+def test_event_queue_truncated_runs_identical(max_cycles: int):
+    """Truncation at the cycle budget composes with the queue: wakes landing
+    exactly on (or past) the horizon are never executed, and the vectorised
+    batch scan bounds its eager effects identically under both mechanisms."""
+    config = _config("round_robin", use_cba=False)
+    l1_resident = WorkloadSpec(
+        name="l1_resident",
+        num_accesses=2_000,
+        working_set_bytes=512,
+        mean_compute_gap=6.0,
+        write_fraction=0.0,
+    )
+    kwargs = dict(seed=7, run_index=0, max_cycles=max_cycles, allow_truncation=True)
+    from repro.platform.scenarios import run_isolation
+
+    scanned = run_isolation(l1_resident, config, event_queue=False, **kwargs)
+    queued = run_isolation(l1_resident, config, event_queue=True, **kwargs)
+    assert scanned.truncated and queued.truncated
+    assert _snapshot(scanned) == _snapshot(queued)
+
+
+@pytest.mark.parametrize("arbitration", ["round_robin", "random_permutations"])
+def test_event_queue_vectorised_residency_identical(arbitration: str):
+    """An L1-resident, write-free workload drives the *vectorised* residency
+    scan (long stretches, windows unbounded by stores) under both scheduling
+    mechanisms and against the unbatched baseline."""
+    config = _config(arbitration, use_cba=False)
+    l1_resident = WorkloadSpec(
+        name="l1_resident",
+        num_accesses=4_000,
+        working_set_bytes=512,
+        mean_compute_gap=4.0,
+        write_fraction=0.0,
+    )
+    kwargs = dict(seed=19, run_index=2, max_cycles=MAX_CYCLES)
+    from repro.platform.scenarios import run_isolation
+
+    baseline = run_isolation(
+        l1_resident, config, event_queue=False, batch_interpreter=False, **kwargs
+    )
+    queued = run_isolation(
+        l1_resident, config, event_queue=True, batch_interpreter=True, **kwargs
+    )
+    assert _snapshot(baseline) == _snapshot(queued)
+
+
+def test_event_queue_is_not_vacuous(varied_workload: WorkloadSpec):
+    """The queue rows must actually schedule through the heap: the platform's
+    pushed components own live entries while the run progresses, and the
+    scan-mode kernel enqueues nothing."""
+    config = _config("round_robin", use_cba=False)
+    system = MulticoreSystem(config, seed=1, run_index=0, event_queue=True)
+    core = system.add_task(0, varied_workload)
+    system.finalize()
+    kernel = system.kernel
+    assert kernel.scheduled_wake(core) == 0  # primed from next_event
+    system.run(max_cycles=MAX_CYCLES)
+    assert kernel.cycles_skipped > 0
+    off = MulticoreSystem(config, seed=1, run_index=0, event_queue=False)
+    off_core = off.add_task(0, varied_workload)
+    off.finalize()
+    assert off.kernel.scheduled_wake(off_core) is None
+
+
 def test_materialization_is_not_vacuous(varied_workload: WorkloadSpec):
     """The columnar run must actually use a materialised trace (and the lazy
     run must not), so the matrix cannot pass by comparing identical paths."""

@@ -1,0 +1,166 @@
+"""Tests for the CI benchmark regression gate (benchmarks/compare_bench.py).
+
+The gate is a standalone script (benchmarks/ is not a package), so it is
+exercised the way CI runs it: as a subprocess over crafted report files.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+COMPARE = REPO_ROOT / "benchmarks" / "compare_bench.py"
+
+
+def kernel_report(
+    batch: float = 1.0,
+    fast_forward: float = 1.0,
+    queue: float = 1.0,
+    bit_identical: bool = True,
+    stepping_mcps: float = 0.5,
+    queue_mcps: float = 2.0,
+) -> dict:
+    scenario = {
+        "cycles": 1_000_000,
+        "wall_s_stepping": 4.0,
+        "wall_s_fast_forward": fast_forward,
+        "wall_s_batch": batch,
+        "wall_s_event_queue": queue,
+        "mcycles_per_s_stepping": stepping_mcps,
+        "mcycles_per_s_event_queue": queue_mcps,
+        "bit_identical": bit_identical,
+    }
+    return {
+        "benchmark": "kernel_fast_forward",
+        "scenarios": {
+            "low_contention/isolation/round_robin": dict(scenario),
+            "contention/round_robin": dict(scenario),
+        },
+    }
+
+
+def campaign_report(bit_identical: bool = True, total_ms: float = 5.0) -> dict:
+    return {
+        "benchmark": "campaign_orchestration",
+        "campaign": {
+            "wall_s_serial": 10.0,
+            "wall_s_pool": 4.0,
+            "bit_identical": bit_identical,
+        },
+        "mbpta_post_1000_samples": {"total_ms": total_ms, "under_50ms": total_ms < 50.0},
+    }
+
+
+def run_gate(tmp_path: Path, kernel_current: dict, kernel_baseline: dict | None = None,
+             campaign_current: dict | None = None) -> subprocess.CompletedProcess:
+    args = [sys.executable, str(COMPARE)]
+    current = tmp_path / "kernel_current.json"
+    current.write_text(json.dumps(kernel_current))
+    args += ["--kernel-current", str(current)]
+    if kernel_baseline is not None:
+        baseline = tmp_path / "kernel_baseline.json"
+        baseline.write_text(json.dumps(kernel_baseline))
+        args += ["--kernel-baseline", str(baseline)]
+    if campaign_current is not None:
+        campaign = tmp_path / "campaign_current.json"
+        campaign.write_text(json.dumps(campaign_current))
+        args += ["--campaign-current", str(campaign)]
+    return subprocess.run(args, capture_output=True, text=True, cwd=REPO_ROOT)
+
+
+def test_clean_reports_pass(tmp_path):
+    result = run_gate(
+        tmp_path, kernel_report(), kernel_report(), campaign_report()
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "regression gate passed" in result.stdout
+
+
+def test_batch_slower_than_fast_forward_fails(tmp_path):
+    result = run_gate(tmp_path, kernel_report(batch=1.5, fast_forward=1.0))
+    assert result.returncode == 1
+    assert "batch path" in result.stdout
+
+
+def test_event_queue_slower_than_scan_fails(tmp_path):
+    result = run_gate(tmp_path, kernel_report(batch=1.0, queue=1.3))
+    assert result.returncode == 1
+    assert "event-queue scheduler" in result.stdout
+
+
+def test_untracked_scenarios_are_not_gated(tmp_path):
+    """Only low_contention/* is wall-clock gated; the memory-latency-bound
+    contention scenarios may sit at ~1x without failing the gate."""
+    report = kernel_report()
+    report["scenarios"]["contention/round_robin"]["wall_s_batch"] = 99.0
+    report["scenarios"]["contention/round_robin"]["wall_s_event_queue"] = 99.0
+    result = run_gate(tmp_path, report)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_bit_identity_failure_fails_everywhere(tmp_path):
+    report = kernel_report()
+    report["scenarios"]["contention/round_robin"]["bit_identical"] = False
+    result = run_gate(tmp_path, report)
+    assert result.returncode == 1
+    assert "not bit-identical" in result.stdout
+
+
+def test_normalised_throughput_regression_vs_baseline_fails(tmp_path):
+    baseline = kernel_report(stepping_mcps=0.5, queue_mcps=2.0)  # 4.0x normalised
+    current = kernel_report(stepping_mcps=0.5, queue_mcps=1.0)  # 2.0x normalised
+    result = run_gate(tmp_path, current, baseline)
+    assert result.returncode == 1
+    assert "normalised throughput" in result.stdout
+
+
+def test_baseline_diff_skipped_across_workload_sizes(tmp_path):
+    """A --quick report (smaller traces, lower batch speedups) must not be
+    gated against a full-size baseline — the diff is skipped, not failed."""
+    baseline = kernel_report(stepping_mcps=0.5, queue_mcps=2.0)
+    baseline["accesses"] = 800
+    current = kernel_report(stepping_mcps=0.5, queue_mcps=1.0)  # would regress
+    current["accesses"] = 200
+    result = run_gate(tmp_path, current, baseline)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "workload sizes differ" in result.stdout
+
+
+def test_machine_speed_differences_do_not_fail_baseline_diff(tmp_path):
+    """A CI runner half as fast as the baseline machine scales stepping and
+    default-mode throughput together; the normalised ratio is unchanged and
+    the gate passes."""
+    baseline = kernel_report(stepping_mcps=0.5, queue_mcps=2.0)
+    current = kernel_report(stepping_mcps=0.25, queue_mcps=1.0)
+    result = run_gate(tmp_path, current, baseline)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_pre_event_queue_baseline_schema_still_compares(tmp_path):
+    """Baselines written before the event-queue column fall back to the
+    batch column for the normalised-throughput diff."""
+    baseline = kernel_report()
+    for entry in baseline["scenarios"].values():
+        del entry["mcycles_per_s_event_queue"]
+        entry["mcycles_per_s_batch"] = 2.0
+    result = run_gate(tmp_path, kernel_report(), baseline)
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_campaign_bit_identity_failure_fails(tmp_path):
+    result = run_gate(
+        tmp_path, kernel_report(), campaign_current=campaign_report(bit_identical=False)
+    )
+    assert result.returncode == 1
+    assert "pool executor" in result.stdout
+
+
+def test_campaign_mbpta_budget_failure_fails(tmp_path):
+    result = run_gate(
+        tmp_path, kernel_report(), campaign_current=campaign_report(total_ms=80.0)
+    )
+    assert result.returncode == 1
+    assert "MBPTA post-processing" in result.stdout
