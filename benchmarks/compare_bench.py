@@ -63,6 +63,12 @@ def check_kernel_current(report: dict[str, Any], factor: float) -> list[str]:
     for name, entry in report.get("scenarios", {}).items():
         if not entry.get("bit_identical", False):
             failures.append(f"kernel/{name}: modes are not bit-identical")
+    untracked = sorted(set(report.get("scenarios", {})) - set(tracked_scenarios(report)))
+    if untracked:
+        print(
+            "scenarios excluded from wall-clock gating (untracked prefix): "
+            + ", ".join(untracked)
+        )
     for name, entry in tracked_scenarios(report).items():
         batch = entry.get("wall_s_batch")
         fast_forward = entry.get("wall_s_fast_forward")
@@ -100,8 +106,16 @@ def check_kernel_baseline(
         )
         return failures
     baseline_tracked = tracked_scenarios(baseline)
+    current_tracked = tracked_scenarios(current)
+    # A tracked scenario present in the committed baseline but absent from
+    # the fresh report silently shrinks the gate's coverage — say so.
+    for name in sorted(set(baseline_tracked) - set(current_tracked)):
+        print(
+            f"  {name:50s} DROPPED from comparison "
+            "(in committed baseline, missing from current report)"
+        )
     print("\ntracked scenarios vs committed baseline (normalised throughput):")
-    for name, entry in tracked_scenarios(current).items():
+    for name, entry in current_tracked.items():
         base_entry = baseline_tracked.get(name)
         if base_entry is None:
             print(f"  {name:50s} (new scenario, no baseline)")

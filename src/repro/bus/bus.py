@@ -142,7 +142,12 @@ class SharedBus(Component):
         trace = self.kernel.trace
         if trace.enabled:
             trace.record(
-                self.now, self.name, "bus.request", master=master, request_id=request.request_id
+                self.now,
+                self.name,
+                "bus.request",
+                master=master,
+                request_id=request.request_id,
+                pending=self._num_pending,
             )
 
     def has_pending(self, master_id: int) -> bool:
@@ -224,7 +229,13 @@ class SharedBus(Component):
         trace = self.kernel.trace
         if trace.enabled:
             trace.record(
-                cycle, self.name, "bus.complete", master=holder, request_id=request.request_id
+                cycle,
+                self.name,
+                "bus.complete",
+                master=holder,
+                request_id=request.request_id,
+                duration=request.duration,
+                wait=request.wait_cycles,
             )
         port = self._masters[holder]
         if port is not None:

@@ -111,14 +111,24 @@ class BusMonitor(Component):
             cursor = chunk_end
 
     def _close_window(self, end_cycle: int) -> None:
-        self.windows.append(
-            BandwidthWindow(
-                start_cycle=self._window_start,
-                end_cycle=end_cycle,
-                busy_cycles_per_master=tuple(self._busy),
-                idle_cycles=self._idle,
-            )
+        window = BandwidthWindow(
+            start_cycle=self._window_start,
+            end_cycle=end_cycle,
+            busy_cycles_per_master=tuple(self._busy),
+            idle_cycles=self._idle,
         )
+        self.windows.append(window)
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.record(
+                end_cycle,
+                self.name,
+                "bus.window",
+                start=window.start_cycle,
+                busy=sum(window.busy_cycles_per_master),
+                idle=window.idle_cycles,
+                utilization=round(window.utilization, 6),
+            )
         self._window_start = end_cycle
         self._busy = [0] * self.bus.num_masters
         self._idle = 0

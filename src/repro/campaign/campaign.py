@@ -14,10 +14,14 @@ shapes with :func:`aggregate_by_label`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..obs.exporters import write_metrics
+from ..obs.profiler import CampaignProfiler
+from ..obs.registry import MetricsRegistry
 from ..sim.errors import ConfigurationError
 from .executor import Executor, SerialExecutor
 from .jobs import CampaignJob, JobResult
@@ -79,6 +83,8 @@ class Campaign:
         store: ArtifactStore | None = None,
         resume: bool = False,
         progress: NullProgress | None = None,
+        profiler: CampaignProfiler | None = None,
+        metrics_path: str | Path | None = None,
     ) -> None:
         if resume and store is None:
             raise ConfigurationError("resuming requires an artifact store")
@@ -86,6 +92,15 @@ class Campaign:
         self.store = store
         self.resume = resume
         self.progress = progress if progress is not None else NullProgress()
+        #: Optional per-phase wall-clock profiler; handed to the executor so
+        #: both ends of the dispatch loop charge the same instance.
+        self.profiler = profiler
+        if profiler is not None:
+            self.executor.profiler = profiler
+        #: When set, a labelled metrics registry built from every job result
+        #: is exported here after each :meth:`run` (.prom/.txt for Prometheus
+        #: text, anything else JSONL).
+        self.metrics_path = Path(metrics_path) if metrics_path is not None else None
         self.last_report: CampaignReport | None = None
 
     def run(self, jobs: Sequence[CampaignJob]) -> dict[str, JobResult]:
@@ -110,13 +125,25 @@ class Campaign:
             else:
                 pending.append(job)
 
+        profiler = self.profiler
         self.progress.start(total=len(unique), skipped=len(results))
+        if profiler is not None:
+            profiler.start(jobs=len(pending), workers=self.executor.workers)
         for result in self.executor.execute(pending):
             if self.store is not None:
-                self.store.put(result)
+                if profiler is not None:
+                    with profiler.phase("store"):
+                        self.store.put(result)
+                else:
+                    self.store.put(result)
             results[result.job_id] = result
             self.progress.advance(label=result.label)
+        if profiler is not None:
+            profiler.finish()
+            self.progress.report_profile(profiler)
         self.progress.finish()
+        if self.metrics_path is not None:
+            write_metrics(self._metrics_registry(results), self.metrics_path)
 
         self.last_report = CampaignReport(
             total_jobs=len(unique),
@@ -126,6 +153,33 @@ class Campaign:
             truncated_runs=sum(r.truncated_runs for r in results.values()),
         )
         return results
+
+    @staticmethod
+    def _metrics_registry(results: Mapping[str, JobResult]) -> MetricsRegistry:
+        """Fold every job result into a labelled campaign-level registry.
+
+        Job counters, run samples and every per-run side-metric (including
+        the cores' batch-interpreter counters) become one series per
+        ``(label, scenario)`` pair, mergeable across campaigns.
+        """
+        registry = MetricsRegistry()
+        for result in results.values():
+            labels = {"label": result.label, "scenario": result.scenario}
+            registry.counter("campaign.jobs", **labels).increment()
+            registry.counter("campaign.runs", **labels).increment(result.num_runs)
+            registry.counter("campaign.truncated_runs", **labels).increment(
+                result.truncated_runs
+            )
+            registry.sample("campaign.job_seconds", **labels).add(
+                result.elapsed_seconds
+            )
+            samples = registry.sample("campaign.samples", **labels)
+            for value in result.samples:
+                samples.add(value)
+            for run_metrics in result.metrics:
+                for name, value in run_metrics.items():
+                    registry.sample(f"campaign.{name}", **labels).add(value)
+        return registry
 
 
 def aggregate_by_label(

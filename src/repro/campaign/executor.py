@@ -17,12 +17,23 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from time import perf_counter
 from typing import Iterator, Sequence
 
+from ..obs.profiler import CampaignProfiler
 from ..sim.errors import ConfigurationError
 from .jobs import CampaignJob, JobResult, run_job
 
 __all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "create_executor"]
+
+
+def _warm_worker() -> None:
+    """No-op shipped to every pool worker to force its process to spawn.
+
+    Submitted (and waited for) before the profiled phases start, so worker
+    startup cost lands in ``spawn`` instead of inflating the first job's
+    ``simulate`` time.
+    """
 
 
 class Executor(ABC):
@@ -30,6 +41,10 @@ class Executor(ABC):
 
     #: Worker-process count (1 for in-process backends); used for sizing hints.
     workers: int = 1
+    #: Optional per-phase wall-clock profiler, attached by the orchestrator
+    #: (:class:`~repro.campaign.campaign.Campaign`).  ``None`` keeps the
+    #: execute loops exactly as shipped.
+    profiler: CampaignProfiler | None = None
 
     @abstractmethod
     def execute(self, jobs: Sequence[CampaignJob]) -> Iterator[JobResult]:
@@ -42,8 +57,16 @@ class SerialExecutor(Executor):
     workers = 1
 
     def execute(self, jobs: Sequence[CampaignJob]) -> Iterator[JobResult]:
+        profiler = self.profiler
+        if profiler is None:
+            for job in jobs:
+                yield run_job(job)
+            return
         for job in jobs:
-            yield run_job(job)
+            started = perf_counter()
+            result = run_job(job)
+            profiler.add("simulate", perf_counter() - started)
+            yield result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
@@ -67,6 +90,9 @@ class ParallelExecutor(Executor):
     def execute(self, jobs: Sequence[CampaignJob]) -> Iterator[JobResult]:
         if not jobs:
             return
+        if self.profiler is not None:
+            yield from self._execute_profiled(jobs, self.profiler)
+            return
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             queue = iter(jobs)
             in_flight = set()
@@ -82,6 +108,53 @@ class ParallelExecutor(Executor):
                     in_flight.add(pool.submit(run_job, job))
                     if len(in_flight) >= self.max_in_flight:
                         break
+
+    def _execute_profiled(
+        self, jobs: Sequence[CampaignJob], profiler: CampaignProfiler
+    ) -> Iterator[JobResult]:
+        """The same dispatch loop with each pool phase timed.
+
+        Identical scheduling to :meth:`execute` (same submissions, same
+        FIRST_COMPLETED draining, same bound on in-flight futures) — the
+        profiled loop only adds warmup submits (no-ops) and timestamps, so
+        results stay bit-identical to the unprofiled path.
+        """
+        started = perf_counter()
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            wait({pool.submit(_warm_worker) for _ in range(self.workers)})
+            profiler.add("spawn", perf_counter() - started, count=self.workers)
+            queue = iter(jobs)
+            in_flight: set = set()
+
+            def refill() -> None:
+                submitted = 0
+                submit_started = perf_counter()
+                for job in queue:
+                    in_flight.add(pool.submit(run_job, job))
+                    submitted += 1
+                    if len(in_flight) >= self.max_in_flight:
+                        break
+                if submitted:
+                    profiler.add(
+                        "pickle", perf_counter() - submit_started, count=submitted
+                    )
+
+            refill()
+            while in_flight:
+                wait_started = perf_counter()
+                done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+                profiler.add("simulate", perf_counter() - wait_started)
+                for future in done:
+                    result_started = perf_counter()
+                    result = future.result()
+                    profiler.add("aggregate", perf_counter() - result_started)
+                    yield result
+                refill()
+        finally:
+            shutdown_started = perf_counter()
+            pool.shutdown(wait=True)
+            profiler.add("spawn", perf_counter() - shutdown_started, count=0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ParallelExecutor(max_workers={self.workers})"

@@ -326,10 +326,13 @@ def _platform_outcome(job: CampaignJob, run_index: int, scenario_fn) -> RunOutco
         **job.options_dict,
     )
     contenders = result.system.extra.get("contender_requests", {})
+    observability = result.system.observability
     metrics = {
         "total_cycles": float(result.system.total_cycles),
         "tua_bandwidth_share": float(result.system.bandwidth_shares[job.tua_core]),
         "contender_requests": float(sum(int(v) for v in contenders.values())),
+        "batched_items": float(observability.get("batched_items", 0)),
+        "batch_stretches": float(observability.get("batch_stretches", 0)),
     }
     return RunOutcome(
         value=float(result.tua_cycles), metrics=metrics, truncated=result.truncated

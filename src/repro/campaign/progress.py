@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import IO
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..obs.profiler import CampaignProfiler
 
 __all__ = ["NullProgress", "ProgressReporter"]
 
@@ -23,6 +26,9 @@ class NullProgress:
 
     def advance(self, label: str = "") -> None:
         """Record one completed job."""
+
+    def report_profile(self, profiler: "CampaignProfiler") -> None:
+        """Summarise a campaign phase profile (no-op)."""
 
     def finish(self) -> None:
         """The campaign is over."""
@@ -73,6 +79,15 @@ class ProgressReporter(NullProgress):
             return
         self._last_report = now
         self._emit(self._format_line(now, label))
+
+    def report_profile(self, profiler: "CampaignProfiler") -> None:
+        phases = ", ".join(
+            f"{phase} {profiler.seconds[phase]:.2f}s" for phase in profiler.PHASES
+        )
+        self._emit(
+            f"[{self.prefix}] profile: wall {profiler.wall_seconds:.2f}s, "
+            f"{profiler.coverage:.0%} attributed ({phases})"
+        )
 
     def finish(self) -> None:
         if not self._total:

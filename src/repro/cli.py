@@ -14,6 +14,7 @@ Command                   Regenerates
 ``hcba-sweep``            the H-CBA design-space ablation
 ``policy-sweep``          CBA over different base arbitration policies
 ``list-workloads``        the modelled EEMBC-like and synthetic workloads
+``obs``                   observability: record/inspect traces, profiles, metrics
 ========================  =====================================================
 
 Every command accepts ``--runs`` and ``--scale`` where applicable so the
@@ -29,7 +30,11 @@ Every experiment command also accepts the campaign-engine flags:
 * ``--resume`` — with ``--store``, skip jobs whose results are already in
   the store (resuming an interrupted campaign, or reusing results across
   related experiments);
-* ``--quiet`` — suppress the progress/ETA lines written to stderr.
+* ``--quiet`` — suppress the progress/ETA lines written to stderr;
+* ``--profile PATH`` — write a per-phase campaign wall-clock profile
+  (spawn/pickle/simulate/aggregate/store) as JSON to PATH;
+* ``--metrics PATH`` — export a labelled metrics registry built from every
+  job result to PATH (JSONL, or Prometheus text for ``.prom``/``.txt``).
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from .campaign.campaign import Campaign
 from .campaign.executor import create_executor
 from .campaign.progress import NullProgress, ProgressReporter
 from .campaign.store import ArtifactStore
+from .obs.profiler import CampaignProfiler
 from .core.bounds import ContentionScenario
 from .sim.errors import SimulationError
 from .experiments.base_policy_sweep import run_base_policy_sweep
@@ -78,6 +84,14 @@ def _campaign_flags() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress campaign progress output on stderr",
     )
+    group.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="write a per-phase campaign wall-clock profile (JSON) to PATH",
+    )
+    group.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="export campaign metrics to PATH (JSONL; .prom/.txt = Prometheus)",
+    )
     return parent
 
 
@@ -89,11 +103,15 @@ def campaign_from_args(args: argparse.Namespace) -> Campaign:
         if args.quiet
         else ProgressReporter(stream=sys.stderr, prefix=args.command)
     )
+    profile_path = getattr(args, "profile", None)
+    profiler = CampaignProfiler(output_path=profile_path) if profile_path else None
     return Campaign(
         executor=create_executor(args.jobs),
         store=store,
         resume=args.resume,
         progress=progress,
+        profiler=profiler,
+        metrics_path=getattr(args, "metrics", None),
     )
 
 
@@ -162,6 +180,39 @@ def build_parser() -> argparse.ArgumentParser:
     # list-workloads prints static metadata — no campaign runs, no flags.
     workloads = sub.add_parser("list-workloads", help="list modelled workloads")
     workloads.add_argument("--verbose", action="store_true")
+
+    obs = sub.add_parser("obs", help="observability: traces, profiles, metrics")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    record = obs_sub.add_parser(
+        "record",
+        help="run one instrumented contention scenario and write its artifacts",
+    )
+    record.add_argument("--out", default="obs-artifacts", metavar="DIR",
+                        help="output directory (default: obs-artifacts)")
+    record.add_argument("--benchmark", default="canrdr", choices=available_benchmarks())
+    record.add_argument("--cores", type=int, default=4)
+    record.add_argument("--arbitration", default="random_permutations")
+    record.add_argument("--cba", action="store_true", help="wrap the arbiter with CBA")
+    record.add_argument("--scale", type=float, default=0.25)
+    record.add_argument("--seed", type=int, default=2017)
+    record.add_argument("--ring", type=int, default=None, metavar="N",
+                        help="bound the timeline to the most recent N events")
+
+    timeline = obs_sub.add_parser(
+        "timeline", help="summarise a recorded Chrome trace-event file"
+    )
+    timeline.add_argument("path", help="timeline.json written by `repro obs record`")
+
+    profile = obs_sub.add_parser(
+        "profile", help="render a kernel or campaign profile JSON"
+    )
+    profile.add_argument("path", help="profile JSON (kernel_profile.json or --profile output)")
+
+    metrics = obs_sub.add_parser(
+        "metrics", help="render an exported metrics file (JSONL or Prometheus text)"
+    )
+    metrics.add_argument("path", help="metrics.jsonl / metrics.prom")
 
     return parser
 
@@ -302,6 +353,56 @@ def _cmd_list_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    # The record path pulls in the whole platform layer; the render paths
+    # only read JSON — import per subcommand to keep `repro obs metrics`
+    # and friends instant.
+    import json
+
+    from .obs import report
+
+    if args.obs_command == "record":
+        from .obs.record import record_contention
+
+        summary = record_contention(
+            args.out,
+            benchmark=args.benchmark,
+            cores=args.cores,
+            arbitration=args.arbitration,
+            use_cba=args.cba,
+            access_scale=args.scale,
+            seed=args.seed,
+            ring=args.ring,
+        )
+        utilization = float(summary["bus_utilization"])  # type: ignore[arg-type]
+        print(format_key_values(
+            {
+                "benchmark": summary["benchmark"],
+                "configuration": f"{summary['arbitration']}"
+                                 f"{' + CBA' if summary['use_cba'] else ''}",
+                "total cycles": summary["total_cycles"],
+                "bus utilization": f"{utilization:.3f}",
+                "trace events": summary["trace_events"],
+                "metric series": summary["metrics_series"],
+                "artifacts": args.out,
+            },
+            title="observability recording",
+        ))
+        return 0
+    if args.obs_command == "timeline":
+        with open(args.path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        print(report.render_timeline_summary(document))
+        return 0
+    if args.obs_command == "profile":
+        with open(args.path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        print(report.render_profile(data))
+        return 0
+    print(report.render_metrics_file(args.path))
+    return 0
+
+
 _COMMANDS = {
     "illustrative": _cmd_illustrative,
     "table1": _cmd_table1,
@@ -311,6 +412,7 @@ _COMMANDS = {
     "hcba-sweep": _cmd_hcba_sweep,
     "policy-sweep": _cmd_policy_sweep,
     "list-workloads": _cmd_list_workloads,
+    "obs": _cmd_obs,
 }
 
 

@@ -21,6 +21,7 @@ from typing import Sequence
 from ..arbiters.base import Arbiter
 from ..sim.config import CBAParameters
 from ..sim.errors import ArbitrationError
+from ..sim.trace import TraceRecorder
 from .credit import CreditBank
 
 __all__ = ["CreditBasedArbiter"]
@@ -55,6 +56,15 @@ class CreditBasedArbiter(Arbiter):
         #: Count of cycles in which at least one request was pending but every
         #: pending requestor was budget-blocked (bus left idle by CBA).
         self.blocked_cycles = 0
+        #: Optional timeline recorder (attached by the platform when timeline
+        #: observability is on).  ``None`` keeps every trace branch dead, so
+        #: the default path pays nothing beyond one attribute load.
+        self._trace: TraceRecorder | None = None
+
+    def attach_trace(self, recorder: TraceRecorder) -> None:
+        """Record CBA credit dynamics (drains, refills, blocks) on ``recorder``."""
+        self._trace = recorder
+        self._traced_eligible = tuple(self.credits.eligible_cores())
 
     # ------------------------------------------------------------------
     # Arbiter interface
@@ -66,6 +76,9 @@ class CreditBasedArbiter(Arbiter):
         eligible = [master for master in pending if self.credits[master].eligible]
         if not eligible:
             self.blocked_cycles += 1
+            trace = self._trace
+            if trace is not None and trace.enabled:
+                trace.record(cycle, "cba", "cba.blocked", pending=list(pending))
             return None
         choice = self.base.arbitrate(eligible, cycle)
         return self._validate_choice(choice, eligible)
@@ -73,6 +86,16 @@ class CreditBasedArbiter(Arbiter):
     def on_grant(self, master_id: int, duration: int, cycle: int) -> None:
         super().on_grant(master_id, duration, cycle)
         self.base.on_grant(master_id, duration, cycle)
+        trace = self._trace
+        if trace is not None and trace.enabled:
+            trace.record(
+                cycle,
+                "cba",
+                "cba.drain",
+                master=master_id,
+                duration=duration,
+                balances=self.credits.balances(),
+            )
 
     def on_request(self, master_id: int, cycle: int) -> None:
         self.base.on_request(master_id, cycle)
@@ -81,6 +104,18 @@ class CreditBasedArbiter(Arbiter):
         """Per-cycle budget dynamics: replenish all cores, drain the holder."""
         self.base.cycle_update(cycle, holder)
         self.credits.step(holder)
+        trace = self._trace
+        if trace is not None and trace.enabled:
+            eligible = tuple(self.credits.eligible_cores())
+            if eligible != self._traced_eligible:
+                self._traced_eligible = eligible
+                trace.record(
+                    cycle,
+                    "cba",
+                    "cba.refill",
+                    eligible=list(eligible),
+                    balances=self.credits.balances(),
+                )
 
     # ------------------------------------------------------------------
     # Fast-forward support

@@ -59,6 +59,7 @@ from ..bus.bus import SharedBus
 from ..bus.transaction import AccessType, BusRequest
 from ..cache.l1 import L1Cache
 from ..sim.component import Component
+from ..sim.stats import StatGroup
 from .counters import CoreCounters
 from .trace import (
     ACCESS_BY_KIND,
@@ -171,13 +172,15 @@ class CoreModel(Component):
         #: Batch interpreter state: pre-computed per-item placement columns
         #: plus pre-bound cache probe/commit hooks, and the count of cycles
         #: left in the stretch currently being replayed in bulk (0 = not in a
-        #: stretch).  ``batched_items``/``batch_stretches`` are observability
-        #: counters kept outside CoreCounters so result snapshots stay
-        #: comparable across batch-on/off runs.
+        #: stretch).  ``batched_items``/``batch_stretches`` live in the
+        #: :attr:`obs` stat group — outside CoreCounters so result snapshots
+        #: stay comparable across batch-on/off runs, and registrable in a
+        #: campaign-level metrics registry.
         self._batch = self._columnar and batch_interpreter
         self._batch_remaining = 0
-        self.batched_items = 0
-        self.batch_stretches = 0
+        self.obs = StatGroup(f"{name}.obs")
+        self._c_batched_items = self.obs.counter("batched_items")
+        self._c_batch_stretches = self.obs.counter("batch_stretches")
         if self._batch:
             self._l1_sets, self._l1_tags = trace.placement_columns(l1_data.placement)
             self._l1_probe, self._l1_commit = l1_data.batch_read_hooks()
@@ -250,6 +253,16 @@ class CoreModel(Component):
     @property
     def execution_cycles(self) -> int:
         return self.counters.execution_cycles
+
+    @property
+    def batched_items(self) -> int:
+        """Trace items swallowed by the batch interpreter."""
+        return self._c_batched_items.value
+
+    @property
+    def batch_stretches(self) -> int:
+        """Bus-free stretches executed in bulk by the batch interpreter."""
+        return self._c_batch_stretches.value
 
     # ------------------------------------------------------------------
     # Per-cycle behaviour
@@ -662,8 +675,19 @@ class CoreModel(Component):
         counters.l1_cycles += latency * reads
         counters.accesses += reads
         counters.l1_hits += reads
-        self.batched_items += items
-        self.batch_stretches += 1
+        self._c_batched_items.value += items
+        self._c_batch_stretches.value += 1
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.record(
+                self.now,
+                self.name,
+                "core.stretch",
+                core=self.core_id,
+                items=items,
+                cycles=cycles,
+                reads=reads,
+            )
         self._cursor = end
         self._batch_remaining = cycles
         self._pending_kind = KIND_NONE
@@ -766,6 +790,15 @@ class CoreModel(Component):
             return
         self._state = CoreState.FINISHED
         self.counters.finish_cycle = self.now
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.record(
+                self.now,
+                self.name,
+                "core.finish",
+                core=self.core_id,
+                items=self.counters.items_completed,
+            )
 
     # ------------------------------------------------------------------
     # Bus master port protocol
@@ -832,8 +865,7 @@ class CoreModel(Component):
         self._pending_kind = KIND_NONE
         self._cursor = 0
         self._batch_remaining = 0
-        self.batched_items = 0
-        self.batch_stretches = 0
+        self.obs.reset()
         if self._batch:
             self._bound_pos = 0
             self._stretch_estimate = _VEC_CHUNK_FIRST

@@ -1,0 +1,135 @@
+"""Metric exporters: JSON-lines and Prometheus text exposition.
+
+Both exporters work from :meth:`MetricsRegistry.snapshot`, so they are pure
+functions of the registry state and never hold references into it.
+
+* **JSONL** — one JSON object per series, the registry's native snapshot row.
+  This is the machine-readable artifact the CI bench job uploads and the
+  ``repro obs metrics`` command renders.
+* **Prometheus text** — the `text exposition format`__ understood by a
+  Prometheus scrape (and by ``promtool check metrics``).  Counters and gauges
+  map directly; :class:`~repro.sim.stats.RunningStats` series become
+  summaries (``_count``/``_sum``); value histograms become classic cumulative
+  ``_bucket{le=...}`` families.
+
+__ https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+    "write_prometheus",
+    "write_metrics",
+]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise a metric name for the Prometheus exposition format."""
+    cleaned = _NAME_OK.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_labels(labels: dict[str, object], extra: dict[str, object] | None = None) -> str:
+    """Render a label set as ``{key="value",...}`` (empty string when none)."""
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = []
+    for key, value in sorted(merged.items()):
+        text = str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        parts.append(f'{_prom_name(str(key))}="{text}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """The registry as JSON-lines text (one series per line)."""
+    lines = [json.dumps(row, sort_keys=True) for row in registry.snapshot()]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for row in registry.snapshot():
+        name = _prom_name(str(row["name"]))
+        labels = dict(row["labels"])  # type: ignore[call-overload]
+        kind = row["type"]
+        if kind == "counter":
+            declare(name, "counter")
+            lines.append(f"{name}{_prom_labels(labels)} {row['value']}")
+        elif kind == "gauge":
+            declare(name, "gauge")
+            lines.append(f"{name}{_prom_labels(labels)} {row['value']}")
+        elif kind == "summary":
+            stats = row["stats"]
+            assert isinstance(stats, dict)
+            declare(name, "summary")
+            lines.append(f"{name}_count{_prom_labels(labels)} {int(stats['count'])}")
+            lines.append(f"{name}_sum{_prom_labels(labels)} {stats['total']}")
+        else:  # histogram
+            stats = row["stats"]
+            buckets = row["buckets"]
+            assert isinstance(stats, dict) and isinstance(buckets, list)
+            declare(name, "histogram")
+            cumulative = 0
+            total = 0
+            for value, count in buckets:
+                cumulative += int(count)
+                total += int(value) * int(count)
+                le = _prom_labels(labels, {"le": value})
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            inf = _prom_labels(labels, {"le": "+Inf"})
+            lines.append(f"{name}_bucket{inf} {cumulative}")
+            lines.append(f"{name}_sum{_prom_labels(labels)} {total}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {int(stats['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write the JSONL export to ``path`` and return it."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_jsonl(registry), encoding="utf-8")
+    return target
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write the Prometheus text export to ``path`` and return it."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_prometheus(registry), encoding="utf-8")
+    return target
+
+
+def write_metrics(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write the export format implied by the file extension.
+
+    ``.prom`` / ``.txt`` select the Prometheus text format; anything else
+    (conventionally ``.jsonl``) selects JSON-lines.
+    """
+    suffix = Path(path).suffix.lower()
+    if suffix in (".prom", ".txt"):
+        return write_prometheus(registry, path)
+    return write_jsonl(registry, path)

@@ -1,0 +1,171 @@
+"""Labelled metrics registry.
+
+The simulator's components accumulate plain :mod:`repro.sim.stats` primitives
+(one :class:`~repro.sim.stats.StatGroup` per component).  The registry layers
+*labels* on top, Prometheus-style: a metric is identified by a name plus a
+set of ``key=value`` labels, so the same metric family (``bus.grants``) can
+carry one series per system, per core, per campaign label and still be
+aggregated across runs with :meth:`MetricsRegistry.merge`.
+
+The registry deliberately reuses the :mod:`repro.sim.stats` classes as its
+storage so that everything a component already counted can be folded in with
+:meth:`MetricsRegistry.ingest_group` — no re-walking of simulation events.
+Exporters (JSONL, Prometheus text) live in :mod:`repro.obs.exporters`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..sim.stats import Counter, Gauge, Histogram, RunningStats, StatGroup
+
+__all__ = ["MetricsRegistry", "label_key", "registries_merged"]
+
+#: Canonical hashable form of a label set: sorted ``(key, value)`` pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Canonicalise a label mapping (values stringified, keys sorted)."""
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class MetricsRegistry:
+    """A collection of labelled counters, gauges, samples and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._samples: dict[tuple[str, LabelKey], RunningStats] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors (create on first use, like StatGroup)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Return (creating if needed) the counter series ``name{labels}``."""
+        key = (name, label_key(labels))
+        series = self._counters.get(key)
+        if series is None:
+            series = self._counters[key] = Counter(name)
+        return series
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Return (creating if needed) the gauge series ``name{labels}``."""
+        key = (name, label_key(labels))
+        series = self._gauges.get(key)
+        if series is None:
+            series = self._gauges[key] = Gauge(name)
+        return series
+
+    def sample(self, name: str, **labels: object) -> RunningStats:
+        """Return (creating if needed) the sample series ``name{labels}``."""
+        key = (name, label_key(labels))
+        series = self._samples.get(key)
+        if series is None:
+            series = self._samples[key] = RunningStats(name)
+        return series
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """Return (creating if needed) the histogram series ``name{labels}``."""
+        key = (name, label_key(labels))
+        series = self._histograms.get(key)
+        if series is None:
+            series = self._histograms[key] = Histogram(name)
+        return series
+
+    # ------------------------------------------------------------------
+    # Bulk ingestion and merging
+    # ------------------------------------------------------------------
+    def ingest_group(self, group: StatGroup, prefix: str = "", **labels: object) -> None:
+        """Fold a component's :class:`StatGroup` into the registry.
+
+        Every member is merged into the series ``prefix + member_name`` under
+        the given labels, so repeated ingestion (one run after another with
+        the same labels) accumulates instead of overwriting.
+        """
+        for name, counter in group.counters.items():
+            self.counter(prefix + name, **labels).merge(counter)
+        for name, stats in group.samples.items():
+            self.sample(prefix + name, **labels).merge(stats)
+        for name, histogram in group.histograms.items():
+            self.histogram(prefix + name, **labels).merge(histogram)
+
+    def ingest_values(
+        self, values: Mapping[str, object], prefix: str = "", **labels: object
+    ) -> None:
+        """Fold a plain ``name -> number`` mapping in as counters.
+
+        Non-numeric entries (booleans excluded too) are skipped, so component
+        snapshot dictionaries that mix identity fields into their counters
+        (e.g. ``CoreCounters.as_dict``) can be ingested directly.
+        """
+        for name, value in values.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.counter(prefix + name, **labels).increment(int(value))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in, series by series."""
+        for (name, key), counter in other._counters.items():
+            self.counter(name, **dict(key)).merge(counter)
+        for (name, key), gauge in other._gauges.items():
+            self.gauge(name, **dict(key)).merge(gauge)
+        for (name, key), stats in other._samples.items():
+            self.sample(name, **dict(key)).merge(stats)
+        for (name, key), histogram in other._histograms.items():
+            self.histogram(name, **dict(key)).merge(histogram)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._samples)
+            + len(self._histograms)
+        )
+
+    def snapshot(self) -> list[dict[str, object]]:
+        """Every series as a plain, JSON-serialisable row (sorted by name).
+
+        Rows are fresh dictionaries — mutating a snapshot never touches the
+        registry, and later registry updates never touch old snapshots.
+        """
+        keyed: list[tuple[tuple[str, LabelKey], dict[str, object]]] = []
+        for (name, key), counter in self._counters.items():
+            keyed.append(
+                ((name, key), {"name": name, "labels": dict(key), "type": "counter",
+                               "value": counter.value})
+            )
+        for (name, key), gauge in self._gauges.items():
+            keyed.append(
+                ((name, key), {"name": name, "labels": dict(key), "type": "gauge",
+                               "value": gauge.value})
+            )
+        for (name, key), stats in self._samples.items():
+            keyed.append(
+                ((name, key), {"name": name, "labels": dict(key), "type": "summary",
+                               "stats": stats.as_dict()})
+            )
+        for (name, key), histogram in self._histograms.items():
+            keyed.append(
+                ((name, key), {
+                    "name": name,
+                    "labels": dict(key),
+                    "type": "histogram",
+                    "stats": histogram.as_dict(),
+                    "buckets": [[value, count] for value, count in histogram.items()],
+                })
+            )
+        keyed.sort(key=lambda item: item[0])
+        return [row for _, row in keyed]
+
+
+def registries_merged(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    """Convenience: merge several registries into a fresh one."""
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge(registry)
+    return merged

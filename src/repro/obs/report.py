@@ -1,0 +1,162 @@
+"""Text reports over recorded observability artifacts.
+
+The ``repro obs`` CLI subcommands load the JSON artifacts written by
+:mod:`repro.obs.record`, :class:`~repro.obs.profiler.KernelProfiler`,
+:class:`~repro.obs.profiler.CampaignProfiler` and the metric exporters, and
+render them with the functions here.  Everything is plain text written for a
+terminal — the heavy lifting (Perfetto, Prometheus) happens in the tools the
+artifacts target.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "render_profile",
+    "render_kernel_profile",
+    "render_campaign_profile",
+    "render_metrics_file",
+    "render_timeline_summary",
+]
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_kernel_profile(data: dict[str, object]) -> str:
+    """Render a :class:`KernelProfiler` report."""
+    wall = float(data.get("run_wall_seconds", 0.0))  # type: ignore[arg-type]
+    attributed = float(data.get("attributed_seconds", 0.0))  # type: ignore[arg-type]
+    scheduler = float(data.get("scheduler_seconds", 0.0))  # type: ignore[arg-type]
+    cycles = int(data.get("executed_cycles", 0))  # type: ignore[arg-type]
+    lines = [
+        "kernel profile",
+        f"  runs: {data.get('runs', 0)}   executed cycles: {cycles}",
+        f"  run wall: {wall:.4f}s   in component hooks: {attributed:.4f}s   "
+        f"scheduler/other: {scheduler:.4f}s",
+    ]
+    components = data.get("components", {})
+    if isinstance(components, dict) and components:
+        totals = []
+        for name, hooks in components.items():
+            if not isinstance(hooks, dict):
+                continue
+            seconds = sum(
+                float(value) for key, value in hooks.items() if key.endswith("_seconds")
+            )
+            calls = sum(
+                int(value) for key, value in hooks.items() if key.endswith("_calls")
+            )
+            totals.append((seconds, calls, str(name)))
+        totals.sort(reverse=True)
+        lines.append("  per component (share of hook time):")
+        hook_total = sum(seconds for seconds, _, _ in totals) or 1.0
+        for seconds, calls, name in totals:
+            share = seconds / hook_total
+            lines.append(
+                f"    {name:<20} {seconds:9.4f}s  {100 * share:5.1f}%  "
+                f"[{_bar(share)}]  {calls} calls"
+            )
+    return "\n".join(lines)
+
+
+def render_campaign_profile(data: dict[str, object]) -> str:
+    """Render a :class:`CampaignProfiler` report."""
+    wall = float(data.get("wall_seconds", 0.0))  # type: ignore[arg-type]
+    attributed = float(data.get("attributed_seconds", 0.0))  # type: ignore[arg-type]
+    coverage = float(data.get("coverage", 0.0))  # type: ignore[arg-type]
+    lines = [
+        "campaign profile",
+        f"  jobs: {data.get('jobs', 0)}   workers: {data.get('workers', 1)}",
+        f"  wall: {wall:.4f}s   attributed: {attributed:.4f}s   "
+        f"coverage: {100 * coverage:.1f}%",
+        "  per phase:",
+    ]
+    phases = data.get("phases", {})
+    if isinstance(phases, dict):
+        denominator = wall or attributed or 1.0
+        for phase, entry in phases.items():
+            if not isinstance(entry, dict):
+                continue
+            seconds = float(entry.get("seconds", 0.0))
+            share = seconds / denominator
+            lines.append(
+                f"    {phase:<10} {seconds:9.4f}s  {100 * share:5.1f}%  "
+                f"[{_bar(share)}]  {entry.get('events', 0)} events"
+            )
+    return "\n".join(lines)
+
+
+def render_profile(data: dict[str, object]) -> str:
+    """Render either profile report, dispatching on its ``type`` field."""
+    if data.get("type") == "campaign_profile":
+        return render_campaign_profile(data)
+    return render_kernel_profile(data)
+
+
+def render_metrics_file(path: str | Path) -> str:
+    """Render a metrics artifact (JSONL rows, or raw Prometheus text)."""
+    text = Path(path).read_text(encoding="utf-8")
+    if Path(path).suffix.lower() in (".prom", ".txt"):
+        return text.rstrip("\n")
+    lines = []
+    for raw in text.splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        row = json.loads(raw)
+        labels = ",".join(f"{k}={v}" for k, v in sorted(row.get("labels", {}).items()))
+        name = f"{row['name']}{{{labels}}}" if labels else str(row["name"])
+        if "value" in row:
+            lines.append(f"{name:<60} {row['type']:<9} {row['value']}")
+        else:
+            stats = row.get("stats", {})
+            summary = "  ".join(f"{k}={stats[k]:g}" for k in ("count", "mean", "min", "max")
+                                if k in stats)
+            lines.append(f"{name:<60} {row['type']:<9} {summary}")
+    return "\n".join(lines)
+
+
+def render_timeline_summary(document: dict[str, object]) -> str:
+    """Summarise a Chrome trace-event document (counts per phase and track)."""
+    events = document.get("traceEvents", [])
+    if not isinstance(events, list):
+        return "timeline: no traceEvents array"
+    threads: dict[int, str] = {}
+    per_name: dict[str, int] = {}
+    per_phase: dict[str, int] = {}
+    span_cycles: dict[str, int] = {}
+    first_ts: int | None = None
+    last_ts = 0
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        phase = str(event.get("ph", "?"))
+        if phase == "M":
+            args = event.get("args", {})
+            if event.get("name") == "thread_name" and isinstance(args, dict):
+                threads[int(event.get("tid", 0))] = str(args.get("name", "?"))
+            continue
+        name = str(event.get("name", "?"))
+        per_name[name] = per_name.get(name, 0) + 1
+        per_phase[phase] = per_phase.get(phase, 0) + 1
+        ts = int(event.get("ts", 0))
+        first_ts = ts if first_ts is None else min(first_ts, ts)
+        end = ts + int(event.get("dur", 0))
+        last_ts = max(last_ts, end)
+        if phase == "X":
+            span_cycles[name] = span_cycles.get(name, 0) + int(event.get("dur", 0))
+    lines = [
+        "timeline summary (open the file in https://ui.perfetto.dev)",
+        f"  events: {sum(per_phase.values())}   tracks: {len(threads)}   "
+        f"cycles covered: {first_ts or 0}..{last_ts}",
+        "  events by kind:",
+    ]
+    for name, count in sorted(per_name.items(), key=lambda item: -item[1]):
+        extra = f"   ({span_cycles[name]} span cycles)" if name in span_cycles else ""
+        lines.append(f"    {name:<20} {count}{extra}")
+    return "\n".join(lines)

@@ -24,7 +24,10 @@ from ..cpu.core_model import CoreModel
 from ..cpu.counters import CoreCounters
 from ..memory.controller import MemoryController
 from ..memory.dram import DRAM
-from ..sim.config import PlatformConfig
+from ..obs.profiler import KernelProfiler
+from ..obs.registry import MetricsRegistry
+from ..obs.timeline import TimelineRecorder
+from ..sim.config import ObservabilityConfig, PlatformConfig
 from ..sim.errors import ConfigurationError
 from ..sim.kernel import Kernel
 from ..sim.trace import TraceRecorder
@@ -54,6 +57,11 @@ class SystemResult:
     #: used as execution-time measurements.
     truncated: bool = False
     extra: dict[str, object] = field(default_factory=dict)
+    #: Execution-strategy observability (batch interpreter counters, skipped
+    #: cycles): kept apart from :attr:`extra` because these legitimately
+    #: differ between bit-identical execution modes (lazy vs columnar,
+    #: stepped vs fast-forwarded) and must not enter result comparisons.
+    observability: dict[str, int] = field(default_factory=dict)
 
     def execution_cycles(self, core_id: int) -> int:
         """Execution time (cycles) of the task that ran on ``core_id``."""
@@ -74,6 +82,7 @@ class MulticoreSystem:
         materialize_traces: bool = True,
         batch_interpreter: bool = True,
         event_queue: bool = True,
+        obs: ObservabilityConfig | None = None,
     ) -> None:
         """Build the platform.
 
@@ -107,11 +116,23 @@ class MulticoreSystem:
         is bit-identical to per-cycle stepping (enforced by the batch rows of
         the columnar equivalence matrix); on by default, the switch exists
         for those tests and benchmarks.
+
+        ``obs`` opts into instrumentation
+        (:class:`~repro.sim.config.ObservabilityConfig`): a timeline recorder
+        becomes the kernel's trace (unless an explicit ``trace`` was passed,
+        which wins), and kernel profiling is enabled at :meth:`finalize`.
+        ``None`` (the default) changes nothing anywhere on the hot path.
         """
         self.config = config
         self.label = label or config.arbitration
         self.materialize_traces = materialize_traces
         self.batch_interpreter = batch_interpreter
+        self.obs = obs
+        self.profiler: KernelProfiler | None = None
+        if trace is None and obs is not None and obs.timeline:
+            trace = TimelineRecorder(
+                kinds=obs.timeline_kinds, capacity=obs.timeline_capacity
+            )
         self.kernel = Kernel(
             seed=seed,
             run_index=run_index,
@@ -270,6 +291,11 @@ class MulticoreSystem:
         self.kernel.register(self.monitor)
         self._core_list = tuple(self.cores.values())
         self.kernel.add_stop_condition(self._all_tasks_finished)
+        if self.cba is not None and self.kernel.trace.enabled:
+            self.cba.attach_trace(self.kernel.trace)
+        if self.obs is not None and self.obs.profile_kernel:
+            self.profiler = KernelProfiler()
+            self.kernel.enable_profiling(self.profiler)
         self._finalized = True
 
     def _all_tasks_finished(self) -> bool:
@@ -326,4 +352,51 @@ class MulticoreSystem:
                     for core_id, contender in self.contenders.items()
                 },
             },
+            observability={
+                "batched_items": sum(c.batched_items for c in self.cores.values()),
+                "batch_stretches": sum(c.batch_stretches for c in self.cores.values()),
+                "cycles_skipped": self.kernel.cycles_skipped,
+            },
         )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def collect_metrics(self, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+        """Fold everything this system counted into a labelled metrics registry.
+
+        Every series carries a ``system=<label>`` label (per-core series add
+        ``core=<id>``), so registries from several runs or configurations can
+        be merged without collisions.  Pass an existing ``registry`` to
+        accumulate across systems; the (possibly fresh) registry is returned.
+        """
+        if registry is None:
+            registry = MetricsRegistry()
+        label = self.label
+        registry.ingest_group(self.bus.stats, prefix="bus.", system=label)
+        registry.gauge("bus.utilization", system=label).set(self.bus.utilization())
+        for core_id, core in self.cores.items():
+            registry.ingest_group(core.obs, prefix="core.", system=label, core=core_id)
+            values = dict(core.counters.as_dict())
+            values.pop("core_id", None)
+            registry.ingest_values(values, prefix="core.", system=label, core=core_id)
+        mon = self.monitor
+        registry.counter("bus.monitor_cycles_observed", system=label).increment(
+            mon.total_cycles_observed
+        )
+        for master, busy in enumerate(mon.total_busy_per_master):
+            registry.counter("bus.monitor_busy_cycles", system=label, core=master).increment(
+                busy
+            )
+        if self.cba is not None:
+            registry.counter("cba.blocked_cycles", system=label).increment(
+                self.cba.blocked_cycles
+            )
+            for core_id, balance in enumerate(self.cba.budgets()):
+                registry.gauge("cba.budget", system=label, core=core_id).set(balance)
+        kernel = self.kernel
+        registry.counter("kernel.cycles_total", system=label).increment(kernel.clock.cycle)
+        registry.counter("kernel.cycles_skipped", system=label).increment(
+            kernel.cycles_skipped
+        )
+        return registry

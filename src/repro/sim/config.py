@@ -25,6 +25,7 @@ __all__ = [
     "BusTimings",
     "CacheGeometry",
     "CBAParameters",
+    "ObservabilityConfig",
     "PlatformConfig",
     "DEFAULT_BUS_TIMINGS",
     "DEFAULT_L1_GEOMETRY",
@@ -192,6 +193,41 @@ class CBAParameters:
         if self.initial_budget is None:
             return self.scaled_full_budget
         return min(self.initial_budget, self.cap_for(core))
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Opt-in instrumentation of one simulated system.
+
+    Deliberately *not* a field of :class:`PlatformConfig`: observability never
+    changes what a run computes, and platform configurations are content-hashed
+    into campaign job IDs — folding these knobs in would invalidate every
+    existing artifact store for a setting that cannot affect the results.
+    """
+
+    #: Record a timeline of simulation events (bus transactions, CBA credit
+    #: dynamics, batch stretches, kernel jumps) for Chrome trace-event export.
+    timeline: bool = False
+    #: Bound the timeline to the most recent N events (ring buffer);
+    #: ``None`` keeps every event.
+    timeline_capacity: int | None = None
+    #: Restrict recording to these event kinds (``None`` records all).
+    timeline_kinds: tuple[str, ...] | None = None
+    #: Attribute ``Kernel.run`` wall-clock to component hooks.
+    profile_kernel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeline_capacity is not None and self.timeline_capacity <= 0:
+            raise ConfigurationError("timeline_capacity must be positive")
+        if self.timeline_kinds is not None and not self.timeline:
+            raise ConfigurationError("timeline_kinds requires timeline=True")
+        if self.timeline_capacity is not None and not self.timeline:
+            raise ConfigurationError("timeline_capacity requires timeline=True")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any instrumentation is requested."""
+        return self.timeline or self.profile_kernel
 
 
 DEFAULT_BUS_TIMINGS = BusTimings()

@@ -55,7 +55,8 @@ of this — the wake/``fast_forward`` contract already expresses it.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Callable, Iterable
+from time import perf_counter
+from typing import Any, Callable, Iterable, Protocol
 
 from .clock import Clock
 from .component import Component
@@ -63,7 +64,24 @@ from .errors import SchedulingError
 from .rng import RandomStreams
 from .trace import NullTraceRecorder, TraceRecorder
 
-__all__ = ["EventQueue", "Kernel"]
+__all__ = ["EventQueue", "Kernel", "RunProfiler"]
+
+
+class RunProfiler(Protocol):
+    """What :meth:`Kernel.enable_profiling` needs from a profiler.
+
+    The concrete implementation lives in :mod:`repro.obs.profiler`; the
+    kernel only depends on this structural interface so the simulation core
+    stays import-free of the observability layer.
+    """
+
+    def proxy(self, component: "Component", hook: str) -> Any:
+        """Return a stand-in exposing ``hook`` as a timed callable."""
+        ...
+
+    def on_run(self, wall_seconds: float, executed_cycles: int) -> None:
+        """Record the wall-clock of one finished :meth:`Kernel.run` call."""
+        ...
 
 
 class EventQueue:
@@ -203,6 +221,9 @@ class Kernel:
         self._events = EventQueue()
         #: Cycles :meth:`run` jumped over instead of stepping (observability).
         self.cycles_skipped = 0
+        #: Wall-clock profiler installed by :meth:`enable_profiling`
+        #: (``None`` keeps the uninstrumented hot loop — the default).
+        self.profiler: RunProfiler | None = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -217,6 +238,10 @@ class Kernel:
         """
         if component.name in self._by_name:
             raise SchedulingError(f"a component named {component.name!r} is already registered")
+        if self.profiler is not None:
+            # The hook lists were already swapped for timing proxies; a late
+            # registration would run unprofiled and skew the attribution.
+            raise SchedulingError("cannot register components after profiling was enabled")
         component.bind(self)
         component._wake_slot = self._events.add_slot()
         if self.event_queue:
@@ -256,6 +281,24 @@ class Kernel:
             self._events.cancel(component._wake_slot)
         else:
             self._events.schedule(component._wake_slot, hint)
+
+    def enable_profiling(self, profiler: RunProfiler) -> None:
+        """Attribute hook wall-clock to components via ``profiler``.
+
+        Swaps every entry of the pre-bound hook lists for a timing proxy, so
+        the per-cycle cost exists *only* on profiled kernels — the disabled
+        mode keeps the exact loops the hook-list filtering built (the same
+        zero-cost-when-off pattern).  Must be called after every component is
+        registered (later registrations raise) and at most once per kernel.
+        """
+        if self.profiler is not None:
+            raise SchedulingError("profiling is already enabled on this kernel")
+        self.profiler = profiler
+        self._tickers = [profiler.proxy(c, "tick") for c in self._tickers]
+        self._post_tickers = [profiler.proxy(c, "post_tick") for c in self._post_tickers]
+        self._fast_forwarders = [
+            profiler.proxy(c, "fast_forward") for c in self._fast_forwarders
+        ]
 
     def register_all(self, components: Iterable[Component]) -> None:
         """Register several components in order."""
@@ -447,6 +490,9 @@ class Kernel:
     def _jump_to(self, wake: int) -> None:
         """Fast-forward every component and the clock to cycle ``wake``."""
         delta = wake - self.clock.cycle
+        trace = self.trace
+        if trace.enabled:
+            trace.record(self.clock.cycle, "kernel", "kernel.jump", cycles=delta, to=wake)
         for component in self._fast_forwarders:
             component.fast_forward(delta)
         self.clock.advance(delta)
@@ -463,6 +509,8 @@ class Kernel:
         """
         if self.finished:
             raise SchedulingError("cannot run a kernel that has already finished")
+        profiler = self.profiler
+        run_started = perf_counter() if profiler is not None else 0.0
         clock = self.clock
         start = clock.cycle
         limit = start + max_cycles
@@ -522,6 +570,8 @@ class Kernel:
             stop_fired = self._should_stop()
         self.stop_condition_fired = stop_fired
         self.finished = True
+        if profiler is not None:
+            profiler.on_run(perf_counter() - run_started, clock.cycle - start)
         return clock.cycle - start
 
     @property

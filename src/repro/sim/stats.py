@@ -5,10 +5,17 @@ experiments then summarise them.  Three small building blocks cover every
 need in the library:
 
 * :class:`Counter` — a named monotonically increasing event count;
+* :class:`Gauge` — a named point-in-time value that can move both ways;
 * :class:`RunningStats` — streaming mean / variance / min / max (Welford);
 * :class:`Histogram` — integer-valued histogram with percentile queries;
 * :class:`StatGroup` — a named collection of the above attached to one
   component, convertible to a plain ``dict`` for reporting.
+
+Every primitive supports :meth:`merge`, which folds another instance of the
+same kind into this one as if both had observed one combined event stream.
+Merging is what lets the observability layer (:mod:`repro.obs`) aggregate
+per-component and per-run statistics into campaign-level metric exports
+without re-walking the underlying events.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["Counter", "RunningStats", "Histogram", "StatGroup"]
+__all__ = ["Counter", "Gauge", "RunningStats", "Histogram", "StatGroup"]
 
 
 @dataclass(slots=True)
@@ -44,8 +51,38 @@ class Counter:
         self.value -= amount
         raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's count into this one."""
+        self.value += other.value
+
     def reset(self) -> None:
         self.value = 0
+
+
+@dataclass(slots=True)
+class Gauge:
+    """A point-in-time value that can move in both directions.
+
+    Unlike :class:`Counter`, a gauge reports the *current* level of something
+    (a queue depth, a credit balance, a clock) rather than an accumulated
+    event count.
+    """
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def merge(self, other: "Gauge") -> None:
+        """Adopt the other gauge's level (last-writer-wins semantics)."""
+        self.value = other.value
+
+    def reset(self) -> None:
+        self.value = 0.0
 
 
 class RunningStats:
@@ -74,6 +111,31 @@ class RunningStats:
         """Record several samples."""
         for value in values:
             self.add(value)
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another stream's statistics in (Chan's parallel Welford merge).
+
+        The result is exactly what one stream containing both sample sets
+        would have produced (up to floating-point association).
+        """
+        if not other.count:
+            return
+        if not self.count:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            self._total = other._total
+            return
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self._mean += delta * other.count / combined
+        self.count = combined
+        self._total += other._total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
 
     @property
     def mean(self) -> float:
@@ -171,6 +233,13 @@ class Histogram:
                 return value
         return self.maximum
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's frequencies into this one."""
+        bins = self._bins
+        for value, count in other._bins.items():
+            bins[value] = bins.get(value, 0) + count
+        self.count += other.count
+
     def reset(self) -> None:
         self._bins.clear()
         self.count = 0
@@ -213,6 +282,15 @@ class StatGroup:
         if name not in self.histograms:
             self.histograms[name] = Histogram(name)
         return self.histograms[name]
+
+    def merge(self, other: "StatGroup") -> None:
+        """Fold another group's members in, creating missing ones by name."""
+        for name, counter in other.counters.items():
+            self.counter(name).merge(counter)
+        for name, stats in other.samples.items():
+            self.sample(name).merge(stats)
+        for name, histogram in other.histograms.items():
+            self.histogram(name).merge(histogram)
 
     def reset(self) -> None:
         for counter in self.counters.values():

@@ -1,0 +1,83 @@
+"""Smoke tests for the ``repro obs`` command group and campaign flags."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+RECORD_ARGS = ["--scale", "0.05", "--ring", "2000"]
+
+
+def record(tmp_path, *extra):
+    out = tmp_path / "artifacts"
+    assert main(["obs", "record", "--out", str(out), *RECORD_ARGS, *extra]) == 0
+    return out
+
+
+def test_obs_requires_a_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["obs"])
+
+
+def test_record_writes_every_artifact(tmp_path, capsys):
+    out = record(tmp_path)
+    for name in (
+        "timeline.json", "kernel_profile.json",
+        "metrics.jsonl", "metrics.prom", "summary.json",
+    ):
+        assert (out / name).exists(), name
+    stdout = capsys.readouterr().out
+    assert "observability recording" in stdout
+    assert "trace events" in stdout
+
+    summary = json.loads((out / "summary.json").read_text())
+    assert summary["cores"] == 4
+    assert summary["trace_events"] > 0
+    assert summary["metrics_series"] > 0
+
+
+def test_timeline_command_summarises_the_recording(tmp_path, capsys):
+    out = record(tmp_path)
+    capsys.readouterr()
+    assert main(["obs", "timeline", str(out / "timeline.json")]) == 0
+    stdout = capsys.readouterr().out
+    assert "bus.grant" in stdout
+
+
+def test_profile_command_renders_kernel_profile(tmp_path, capsys):
+    out = record(tmp_path)
+    capsys.readouterr()
+    assert main(["obs", "profile", str(out / "kernel_profile.json")]) == 0
+    stdout = capsys.readouterr().out
+    assert "bus" in stdout
+
+
+def test_metrics_command_renders_both_formats(tmp_path, capsys):
+    out = record(tmp_path)
+    capsys.readouterr()
+    for name in ("metrics.jsonl", "metrics.prom"):
+        assert main(["obs", "metrics", str(out / name)]) == 0
+        assert "bus" in capsys.readouterr().out
+
+
+def test_campaign_profile_and_metrics_flags(tmp_path, capsys):
+    profile = tmp_path / "profile.json"
+    metrics = tmp_path / "metrics.jsonl"
+    assert main([
+        "mbpta", "canrdr", "--runs", "20", "--scale", "0.05", "--quiet",
+        "--profile", str(profile), "--metrics", str(metrics),
+    ]) == 0
+    capsys.readouterr()
+
+    report = json.loads(profile.read_text())
+    assert report["type"] == "campaign_profile"
+    assert report["coverage"] >= 0.90
+
+    rows = [json.loads(line) for line in metrics.read_text().splitlines()]
+    names = {row["name"] for row in rows}
+    assert "campaign.jobs" in names
+    assert "campaign.batched_items" in names  # PR 4 counters, now exported
+
+    assert main(["obs", "profile", str(profile)]) == 0
+    assert "coverage" in capsys.readouterr().out

@@ -1,0 +1,170 @@
+"""Tests for the labelled metrics registry and its exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import to_jsonl, to_prometheus, write_metrics
+from repro.obs.registry import MetricsRegistry, label_key, registries_merged
+from repro.sim.stats import StatGroup
+
+
+class TestLabelKey:
+    def test_sorted_and_stringified(self):
+        assert label_key({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_order_insensitive(self):
+        assert label_key({"a": 1, "b": 2}) == label_key({"b": 2, "a": 1})
+
+
+class TestSeries:
+    def test_same_name_different_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("grants", core=0).increment(2)
+        registry.counter("grants", core=1).increment(5)
+        assert registry.counter("grants", core=0).value == 2
+        assert registry.counter("grants", core=1).value == 5
+        assert len(registry) == 2
+
+    def test_label_order_does_not_split_series(self):
+        registry = MetricsRegistry()
+        registry.counter("grants", core=0, system="s").increment()
+        registry.counter("grants", system="s", core=0).increment()
+        assert registry.counter("grants", core=0, system="s").value == 2
+        assert len(registry) == 1
+
+    def test_each_kind_creates_lazily(self):
+        registry = MetricsRegistry()
+        registry.counter("c").increment()
+        registry.gauge("g").set(3.0)
+        registry.sample("s").add(1.0)
+        registry.histogram("h").add(4)
+        assert len(registry) == 4
+
+
+class TestIngestion:
+    def test_ingest_group_prefixes_and_accumulates(self):
+        group = StatGroup("core0")
+        group.counter("accesses").increment(7)
+        group.sample("latency").add(3.0)
+        group.histogram("wait").add(2)
+
+        registry = MetricsRegistry()
+        registry.ingest_group(group, prefix="core.", core=0)
+        registry.ingest_group(group, prefix="core.", core=0)  # second run, same labels
+        assert registry.counter("core.accesses", core=0).value == 14
+        assert registry.sample("core.latency", core=0).count == 2
+        assert registry.histogram("core.wait", core=0).frequency(2) == 2
+
+    def test_ingest_values_skips_non_numeric_and_bools(self):
+        registry = MetricsRegistry()
+        registry.ingest_values(
+            {"accesses": 5, "name": "core0", "finished": True, "ratio": 2.9},
+            prefix="core.",
+            core=0,
+        )
+        snapshot = registry.snapshot()
+        names = {row["name"] for row in snapshot}
+        assert names == {"core.accesses", "core.ratio"}
+        assert registry.counter("core.accesses", core=0).value == 5
+        assert registry.counter("core.ratio", core=0).value == 2  # truncated to int
+
+
+class TestMerge:
+    def build(self, grants: int, level: float) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("grants", core=0).increment(grants)
+        registry.gauge("budget", core=0).set(level)
+        registry.sample("latency", core=0).add(float(grants))
+        registry.histogram("wait", core=0).add(grants)
+        return registry
+
+    def test_merge_folds_every_kind(self):
+        left = self.build(2, 1.0)
+        left.merge(self.build(3, 9.0))
+        assert left.counter("grants", core=0).value == 5
+        assert left.gauge("budget", core=0).value == 9.0  # last writer wins
+        assert left.sample("latency", core=0).count == 2
+        assert left.histogram("wait", core=0).count == 2
+        assert len(left) == 4
+
+    def test_registries_merged_leaves_inputs_untouched(self):
+        first = self.build(2, 1.0)
+        second = self.build(3, 9.0)
+        merged = registries_merged([first, second])
+        assert merged.counter("grants", core=0).value == 5
+        assert first.counter("grants", core=0).value == 2
+        assert second.counter("grants", core=0).value == 3
+
+
+class TestSnapshot:
+    def test_rows_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").increment()
+        registry.counter("a.first").increment()
+        names = [row["name"] for row in registry.snapshot()]
+        assert names == sorted(names)
+
+    def test_mutating_snapshot_does_not_touch_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("grants", core=0).increment(2)
+        snapshot = registry.snapshot()
+        snapshot[0]["value"] = 999
+        snapshot[0]["labels"]["core"] = "7"
+        assert registry.counter("grants", core=0).value == 2
+        assert registry.snapshot()[0]["value"] == 2
+
+    def test_later_updates_do_not_touch_old_snapshots(self):
+        registry = MetricsRegistry()
+        registry.histogram("wait").add(1)
+        snapshot = registry.snapshot()
+        registry.histogram("wait").add(50)
+        assert snapshot[0]["stats"]["count"] == 1
+        assert snapshot[0]["buckets"] == [[1, 1]]
+
+
+class TestExporters:
+    def build(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("bus.grants", system="s").increment(4)
+        registry.gauge("bus.utilization", system="s").set(0.5)
+        registry.sample("job_seconds", label="rp").add(2.0)
+        registry.histogram("wait_cycles", system="s").add(3, weight=2)
+        registry.histogram("wait_cycles", system="s").add(9)
+        return registry
+
+    def test_jsonl_roundtrips_each_row(self):
+        text = to_jsonl(self.build())
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert len(rows) == 4
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["bus.grants"]["value"] == 4
+        assert by_name["wait_cycles"]["buckets"] == [[3, 2], [9, 1]]
+
+    def test_empty_registry_exports_empty_text(self):
+        assert to_jsonl(MetricsRegistry()) == ""
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_prometheus_counters_gauges_and_summaries(self):
+        text = to_prometheus(self.build())
+        assert "# TYPE bus_grants counter" in text
+        assert 'bus_grants{system="s"} 4' in text
+        assert "# TYPE bus_utilization gauge" in text
+        assert 'job_seconds_count{label="rp"} 1' in text
+        assert 'job_seconds_sum{label="rp"} 2.0' in text
+
+    def test_prometheus_histogram_buckets_are_cumulative(self):
+        text = to_prometheus(self.build())
+        assert 'wait_cycles_bucket{le="3",system="s"} 2' in text
+        assert 'wait_cycles_bucket{le="9",system="s"} 3' in text
+        assert 'wait_cycles_bucket{le="+Inf",system="s"} 3' in text
+        assert 'wait_cycles_count{system="s"} 3' in text
+
+    @pytest.mark.parametrize(
+        "filename, prometheus",
+        [("metrics.jsonl", False), ("metrics.prom", True), ("metrics.txt", True)],
+    )
+    def test_write_metrics_dispatches_on_extension(self, tmp_path, filename, prometheus):
+        target = write_metrics(self.build(), tmp_path / filename)
+        text = target.read_text()
+        assert ("# TYPE" in text) is prometheus

@@ -1,0 +1,134 @@
+"""Tests for the ring-buffered timeline recorder and Chrome trace export."""
+
+import json
+
+from repro.obs.timeline import TimelineRecorder, chrome_trace, write_chrome_trace
+from repro.platform.system import MulticoreSystem
+from repro.sim.config import ObservabilityConfig
+from repro.sim.trace import TraceEvent
+
+
+class TestTimelineRecorder:
+    def test_unbounded_keeps_everything(self):
+        recorder = TimelineRecorder()
+        for cycle in range(100):
+            recorder.record(cycle, "bus", "bus.grant")
+        assert len(recorder) == 100
+        assert recorder.dropped == 0
+
+    def test_ring_keeps_most_recent_and_counts_drops(self):
+        recorder = TimelineRecorder(capacity=10)
+        for cycle in range(25):
+            recorder.record(cycle, "bus", "bus.grant")
+        assert len(recorder) == 10
+        assert recorder.dropped == 15
+        assert [event.cycle for event in recorder.events] == list(range(15, 25))
+
+    def test_kind_filter(self):
+        recorder = TimelineRecorder(kinds=["bus.grant"])
+        recorder.record(1, "bus", "bus.grant")
+        recorder.record(2, "bus", "bus.request")
+        assert [event.kind for event in recorder.events] == ["bus.grant"]
+
+    def test_disabled_recorder_drops_silently(self):
+        recorder = TimelineRecorder(capacity=5)
+        recorder.enabled = False
+        recorder.record(1, "bus", "bus.grant")
+        assert len(recorder) == 0
+        assert recorder.dropped == 0
+
+    def test_clear_resets_ring_and_drop_count(self):
+        recorder = TimelineRecorder(capacity=2)
+        for cycle in range(5):
+            recorder.record(cycle, "bus", "bus.grant")
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.dropped == 0
+
+
+class TestChromeTrace:
+    def test_span_events_become_complete_slices(self):
+        events = [
+            TraceEvent(10, "bus", "bus.grant", {"master": 1, "duration": 5}),
+            TraceEvent(20, "core0", "core.stretch", {"items": 3, "cycles": 7}),
+            TraceEvent(40, "kernel", "kernel.jump", {"cycles": 12}),
+        ]
+        document = chrome_trace(events)
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert [span["name"] for span in spans] == [
+            "bus.grant", "core.stretch", "kernel.jump",
+        ]
+        assert spans[0]["ts"] == 10 and spans[0]["dur"] == 5
+        assert spans[1]["dur"] == 7
+
+    def test_bus_grants_get_per_master_tracks(self):
+        events = [
+            TraceEvent(10, "bus", "bus.grant", {"master": 0, "duration": 5}),
+            TraceEvent(20, "bus", "bus.grant", {"master": 1, "duration": 5}),
+        ]
+        document = chrome_trace(events)
+        names = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert {"bus/master0", "bus/master1"} <= names
+
+    def test_cba_balances_become_counter_tracks(self):
+        events = [TraceEvent(5, "cba", "cba.drain", {"master": 0, "balances": [3, 9]})]
+        document = chrome_trace(events)
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["name"] == "cba.budgets"
+        assert counters[0]["args"] == {"core0": 3, "core1": 9}
+
+    def test_other_events_become_instants(self):
+        document = chrome_trace([TraceEvent(5, "bus", "bus.request", {"master": 2})])
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["args"] == {"master": 2}
+
+    def test_payloads_are_forced_to_plain_json_types(self):
+        document = chrome_trace(
+            [TraceEvent(1, "bus", "bus.request", {"pending": (1, 2), "who": object()})]
+        )
+        json.dumps(document)  # must not raise
+
+
+class TestContentionRecording:
+    """Acceptance: a 4-core contention run yields a valid Chrome trace with
+    spans for at least three component types."""
+
+    def run_system(self, config, workload, obs, max_cycles=60_000):
+        system = MulticoreSystem(config, seed=7, obs=obs)
+        system.add_task(0, workload)
+        for core in range(1, 4):
+            system.add_greedy_contender(core)
+        system.run(max_cycles=max_cycles)
+        return system
+
+    def test_contention_trace_has_spans_for_three_component_types(
+        self, tmp_path, rp_platform, tiny_workload
+    ):
+        obs = ObservabilityConfig(timeline=True)
+        system = self.run_system(rp_platform, tiny_workload, obs)
+        target = write_chrome_trace(system.kernel.trace.events, tmp_path / "t.json")
+
+        document = json.loads(target.read_text())
+        assert isinstance(document["traceEvents"], list)
+        span_kinds = {e["name"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert {"bus.grant", "core.stretch", "kernel.jump"} <= span_kinds
+
+    def test_cba_run_traces_credit_dynamics(self, cba_platform, tiny_workload):
+        obs = ObservabilityConfig(timeline=True)
+        system = self.run_system(cba_platform, tiny_workload, obs)
+        kinds = {event.kind for event in system.kernel.trace.events}
+        assert "cba.drain" in kinds
+        assert "cba.refill" in kinds
+
+    def test_ring_mode_bounds_the_recording(self, rp_platform, tiny_workload):
+        obs = ObservabilityConfig(timeline=True, timeline_capacity=50)
+        system = self.run_system(rp_platform, tiny_workload, obs)
+        trace = system.kernel.trace
+        assert len(trace.events) == 50
+        assert trace.dropped > 0

@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.stats import Counter, Histogram, RunningStats, StatGroup
+from repro.sim.stats import Counter, Gauge, Histogram, RunningStats, StatGroup
 
 
 class TestCounter:
@@ -31,6 +31,29 @@ class TestCounter:
         counter = Counter("c", value=9)
         counter.reset()
         assert counter.value == 0
+
+    def test_merge_adds_counts(self):
+        left = Counter("c", value=3)
+        left.merge(Counter("c", value=4))
+        assert left.value == 7
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.add(-2.0)
+        assert gauge.value == 3.0
+
+    def test_merge_is_last_writer_wins(self):
+        left = Gauge("g", value=5.0)
+        left.merge(Gauge("g", value=1.5))
+        assert left.value == 1.5
+
+    def test_reset(self):
+        gauge = Gauge("g", value=4.0)
+        gauge.reset()
+        assert gauge.value == 0.0
 
 
 class TestRunningStats:
@@ -60,6 +83,44 @@ class TestRunningStats:
         stats = RunningStats("s")
         stats.add(1.0)
         assert set(stats.as_dict()) == {"count", "mean", "stddev", "min", "max", "total"}
+
+    def test_merge_into_empty_adopts_other(self):
+        left = RunningStats("s")
+        right = RunningStats("s")
+        right.extend([1.0, 2.0, 3.0])
+        left.merge(right)
+        assert left.count == 3
+        assert left.mean == pytest.approx(2.0)
+        assert left.minimum == 1.0
+        assert left.maximum == 3.0
+
+    def test_merge_empty_other_is_a_no_op(self):
+        left = RunningStats("s")
+        left.extend([1.0, 2.0])
+        left.merge(RunningStats("s"))
+        assert left.count == 2
+        assert left.mean == pytest.approx(1.5)
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=0, max_size=30),
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=0, max_size=30),
+    )
+    def test_merge_matches_single_stream(self, left_values, right_values):
+        """Chan's merge must equal one stream that saw both sample sets."""
+        merged = RunningStats("s")
+        merged.extend(left_values)
+        other = RunningStats("s")
+        other.extend(right_values)
+        merged.merge(other)
+
+        sequential = RunningStats("s")
+        sequential.extend(left_values + right_values)
+        assert merged.count == sequential.count
+        assert merged.total == pytest.approx(sequential.total, rel=1e-9, abs=1e-6)
+        assert merged.mean == pytest.approx(sequential.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(sequential.variance, rel=1e-6, abs=1e-4)
+        assert merged.minimum == sequential.minimum
+        assert merged.maximum == sequential.maximum
 
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
     def test_matches_batch_computation(self, values):
@@ -110,6 +171,56 @@ class TestHistogram:
     def test_empty_histogram_percentile_is_zero(self):
         assert Histogram("h").percentile(0.9) == 0
 
+    def test_bucket_edges(self):
+        """Values landing exactly on existing bins fold into them; adjacent
+        integers stay distinct buckets."""
+        hist = Histogram("h")
+        hist.add(9)
+        hist.add(10)
+        hist.add(10)
+        hist.add(11)
+        assert hist.items() == [(9, 1), (10, 2), (11, 1)]
+        assert hist.frequency(10) == 2
+        # percentile(0) needs at least the first bucket's smallest value.
+        assert hist.percentile(0.0) == 9
+        assert hist.percentile(1.0) == 11
+
+    def test_float_values_truncate_to_integer_bins(self):
+        hist = Histogram("h")
+        hist.add(3.9)
+        assert hist.frequency(3) == 1
+        assert hist.frequency(4) == 0
+
+    def test_merge_folds_bins_and_counts(self):
+        left = Histogram("h")
+        left.add(1, weight=2)
+        left.add(5)
+        right = Histogram("h")
+        right.add(1)
+        right.add(9, weight=3)
+        left.merge(right)
+        assert left.items() == [(1, 3), (5, 1), (9, 3)]
+        assert left.count == 7
+        assert left.minimum == 1
+        assert left.maximum == 9
+
+    def test_merge_leaves_other_untouched(self):
+        left = Histogram("h")
+        right = Histogram("h")
+        right.add(4)
+        left.merge(right)
+        left.add(4)
+        assert right.count == 1
+        assert right.frequency(4) == 1
+
+    def test_as_dict_snapshot_is_independent(self):
+        hist = Histogram("h")
+        hist.add(2)
+        snapshot = hist.as_dict()
+        hist.add(100, weight=5)
+        assert snapshot["count"] == 1
+        assert snapshot["max"] == 2
+
 
 class TestStatGroup:
     def test_lazily_creates_members(self):
@@ -138,3 +249,43 @@ class TestStatGroup:
         assert group.counter("events").value == 0
         assert group.sample("latency").count == 0
         assert group.histogram("sizes").count == 0
+
+    def test_merge_folds_every_member_kind(self):
+        left = StatGroup("g")
+        left.counter("events").increment(2)
+        left.sample("latency").add(1.0)
+        left.histogram("sizes").add(3)
+        right = StatGroup("g")
+        right.counter("events").increment(5)
+        right.sample("latency").add(3.0)
+        right.histogram("sizes").add(3, weight=2)
+        left.merge(right)
+        assert left.counter("events").value == 7
+        assert left.sample("latency").count == 2
+        assert left.sample("latency").mean == pytest.approx(2.0)
+        assert left.histogram("sizes").frequency(3) == 3
+
+    def test_merge_creates_missing_members_by_name(self):
+        left = StatGroup("g")
+        right = StatGroup("g")
+        right.counter("only_right").increment(4)
+        right.sample("only_right_s").add(2.0)
+        right.histogram("only_right_h").add(1)
+        left.merge(right)
+        assert left.counter("only_right").value == 4
+        assert left.sample("only_right_s").count == 1
+        assert left.histogram("only_right_h").count == 1
+
+    def test_as_dict_snapshot_is_independent(self):
+        """Mutating the group after as_dict must not change the snapshot."""
+        group = StatGroup("g")
+        group.counter("events").increment(2)
+        group.sample("latency").add(3.0)
+        group.histogram("sizes").add(2)
+        snapshot = group.as_dict()
+        group.counter("events").increment(10)
+        group.sample("latency").add(99.0)
+        group.histogram("sizes").add(50)
+        assert snapshot["events"] == 2
+        assert snapshot["latency"]["count"] == 1
+        assert snapshot["sizes"]["count"] == 1

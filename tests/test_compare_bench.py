@@ -150,6 +150,26 @@ def test_pre_event_queue_baseline_schema_still_compares(tmp_path):
     assert result.returncode == 0, result.stdout + result.stderr
 
 
+def test_dropped_tracked_scenario_is_logged(tmp_path):
+    """A tracked scenario present in the baseline but missing from the fresh
+    report shrinks the gate's coverage; the diff must say so explicitly."""
+    baseline = kernel_report()
+    baseline["scenarios"]["low_contention/isolation/tdma"] = dict(
+        baseline["scenarios"]["low_contention/isolation/round_robin"]
+    )
+    result = run_gate(tmp_path, kernel_report(), baseline)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "DROPPED from comparison" in result.stdout
+    assert "low_contention/isolation/tdma" in result.stdout
+
+
+def test_untracked_scenarios_are_listed_as_excluded(tmp_path):
+    result = run_gate(tmp_path, kernel_report())
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "excluded from wall-clock gating" in result.stdout
+    assert "contention/round_robin" in result.stdout
+
+
 def test_campaign_bit_identity_failure_fails(tmp_path):
     result = run_gate(
         tmp_path, kernel_report(), campaign_current=campaign_report(bit_identical=False)
