@@ -12,7 +12,11 @@ executes such campaigns at scale:
 * :mod:`~repro.campaign.store` — a JSON-lines :class:`ArtifactStore` keyed by
   job ID, enabling resumable campaigns and cross-experiment reuse;
 * :mod:`~repro.campaign.campaign` — the :class:`Campaign` orchestrator;
-* :mod:`~repro.campaign.progress` — throttled progress/ETA reporting.
+* :mod:`~repro.campaign.progress` — throttled progress/ETA reporting;
+* :mod:`~repro.campaign.resilience` — retry policies with seeded backoff,
+  structured :class:`JobFailure` records and poison-job quarantine;
+* :mod:`~repro.campaign.faults` — deterministic fault injection
+  (:class:`FaultPlan`) and the ``repro campaign chaos`` harness.
 
 Typical use::
 
@@ -29,6 +33,7 @@ Typical use::
 
 from .campaign import AggregatedRuns, Campaign, CampaignReport, aggregate_by_label
 from .executor import Executor, ParallelExecutor, SerialExecutor, create_executor
+from .faults import ChaosReport, FaultInjectedError, FaultPlan, run_chaos
 from .jobs import (
     CampaignJob,
     JobResult,
@@ -39,6 +44,7 @@ from .jobs import (
     seed_block_jobs,
 )
 from .progress import NullProgress, ProgressReporter
+from .resilience import JobFailure, ResilienceSummary, RetryPolicy
 from .store import ArtifactStore
 
 __all__ = [
@@ -47,17 +53,24 @@ __all__ = [
     "Campaign",
     "CampaignJob",
     "CampaignReport",
+    "ChaosReport",
     "Executor",
+    "FaultInjectedError",
+    "FaultPlan",
+    "JobFailure",
     "JobResult",
     "NullProgress",
     "ParallelExecutor",
     "ProgressReporter",
+    "ResilienceSummary",
+    "RetryPolicy",
     "RunOutcome",
     "SerialExecutor",
     "aggregate_by_label",
     "create_executor",
     "register_scenario",
     "resolve_scenario",
+    "run_chaos",
     "run_job",
     "seed_block_jobs",
 ]

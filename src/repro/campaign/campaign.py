@@ -13,9 +13,10 @@ shapes with :func:`aggregate_by_label`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -26,25 +27,56 @@ from ..sim.errors import ConfigurationError
 from .executor import Executor, SerialExecutor
 from .jobs import CampaignJob, JobResult
 from .progress import NullProgress
+from .resilience import JobFailure, ResilienceSummary, RetryPolicy
 from .store import ArtifactStore
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from .faults import FaultPlan
 
 __all__ = ["AggregatedRuns", "Campaign", "CampaignReport", "aggregate_by_label"]
 
 
 @dataclass(frozen=True)
 class CampaignReport:
-    """Accounting for one :meth:`Campaign.run` call."""
+    """Accounting for one :meth:`Campaign.run` call.
+
+    The resilience fields summarise what the executor survived: retried
+    attempts, worker crashes absorbed by pool rebuilds, hung-job timeouts,
+    whether dispatch degraded to serial execution, the poison jobs that were
+    quarantined after exhausting their attempts, and store lines the loader
+    moved to the quarantine sidecar.
+    """
 
     total_jobs: int
     executed_jobs: int
     reused_jobs: int
     deduplicated_jobs: int
     truncated_runs: int
+    retries: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    timeouts: int = 0
+    degraded: bool = False
+    failures: tuple[JobFailure, ...] = field(default=())
+    quarantined_store_lines: int = 0
 
     @property
     def all_reused(self) -> bool:
         """True when the store satisfied the whole campaign (full resume)."""
         return self.total_jobs > 0 and self.executed_jobs == 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no fault-tolerance machinery had to engage."""
+        return not (
+            self.retries
+            or self.worker_crashes
+            or self.pool_rebuilds
+            or self.timeouts
+            or self.degraded
+            or self.failures
+            or self.quarantined_store_lines
+        )
 
 
 @dataclass(frozen=True)
@@ -85,6 +117,9 @@ class Campaign:
         progress: NullProgress | None = None,
         profiler: CampaignProfiler | None = None,
         metrics_path: str | Path | None = None,
+        retry_policy: RetryPolicy | None = None,
+        job_timeout: float | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if resume and store is None:
             raise ConfigurationError("resuming requires an artifact store")
@@ -97,6 +132,15 @@ class Campaign:
         self.profiler = profiler
         if profiler is not None:
             self.executor.profiler = profiler
+        # Resilience knobs are attached to the executor (which owns dispatch);
+        # passing them here merely saves callers from configuring both.
+        if retry_policy is not None:
+            self.executor.retry_policy = retry_policy
+        if job_timeout is not None:
+            self.executor.job_timeout = job_timeout
+        if fault_plan is not None:
+            self.executor.fault_plan = fault_plan
+        self.executor.reporter = self.progress
         #: When set, a labelled metrics registry built from every job result
         #: is exported here after each :meth:`run` (.prom/.txt for Prometheus
         #: text, anything else JSONL).
@@ -129,33 +173,52 @@ class Campaign:
         self.progress.start(total=len(unique), skipped=len(results))
         if profiler is not None:
             profiler.start(jobs=len(pending), workers=self.executor.workers)
-        for result in self.executor.execute(pending):
-            if self.store is not None:
-                if profiler is not None:
-                    with profiler.phase("store"):
+        # Hold the advisory store lock for the whole campaign so a second
+        # campaign pointed at the same store fails fast instead of
+        # interleaving appends with this one.
+        store_lock = self.store.locked() if self.store is not None else nullcontext()
+        with store_lock:
+            for result in self.executor.execute(pending):
+                if self.store is not None:
+                    if profiler is not None:
+                        with profiler.phase("store"):
+                            self.store.put(result)
+                    else:
                         self.store.put(result)
-                else:
-                    self.store.put(result)
-            results[result.job_id] = result
-            self.progress.advance(label=result.label)
+                results[result.job_id] = result
+                self.progress.advance(label=result.label)
         if profiler is not None:
             profiler.finish()
             self.progress.report_profile(profiler)
         self.progress.finish()
-        if self.metrics_path is not None:
-            write_metrics(self._metrics_registry(results), self.metrics_path)
 
+        resilience = self.executor.last_resilience or ResilienceSummary()
         self.last_report = CampaignReport(
             total_jobs=len(unique),
             executed_jobs=len(pending),
             reused_jobs=len(unique) - len(pending),
             deduplicated_jobs=len(jobs) - len(unique),
             truncated_runs=sum(r.truncated_runs for r in results.values()),
+            retries=resilience.retries,
+            worker_crashes=resilience.worker_crashes,
+            pool_rebuilds=resilience.pool_rebuilds,
+            timeouts=resilience.timeouts,
+            degraded=resilience.degraded,
+            failures=tuple(resilience.failures),
+            quarantined_store_lines=(
+                self.store.quarantined_lines if self.store is not None else 0
+            ),
         )
+        if self.metrics_path is not None:
+            write_metrics(
+                self._metrics_registry(results, self.last_report), self.metrics_path
+            )
         return results
 
     @staticmethod
-    def _metrics_registry(results: Mapping[str, JobResult]) -> MetricsRegistry:
+    def _metrics_registry(
+        results: Mapping[str, JobResult], report: "CampaignReport | None" = None
+    ) -> MetricsRegistry:
         """Fold every job result into a labelled campaign-level registry.
 
         Job counters, run samples and every per-run side-metric (including
@@ -179,6 +242,20 @@ class Campaign:
             for run_metrics in result.metrics:
                 for name, value in run_metrics.items():
                     registry.sample(f"campaign.{name}", **labels).add(value)
+        if report is not None:
+            registry.counter("campaign.retries").increment(report.retries)
+            registry.counter("campaign.worker_crashes").increment(
+                report.worker_crashes
+            )
+            registry.counter("campaign.pool_rebuilds").increment(report.pool_rebuilds)
+            registry.counter("campaign.job_timeouts").increment(report.timeouts)
+            registry.counter("campaign.degradations").increment(int(report.degraded))
+            registry.counter("campaign.quarantined_jobs").increment(
+                len(report.failures)
+            )
+            registry.counter("campaign.quarantined_store_lines").increment(
+                report.quarantined_store_lines
+            )
         return registry
 
 

@@ -10,19 +10,47 @@ stream is derived from ``(seed, run_index)`` inside :func:`run_job`), so the
 backends are interchangeable — :class:`ParallelExecutor` produces samples
 bit-identical to :class:`SerialExecutor`, merely out of order.  Orchestration
 code must therefore key results by :attr:`job_id`, never by arrival order.
+
+Resilience contract: job purity also makes *re*-execution free of side
+effects, which is what lets :class:`ParallelExecutor` survive worker death.
+A :class:`~concurrent.futures.process.BrokenProcessPool` is absorbed by
+rebuilding the pool and resubmitting the lost in-flight jobs; repeated pool
+failures degrade execution to the in-process serial path; a configured
+:class:`~repro.campaign.resilience.RetryPolicy` retries transient job
+exceptions with seeded backoff and quarantines poison jobs after their
+attempt budget; a per-job wall-clock budget (``job_timeout``) kills hung
+workers.  With none of those configured the dispatch loop is exactly the
+pre-resilience one: plain ``run_job`` submissions, a blocking
+``FIRST_COMPLETED`` wait, failures propagated on first sight (after
+cancelling the other in-flight futures so an aborting campaign never blocks
+on unrelated running jobs).
 """
 
 from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from time import perf_counter
-from typing import Iterator, Sequence
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from time import monotonic, perf_counter, sleep
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from ..obs.profiler import CampaignProfiler
 from ..sim.errors import ConfigurationError
 from .jobs import CampaignJob, JobResult, run_job
+from .resilience import (
+    DEFAULT_MAX_POOL_REBUILDS,
+    JobFailure,
+    JobTimeoutError,
+    ResilienceSummary,
+    RetryPolicy,
+    execute_with_retries,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from .faults import FaultPlan
+    from .progress import NullProgress
 
 __all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "create_executor"]
 
@@ -45,6 +73,17 @@ class Executor(ABC):
     #: (:class:`~repro.campaign.campaign.Campaign`).  ``None`` keeps the
     #: execute loops exactly as shipped.
     profiler: CampaignProfiler | None = None
+    #: Optional retry policy; ``None`` keeps the fail-fast seed behaviour.
+    retry_policy: RetryPolicy | None = None
+    #: Optional per-job wall-clock budget in seconds (parallel backend only).
+    job_timeout: float | None = None
+    #: Optional fault-injection plan — chaos testing only, never production.
+    fault_plan: "FaultPlan | None" = None
+    #: Optional progress reporter for retry/degrade lines (attached by the
+    #: orchestrator; duck-typed to :class:`~repro.campaign.progress.NullProgress`).
+    reporter: "NullProgress | None" = None
+    #: Resilience accounting of the most recent :meth:`execute` call.
+    last_resilience: ResilienceSummary | None = None
 
     @abstractmethod
     def execute(self, jobs: Sequence[CampaignJob]) -> Iterator[JobResult]:
@@ -56,20 +95,46 @@ class SerialExecutor(Executor):
 
     workers = 1
 
+    def __init__(
+        self,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+
     def execute(self, jobs: Sequence[CampaignJob]) -> Iterator[JobResult]:
         profiler = self.profiler
-        if profiler is None:
+        summary = ResilienceSummary()
+        self.last_resilience = summary
+        if profiler is None and self.retry_policy is None and self.fault_plan is None:
+            # The seed hot path, byte-for-byte: nothing but run_job calls.
             for job in jobs:
                 yield run_job(job)
             return
         for job in jobs:
             started = perf_counter()
-            result = run_job(job)
-            profiler.add("simulate", perf_counter() - started)
-            yield result
+            result = execute_with_retries(
+                job, self.retry_policy, self.fault_plan, summary, self.reporter
+            )
+            if profiler is not None:
+                profiler.add("simulate", perf_counter() - started)
+            if result is not None:
+                yield result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SerialExecutor()"
+
+
+class _InFlight:
+    """Bookkeeping for one submitted future."""
+
+    __slots__ = ("job", "attempt", "deadline")
+
+    def __init__(self, job: CampaignJob, attempt: int, deadline: float | None) -> None:
+        self.job = job
+        self.attempt = attempt
+        self.deadline = deadline
 
 
 class ParallelExecutor(Executor):
@@ -79,97 +144,431 @@ class ParallelExecutor(Executor):
     the right unit.  ``max_in_flight`` bounds the number of submitted-but-
     unfinished futures so million-job campaigns do not materialise their whole
     frontier in memory at once.
+
+    The dispatch loop survives worker death (pool rebuild + resubmission of
+    the lost jobs), hung jobs (``job_timeout`` kills the pool's workers and
+    requeues), and transient job failures (``retry_policy``); after
+    ``max_pool_rebuilds`` consecutive pool failures it degrades to running
+    the remaining jobs serially in-process.  Because jobs are pure, none of
+    this changes a single sample — only whether they arrive.
     """
 
-    def __init__(self, max_workers: int, max_in_flight: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int,
+        max_in_flight: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        job_timeout: float | None = None,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
         if max_workers <= 0:
             raise ConfigurationError("max_workers must be positive")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ConfigurationError("job_timeout must be positive")
         self.workers = max_workers
         self.max_in_flight = max_in_flight or max(4 * max_workers, 16)
+        self.retry_policy = retry_policy
+        self.job_timeout = job_timeout
+        self.fault_plan = fault_plan
+        #: Futures cancelled while unwinding the most recent execute() call.
+        self.last_cancelled = 0
 
+    # ------------------------------------------------------------------
     def execute(self, jobs: Sequence[CampaignJob]) -> Iterator[JobResult]:
+        self.last_resilience = ResilienceSummary()
         if not jobs:
             return
-        if self.profiler is not None:
-            yield from self._execute_profiled(jobs, self.profiler)
-            return
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            queue = iter(jobs)
-            in_flight = set()
-            for job in queue:
-                in_flight.add(pool.submit(run_job, job))
-                if len(in_flight) >= self.max_in_flight:
-                    break
-            while in_flight:
-                done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
-                for future in done:
-                    yield future.result()
-                for job in queue:
-                    in_flight.add(pool.submit(run_job, job))
-                    if len(in_flight) >= self.max_in_flight:
-                        break
+        yield from self._execute_core(list(jobs), self.last_resilience)
 
-    def _execute_profiled(
-        self, jobs: Sequence[CampaignJob], profiler: CampaignProfiler
-    ) -> Iterator[JobResult]:
-        """The same dispatch loop with each pool phase timed.
+    # ------------------------------------------------------------------
+    # Submission helpers
+    # ------------------------------------------------------------------
+    def _submit(self, pool: ProcessPoolExecutor, job: CampaignJob, attempt: int):
+        """Submit one job attempt — plain ``run_job`` unless chaos is on."""
+        if self.fault_plan is None:
+            return pool.submit(run_job, job)
+        from .faults import run_job_with_faults
 
-        Identical scheduling to :meth:`execute` (same submissions, same
-        FIRST_COMPLETED draining, same bound on in-flight futures) — the
-        profiled loop only adds warmup submits (no-ops) and timestamps, so
-        results stay bit-identical to the unprofiled path.
+        return pool.submit(run_job_with_faults, job, attempt, self.fault_plan)
+
+    def _deadline(self) -> float | None:
+        return None if self.job_timeout is None else monotonic() + self.job_timeout
+
+    def _crash_next_attempt(self, job: CampaignJob, attempt: int) -> int:
+        """The attempt a job lost to a pool break should resubmit as.
+
+        A broken pool does not say *which* job killed the worker, so without
+        further information every lost job is conservatively charged an
+        attempt (purity makes the resubmission bit-identical either way).
+        Under an injected fault plan the culprit is known exactly, so
+        innocent bystanders keep their attempt number — which keeps the
+        plan's per-attempt fault schedule (and the chaos accounting built on
+        it) deterministic regardless of dispatch timing.
         """
-        started = perf_counter()
-        pool = ProcessPoolExecutor(max_workers=self.workers)
-        try:
-            wait({pool.submit(_warm_worker) for _ in range(self.workers)})
-            profiler.add("spawn", perf_counter() - started, count=self.workers)
-            queue = iter(jobs)
-            in_flight: set = set()
+        if self.fault_plan is None:
+            return attempt + 1
+        from .faults import CRASH
 
-            def refill() -> None:
-                submitted = 0
-                submit_started = perf_counter()
-                for job in queue:
-                    in_flight.add(pool.submit(run_job, job))
+        if self.fault_plan.decide(job.job_id, attempt) == CRASH:
+            return attempt + 1
+        return attempt
+
+    def _max_pool_rebuilds(self) -> int:
+        if self.retry_policy is not None:
+            return self.retry_policy.max_pool_rebuilds
+        return DEFAULT_MAX_POOL_REBUILDS
+
+    @staticmethod
+    def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a (broken or hung) pool down without waiting on its workers."""
+        processes = dict(getattr(pool, "_processes", None) or {})
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes.values():  # kill hung workers outright
+            try:
+                process.terminate()
+            except (OSError, ValueError):  # pragma: no cover - already dead
+                pass
+
+    # ------------------------------------------------------------------
+    # The resilient dispatch loop
+    # ------------------------------------------------------------------
+    def _execute_core(
+        self, jobs: list[CampaignJob], summary: ResilienceSummary
+    ) -> Iterator[JobResult]:
+        profiler = self.profiler
+        policy = self.retry_policy
+        reporter = self.reporter
+        self.last_cancelled = 0
+
+        #: (job, attempt) waiting to be submitted.
+        pending: deque[tuple[CampaignJob, int]] = deque((job, 1) for job in jobs)
+        #: (ready_at, job, attempt) parked for a backoff delay.
+        delayed: list[tuple[float, CampaignJob, int]] = []
+        in_flight: dict[Future, _InFlight] = {}
+        consecutive_pool_failures = 0
+
+        spawn_started = perf_counter()
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        if profiler is not None:
+            wait({pool.submit(_warm_worker) for _ in range(self.workers)})
+            profiler.add("spawn", perf_counter() - spawn_started, count=self.workers)
+
+        def refill() -> bool:
+            """Top the pool up to ``max_in_flight``; True if the pool broke."""
+            now = monotonic() if delayed else 0.0
+            if delayed:
+                matured = [entry for entry in delayed if entry[0] <= now]
+                for entry in matured:
+                    delayed.remove(entry)
+                    pending.append((entry[1], entry[2]))
+            submitted = 0
+            submit_started = perf_counter() if profiler is not None else 0.0
+            try:
+                while pending and len(in_flight) < self.max_in_flight:
+                    job, attempt = pending.popleft()
+                    future = self._submit(pool, job, attempt)
+                    in_flight[future] = _InFlight(job, attempt, self._deadline())
                     submitted += 1
-                    if len(in_flight) >= self.max_in_flight:
-                        break
-                if submitted:
+            except BrokenProcessPool:
+                pending.appendleft((job, attempt))  # the submit that failed
+                return True
+            finally:
+                if profiler is not None and submitted:
                     profiler.add(
                         "pickle", perf_counter() - submit_started, count=submitted
                     )
+            return False
 
-            refill()
-            while in_flight:
-                wait_started = perf_counter()
-                done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
-                profiler.add("simulate", perf_counter() - wait_started)
+        def requeue_lost(next_attempt: bool) -> None:
+            """Move every in-flight job back to pending (pool is gone)."""
+            for entry in in_flight.values():
+                attempt = (
+                    self._crash_next_attempt(entry.job, entry.attempt)
+                    if next_attempt
+                    else entry.attempt
+                )
+                if (
+                    attempt > entry.attempt
+                    and policy is not None
+                    and not policy.should_retry(entry.attempt)
+                ):
+                    failure = JobFailure(
+                        job_id=entry.job.job_id,
+                        label=entry.job.label,
+                        scenario=entry.job.scenario,
+                        attempt=entry.attempt,
+                        kind="worker_crash",
+                        message="worker process died repeatedly",
+                        fatal=True,
+                    )
+                    summary.record_quarantine(failure)
+                    if reporter is not None:
+                        reporter.quarantine(entry.job.label, entry.attempt, failure.kind)
+                    continue
+                pending.append((entry.job, attempt))
+            in_flight.clear()
+
+        def rebuild_pool() -> ProcessPoolExecutor:
+            summary.pool_rebuilds += 1
+            if profiler is None:
+                return ProcessPoolExecutor(max_workers=self.workers)
+            started = perf_counter()
+            fresh = ProcessPoolExecutor(max_workers=self.workers)
+            wait({fresh.submit(_warm_worker) for _ in range(self.workers)})
+            profiler.add("spawn", perf_counter() - started, count=self.workers)
+            return fresh
+
+        def poll_timeout() -> float | None:
+            """How long the wait may block: next deadline or backoff expiry."""
+            bounds = []
+            if self.job_timeout is not None and in_flight:
+                bounds.append(min(e.deadline for e in in_flight.values() if e.deadline))
+            if delayed:
+                bounds.append(min(entry[0] for entry in delayed))
+            if not bounds:
+                return None
+            return max(0.0, min(bounds) - monotonic())
+
+        try:
+            while pending or delayed or in_flight:
+                if summary.degraded:
+                    # Serial endgame: the pool cannot be trusted any more.
+                    while pending or delayed:
+                        if not pending:
+                            ready_at = min(entry[0] for entry in delayed)
+                            sleep(max(0.0, ready_at - monotonic()))
+                            refill_now = monotonic()
+                            for entry in list(delayed):
+                                if entry[0] <= refill_now:
+                                    delayed.remove(entry)
+                                    pending.append((entry[1], entry[2]))
+                            continue
+                        job, attempt = pending.popleft()
+                        started = perf_counter() if profiler is not None else 0.0
+                        result = execute_with_retries(
+                            job,
+                            policy,
+                            self.fault_plan,
+                            summary,
+                            reporter,
+                            first_attempt=attempt,
+                        )
+                        if profiler is not None:
+                            profiler.add("simulate", perf_counter() - started)
+                        if result is not None:
+                            yield result
+                    return
+
+                if refill():  # submission hit a broken pool
+                    summary.worker_crashes += 1
+                    consecutive_pool_failures += 1
+                    self._abandon_pool(pool)
+                    requeue_lost(next_attempt=True)
+                    if consecutive_pool_failures > self._max_pool_rebuilds():
+                        summary.degraded = True
+                        if reporter is not None:
+                            reporter.degrade(consecutive_pool_failures)
+                        continue
+                    pool = rebuild_pool()
+                    continue
+
+                if not in_flight:
+                    if delayed and not pending:
+                        # Everything is parked on a backoff delay: sleep it off
+                        # instead of spinning on refill().
+                        ready_at = min(entry[0] for entry in delayed)
+                        sleep(max(0.0, ready_at - monotonic()))
+                        continue
+                    if pending:
+                        continue
+                    break
+
+                wait_started = perf_counter() if profiler is not None else 0.0
+                done, _ = wait(
+                    tuple(in_flight), timeout=poll_timeout(), return_when=FIRST_COMPLETED
+                )
+                if profiler is not None:
+                    profiler.add("simulate", perf_counter() - wait_started)
+
+                if not done:
+                    # The wait timed out: sweep expired per-job deadlines.
+                    now = monotonic()
+                    expired = [
+                        future
+                        for future, entry in in_flight.items()
+                        if entry.deadline is not None and entry.deadline <= now
+                    ]
+                    if not expired:
+                        continue  # woke up for a backoff expiry, not a hang
+                    self._abandon_pool(pool)
+                    for future in expired:
+                        entry = in_flight.pop(future)
+                        summary.timeouts += 1
+                        failure = JobFailure(
+                            job_id=entry.job.job_id,
+                            label=entry.job.label,
+                            scenario=entry.job.scenario,
+                            attempt=entry.attempt,
+                            kind="timeout",
+                            message=(
+                                f"job exceeded its {self.job_timeout:.3g}s budget"
+                            ),
+                            fatal=policy is None or not policy.should_retry(entry.attempt),
+                        )
+                        if failure.fatal:
+                            summary.record_quarantine(failure)
+                            if reporter is not None:
+                                reporter.quarantine(
+                                    entry.job.label, entry.attempt, "timeout"
+                                )
+                            if policy is None:
+                                raise JobTimeoutError(failure.message)
+                        else:
+                            summary.record_retry(failure)
+                            if reporter is not None:
+                                reporter.retry(
+                                    entry.job.label,
+                                    entry.attempt + 1,
+                                    policy.max_attempts,
+                                    "timeout",
+                                    0.0,
+                                )
+                            pending.append((entry.job, entry.attempt + 1))
+                    requeue_lost(next_attempt=False)  # innocent bystanders
+                    pool = rebuild_pool()
+                    continue
+
+                pool_broken = False
                 for future in done:
-                    result_started = perf_counter()
-                    result = future.result()
-                    profiler.add("aggregate", perf_counter() - result_started)
-                    yield result
-                refill()
+                    entry = in_flight.pop(future)
+                    result_started = perf_counter() if profiler is not None else 0.0
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        self._note_crash(entry, pending, summary)
+                    except Exception as exc:
+                        consecutive_pool_failures = 0
+                        self._note_exception(entry, exc, pending, delayed, summary)
+                    else:
+                        consecutive_pool_failures = 0
+                        if profiler is not None:
+                            profiler.add("aggregate", perf_counter() - result_started)
+                        yield result
+
+                if pool_broken:
+                    summary.worker_crashes += 1
+                    consecutive_pool_failures += 1
+                    self._abandon_pool(pool)
+                    requeue_lost(next_attempt=True)
+                    if consecutive_pool_failures > self._max_pool_rebuilds():
+                        summary.degraded = True
+                        if reporter is not None:
+                            reporter.degrade(consecutive_pool_failures)
+                        continue
+                    pool = rebuild_pool()
         finally:
-            shutdown_started = perf_counter()
-            pool.shutdown(wait=True)
-            profiler.add("spawn", perf_counter() - shutdown_started, count=0)
+            self.last_cancelled = sum(1 for future in in_flight if future.cancel())
+            shutdown_started = perf_counter() if profiler is not None else 0.0
+            pool.shutdown(wait=True, cancel_futures=True)
+            if profiler is not None:
+                profiler.add("spawn", perf_counter() - shutdown_started, count=0)
+
+    # ------------------------------------------------------------------
+    def _note_crash(
+        self,
+        entry: _InFlight,
+        pending: deque,
+        summary: ResilienceSummary,
+    ) -> None:
+        """One future died with the pool; requeue (or quarantine) its job."""
+        policy = self.retry_policy
+        attempt = self._crash_next_attempt(entry.job, entry.attempt)
+        if (
+            attempt > entry.attempt
+            and policy is not None
+            and not policy.should_retry(entry.attempt)
+        ):
+            failure = JobFailure(
+                job_id=entry.job.job_id,
+                label=entry.job.label,
+                scenario=entry.job.scenario,
+                attempt=entry.attempt,
+                kind="worker_crash",
+                message="worker process died repeatedly",
+                fatal=True,
+            )
+            summary.record_quarantine(failure)
+            if self.reporter is not None:
+                self.reporter.quarantine(entry.job.label, entry.attempt, "worker_crash")
+            return
+        pending.append((entry.job, attempt))
+
+    def _note_exception(
+        self,
+        entry: _InFlight,
+        exc: Exception,
+        pending: deque,
+        delayed: list,
+        summary: ResilienceSummary,
+    ) -> None:
+        """A job raised in its worker: retry with backoff, quarantine or abort."""
+        policy = self.retry_policy
+        fatal = policy is None or not policy.should_retry(entry.attempt)
+        failure = JobFailure(
+            job_id=entry.job.job_id,
+            label=entry.job.label,
+            scenario=entry.job.scenario,
+            attempt=entry.attempt,
+            kind="exception",
+            message=f"{type(exc).__name__}: {exc}",
+            fatal=fatal,
+        )
+        if fatal:
+            summary.record_quarantine(failure)
+            if self.reporter is not None:
+                self.reporter.quarantine(entry.job.label, entry.attempt, "exception")
+            if policy is None:
+                # Pre-resilience contract: the first failure aborts the
+                # campaign (the finally block cancels the other futures).
+                raise exc
+            return
+        summary.record_retry(failure)
+        delay = policy.delay(entry.job.job_id, entry.attempt)
+        if self.reporter is not None:
+            self.reporter.retry(
+                entry.job.label, entry.attempt + 1, policy.max_attempts, "exception", delay
+            )
+        if delay:
+            delayed.append((monotonic() + delay, entry.job, entry.attempt + 1))
+        else:
+            pending.append((entry.job, entry.attempt + 1))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ParallelExecutor(max_workers={self.workers})"
 
 
-def create_executor(jobs: int | None = None) -> Executor:
+def create_executor(
+    jobs: int | None = None,
+    retry_policy: RetryPolicy | None = None,
+    job_timeout: float | None = None,
+) -> Executor:
     """Build the executor for a ``--jobs N`` request.
 
     ``jobs=1`` (or ``None``) is serial; ``jobs=0`` means "one worker per
-    CPU"; anything above 1 is a process pool of that size.
+    CPU"; anything above 1 is a process pool of that size.  ``retry_policy``
+    and ``job_timeout`` carry the ``--retries`` / ``--job-timeout`` flags.
     """
     if jobs is None or jobs == 1:
-        return SerialExecutor()
+        return SerialExecutor(retry_policy=retry_policy)
     if jobs == 0:
-        return ParallelExecutor(max_workers=os.cpu_count() or 1)
+        return ParallelExecutor(
+            max_workers=os.cpu_count() or 1,
+            retry_policy=retry_policy,
+            job_timeout=job_timeout,
+        )
     if jobs < 0:
         raise ConfigurationError("--jobs cannot be negative")
-    return ParallelExecutor(max_workers=jobs)
+    return ParallelExecutor(
+        max_workers=jobs, retry_policy=retry_policy, job_timeout=job_timeout
+    )

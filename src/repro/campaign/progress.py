@@ -27,6 +27,17 @@ class NullProgress:
     def advance(self, label: str = "") -> None:
         """Record one completed job."""
 
+    def retry(
+        self, label: str, attempt: int, max_attempts: int, kind: str, delay: float
+    ) -> None:
+        """A job failed (``kind``) and will run attempt ``attempt`` after ``delay``."""
+
+    def quarantine(self, label: str, attempt: int, kind: str) -> None:
+        """A poison job exhausted its attempts and was quarantined."""
+
+    def degrade(self, pool_failures: int) -> None:
+        """The parallel executor fell back to serial in-process execution."""
+
     def report_profile(self, profiler: "CampaignProfiler") -> None:
         """Summarise a campaign phase profile (no-op)."""
 
@@ -79,6 +90,28 @@ class ProgressReporter(NullProgress):
             return
         self._last_report = now
         self._emit(self._format_line(now, label))
+
+    def retry(
+        self, label: str, attempt: int, max_attempts: int, kind: str, delay: float
+    ) -> None:
+        # Failures are rare and load-bearing: report them unthrottled.
+        backoff = f", backoff {delay:.2f}s" if delay else ""
+        self._emit(
+            f"[{self.prefix}] retry {label}: {kind}, "
+            f"attempt {attempt}/{max_attempts}{backoff}"
+        )
+
+    def quarantine(self, label: str, attempt: int, kind: str) -> None:
+        self._emit(
+            f"[{self.prefix}] quarantined {label} after "
+            f"{attempt} attempt{'s' if attempt != 1 else ''} ({kind})"
+        )
+
+    def degrade(self, pool_failures: int) -> None:
+        self._emit(
+            f"[{self.prefix}] degraded to serial execution after "
+            f"{pool_failures} consecutive worker-pool failures"
+        )
 
     def report_profile(self, profiler: "CampaignProfiler") -> None:
         phases = ", ".join(

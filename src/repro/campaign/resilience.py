@@ -1,0 +1,252 @@
+"""Resilience primitives for campaign execution.
+
+Campaigns fan thousands of pure jobs across worker processes; at that scale
+worker death, transient exceptions and hung jobs are events to absorb, not
+reasons to abort.  This module holds the pieces the executors share:
+
+* :class:`RetryPolicy` — how many attempts a job gets, with *seeded*
+  exponential backoff + jitter (every delay is a pure function of
+  ``(seed, job_id, attempt)``, so reruns of a campaign schedule identically);
+* :class:`JobFailure` — a structured record of one failed attempt (or of a
+  poison job's final quarantine), serialisable for reports and metrics;
+* :class:`ResilienceSummary` — the per-:meth:`Executor.execute` accumulator
+  the orchestrator folds into :class:`~repro.campaign.campaign.CampaignReport`;
+* :func:`execute_with_retries` — the in-process retry driver used by
+  :class:`~repro.campaign.executor.SerialExecutor` and by the parallel
+  executor once it has degraded to serial execution.
+
+Job purity (every random stream derives from ``(seed, run_index)``) is what
+makes all of this safe: a retried or resubmitted job produces bit-identical
+samples, so resilience never perturbs results — it only decides whether they
+arrive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..sim.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from .faults import FaultPlan
+    from .jobs import CampaignJob, JobResult
+
+__all__ = [
+    "JobFailure",
+    "JobTimeoutError",
+    "ResilienceSummary",
+    "RetryPolicy",
+    "derived_unit",
+    "execute_with_retries",
+]
+
+#: Pool rebuilds tolerated before degrading to serial when no policy is set.
+DEFAULT_MAX_POOL_REBUILDS = 3
+
+
+class JobTimeoutError(SimulationError):
+    """Raised when a job exceeds its wall-clock budget and cannot be retried."""
+
+
+def derived_unit(seed: int, *parts: object) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` from ``seed`` and ``parts``.
+
+    Used for backoff jitter and fault-plan decisions so that resilience
+    behaviour is a pure function of configuration — never of wall-clock,
+    worker identity or arrival order.
+    """
+    digest = hashlib.blake2b(
+        ":".join([str(seed), *map(str, parts)]).encode("utf-8"), digest_size=8
+    ).digest()
+    (word,) = struct.unpack("<Q", digest)
+    return word / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failing jobs are retried, backed off, and finally quarantined.
+
+    ``max_attempts`` counts *total* attempts (1 = the pre-resilience
+    fail-fast behaviour).  After the last attempt the job is quarantined as
+    poison: a :class:`JobFailure` is recorded and the campaign carries on
+    without its samples instead of aborting everyone else's.
+    """
+
+    max_attempts: int = 3
+    #: First retry waits ``base_delay`` seconds; each further retry doubles it.
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    #: Fraction of the delay randomised away (0 = fully deterministic delay).
+    jitter: float = 0.5
+    #: Seeds the jitter draws; independent of the jobs' simulation seeds.
+    seed: int = 0
+    #: Consecutive process-pool failures tolerated before the parallel
+    #: executor degrades to in-process serial execution.
+    max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("backoff delays cannot be negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be within [0, 1]")
+        if self.max_pool_rebuilds < 0:
+            raise ConfigurationError("max_pool_rebuilds cannot be negative")
+
+    def should_retry(self, attempt: int) -> bool:
+        """True when attempt number ``attempt`` (1-based) may be followed."""
+        return attempt < self.max_attempts
+
+    def delay(self, job_id: str, attempt: int) -> float:
+        """Backoff before the retry that follows attempt ``attempt``.
+
+        Exponential in the attempt number, capped at :attr:`max_delay`, with
+        a seeded jitter *reduction* (the jittered delay never exceeds the
+        deterministic cap, so worst-case campaign latency stays bounded).
+        """
+        capped = min(self.base_delay * 2 ** (attempt - 1), self.max_delay)
+        if not capped or not self.jitter:
+            return capped
+        return capped * (1.0 - self.jitter * derived_unit(self.seed, job_id, attempt))
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One failed attempt (or final quarantine) of a campaign job."""
+
+    job_id: str
+    label: str
+    scenario: str
+    attempt: int
+    #: ``"exception"`` | ``"timeout"`` | ``"worker_crash"``.
+    kind: str
+    message: str = ""
+    #: True when the failure exhausted the retry budget (poison quarantine).
+    fatal: bool = False
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "job_id": self.job_id,
+            "label": self.label,
+            "scenario": self.scenario,
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "message": self.message,
+            "fatal": self.fatal,
+        }
+
+
+@dataclass
+class ResilienceSummary:
+    """What one ``execute()`` call survived (mutable accumulator)."""
+
+    retries: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    timeouts: int = 0
+    degraded: bool = False
+    #: Every non-fatal failure that was retried, in observation order.
+    events: list[JobFailure] = field(default_factory=list)
+    #: Poison jobs quarantined after exhausting their attempts.
+    failures: list[JobFailure] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing failed, crashed, timed out or degraded."""
+        return not (
+            self.retries
+            or self.worker_crashes
+            or self.pool_rebuilds
+            or self.timeouts
+            or self.degraded
+            or self.events
+            or self.failures
+        )
+
+    def record_retry(self, failure: JobFailure) -> None:
+        self.retries += 1
+        self.events.append(failure)
+
+    def record_quarantine(self, failure: JobFailure) -> None:
+        self.failures.append(failure)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "retries": self.retries,
+            "worker_crashes": self.worker_crashes,
+            "pool_rebuilds": self.pool_rebuilds,
+            "timeouts": self.timeouts,
+            "degraded": self.degraded,
+            "events": [event.to_dict() for event in self.events],
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+
+def _failure_from(
+    job: "CampaignJob", attempt: int, exc: BaseException, fatal: bool
+) -> JobFailure:
+    from .faults import FaultInjectedCrash  # local: avoid import cycle at load
+
+    kind = "worker_crash" if isinstance(exc, FaultInjectedCrash) else "exception"
+    return JobFailure(
+        job_id=job.job_id,
+        label=job.label,
+        scenario=job.scenario,
+        attempt=attempt,
+        kind=kind,
+        message=f"{type(exc).__name__}: {exc}",
+        fatal=fatal,
+    )
+
+
+def execute_with_retries(
+    job: "CampaignJob",
+    policy: RetryPolicy | None,
+    plan: "FaultPlan | None",
+    summary: ResilienceSummary,
+    reporter=None,
+    first_attempt: int = 1,
+    sleep: Callable[[float], None] = time.sleep,
+) -> "JobResult | None":
+    """Run ``job`` in-process with the retry/quarantine protocol.
+
+    Returns the result, or ``None`` when the job was quarantined as poison.
+    Without a policy the first failure propagates — exactly the
+    pre-resilience contract.  ``plan`` routes execution through the
+    fault-injection wrapper (with in-process crash semantics: an injected
+    worker crash becomes an exception here, since there is no worker to kill).
+    """
+    from .faults import run_job_with_faults
+    from .jobs import run_job
+
+    attempt = first_attempt
+    while True:
+        try:
+            if plan is None:
+                return run_job(job)
+            return run_job_with_faults(job, attempt, plan, in_process=True)
+        except Exception as exc:
+            if policy is None:
+                summary.record_quarantine(_failure_from(job, attempt, exc, fatal=True))
+                raise
+            if not policy.should_retry(attempt):
+                failure = _failure_from(job, attempt, exc, fatal=True)
+                summary.record_quarantine(failure)
+                if reporter is not None:
+                    reporter.quarantine(job.label, attempt, failure.kind)
+                return None
+            failure = _failure_from(job, attempt, exc, fatal=False)
+            summary.record_retry(failure)
+            delay = policy.delay(job.job_id, attempt)
+            if reporter is not None:
+                reporter.retry(
+                    job.label, attempt + 1, policy.max_attempts, failure.kind, delay
+                )
+            if delay:
+                sleep(delay)
+            attempt += 1

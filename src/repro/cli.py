@@ -15,6 +15,7 @@ Command                   Regenerates
 ``policy-sweep``          CBA over different base arbitration policies
 ``list-workloads``        the modelled EEMBC-like and synthetic workloads
 ``obs``                   observability: record/inspect traces, profiles, metrics
+``campaign``              campaign engine utilities (``chaos`` fault harness)
 ========================  =====================================================
 
 Every command accepts ``--runs`` and ``--scale`` where applicable so the
@@ -34,7 +35,18 @@ Every experiment command also accepts the campaign-engine flags:
 * ``--profile PATH`` — write a per-phase campaign wall-clock profile
   (spawn/pickle/simulate/aggregate/store) as JSON to PATH;
 * ``--metrics PATH`` — export a labelled metrics registry built from every
-  job result to PATH (JSONL, or Prometheus text for ``.prom``/``.txt``).
+  job result to PATH (JSONL, or Prometheus text for ``.prom``/``.txt``);
+* ``--retries N`` — retry failing jobs up to N extra times (seeded
+  exponential backoff; poison jobs are quarantined after the budget);
+* ``--job-timeout SECONDS`` — kill and retry jobs that hang past the budget
+  (parallel execution only);
+* ``--strict-store`` — fail hard on any corrupt store line instead of
+  quarantining it into the ``.quarantine`` sidecar.
+
+``repro campaign chaos`` runs the deterministic fault-injection harness: a
+scenario grid executed once cleanly and once under injected worker crashes,
+transient failures and store corruption, with the recovered samples checked
+bit-for-bit against the clean run.
 """
 
 from __future__ import annotations
@@ -47,10 +59,11 @@ from .analysis.reporting import format_key_values, format_table
 from .campaign.campaign import Campaign
 from .campaign.executor import create_executor
 from .campaign.progress import NullProgress, ProgressReporter
+from .campaign.resilience import RetryPolicy
 from .campaign.store import ArtifactStore
 from .obs.profiler import CampaignProfiler
 from .core.bounds import ContentionScenario
-from .sim.errors import SimulationError
+from .sim.errors import ConfigurationError, SimulationError
 from .experiments.base_policy_sweep import run_base_policy_sweep
 from .experiments.figure1 import run_figure1
 from .experiments.hcba_sweep import run_hcba_sweep
@@ -92,12 +105,28 @@ def _campaign_flags() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="PATH",
         help="export campaign metrics to PATH (JSONL; .prom/.txt = Prometheus)",
     )
+    group.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts for failing jobs (default: 0 = fail fast)",
+    )
+    group.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget; hung jobs are killed and retried",
+    )
+    group.add_argument(
+        "--strict-store", action="store_true",
+        help="fail on corrupt store lines instead of quarantining them",
+    )
     return parent
 
 
 def campaign_from_args(args: argparse.Namespace) -> Campaign:
     """Build the campaign engine a command was asked to run on."""
-    store = ArtifactStore(args.store) if args.store else None
+    store = (
+        ArtifactStore(args.store, strict=getattr(args, "strict_store", False))
+        if args.store
+        else None
+    )
     progress = (
         NullProgress()
         if args.quiet
@@ -105,8 +134,15 @@ def campaign_from_args(args: argparse.Namespace) -> Campaign:
     )
     profile_path = getattr(args, "profile", None)
     profiler = CampaignProfiler(output_path=profile_path) if profile_path else None
+    retries = getattr(args, "retries", 0)
+    if retries < 0:
+        raise ConfigurationError("--retries cannot be negative")
+    retry_policy = RetryPolicy(max_attempts=retries + 1) if retries else None
+    job_timeout = getattr(args, "job_timeout", None)
     return Campaign(
-        executor=create_executor(args.jobs),
+        executor=create_executor(
+            args.jobs, retry_policy=retry_policy, job_timeout=job_timeout
+        ),
         store=store,
         resume=args.resume,
         progress=progress,
@@ -213,6 +249,39 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="render an exported metrics file (JSONL or Prometheus text)"
     )
     metrics.add_argument("path", help="metrics.jsonl / metrics.prom")
+
+    campaign = sub.add_parser(
+        "campaign", help="campaign engine utilities (chaos fault harness)"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    chaos = campaign_sub.add_parser(
+        "chaos",
+        help="run the deterministic fault-injection harness on a scenario grid",
+    )
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="pool workers for the faulty campaign (default: 2)")
+    chaos.add_argument("--runs", type=int, default=4,
+                       help="runs per grid label (default: 4)")
+    chaos.add_argument("--seed", type=int, default=2017,
+                       help="simulation seed for the scenario grid")
+    chaos.add_argument("--fault-seed", type=int, default=2017,
+                       help="seed deriving which jobs crash/fail/hang")
+    chaos.add_argument("--crashes", type=int, default=1,
+                       help="worker crashes to inject (default: 1)")
+    chaos.add_argument("--failures", type=int, default=1,
+                       help="transient job failures to inject (default: 1)")
+    chaos.add_argument("--hangs", type=int, default=0,
+                       help="job hangs to inject (needs --job-timeout)")
+    chaos.add_argument("--corrupt-lines", type=int, default=1,
+                       help="store lines to corrupt (default: 1)")
+    chaos.add_argument("--retries", type=int, default=2,
+                       help="extra attempts per job (default: 2)")
+    chaos.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds")
+    chaos.add_argument("--store", default=None, metavar="PATH",
+                       help="store path (default: a temporary file)")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="suppress chaos progress output on stderr")
 
     return parser
 
@@ -403,6 +472,28 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    # Only the chaos harness lives here for now; the subparser enforces it.
+    from .campaign.faults import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        runs_per_label=args.runs,
+        workers=args.workers,
+        crashes=args.crashes,
+        failures=args.failures,
+        hangs=args.hangs,
+        corrupt_lines=args.corrupt_lines,
+        retries=args.retries,
+        job_timeout=args.job_timeout,
+        store_path=args.store,
+        quiet=args.quiet,
+    )
+    print(format_key_values(report.summary(), title="campaign chaos harness"))
+    return 0 if report.passed else 1
+
+
 _COMMANDS = {
     "illustrative": _cmd_illustrative,
     "table1": _cmd_table1,
@@ -413,6 +504,7 @@ _COMMANDS = {
     "policy-sweep": _cmd_policy_sweep,
     "list-workloads": _cmd_list_workloads,
     "obs": _cmd_obs,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -122,6 +122,95 @@ def test_experiments_fail_loudly_when_runs_truncate():
         )
 
 
+def test_killed_campaign_with_torn_tail_resumes_only_missing_jobs(
+    tiny_workload, tmp_path
+):
+    """A campaign killed mid-append leaves a truncated trailing line; the
+    resumed campaign silently drops it and re-runs only the missing jobs."""
+    path = tmp_path / "store.jsonl"
+    jobs = _jobs(tiny_workload, num_runs=4)
+    Campaign(store=ArtifactStore(path)).run(jobs[:2])
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"job_id": "torn", "samples": [12')  # the kill point
+
+    executor = CountingExecutor()
+    campaign = Campaign(executor=executor, store=ArtifactStore(path), resume=True)
+    results = campaign.run(jobs)
+
+    assert executor.executed == [job.job_id for job in jobs[2:]]
+    assert campaign.last_report.reused_jobs == 2
+    # A torn tail is expected crash damage, not corruption to quarantine.
+    assert campaign.last_report.quarantined_store_lines == 0
+    assert set(results) == {job.job_id for job in jobs}
+
+
+def test_report_carries_resilience_accounting(tiny_workload, tmp_path):
+    from repro.campaign.executor import ParallelExecutor
+    from repro.campaign.faults import FaultPlan
+    from repro.campaign.resilience import RetryPolicy
+
+    jobs = _jobs(tiny_workload)
+    plan = FaultPlan(fail_jobs=frozenset({jobs[0].job_id}))
+    campaign = Campaign(
+        executor=ParallelExecutor(max_workers=2),
+        store=ArtifactStore(tmp_path / "store.jsonl"),
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+        fault_plan=plan,
+    )
+    results = campaign.run(jobs)
+    report = campaign.last_report
+    assert set(results) == {job.job_id for job in jobs}
+    assert report.retries == 1
+    assert not report.clean
+    assert report.failures == ()
+
+
+def test_resilience_counters_reach_the_metrics_registry(tiny_workload):
+    from repro.campaign.campaign import CampaignReport
+
+    jobs = _jobs(tiny_workload, num_runs=1)
+    results = Campaign().run(jobs)
+    report = CampaignReport(
+        total_jobs=1, executed_jobs=1, reused_jobs=0, deduplicated_jobs=0,
+        truncated_runs=0, retries=3, worker_crashes=1, pool_rebuilds=1,
+        timeouts=2, degraded=True, quarantined_store_lines=4,
+    )
+    registry = Campaign._metrics_registry(results, report)
+    series = {
+        row["name"]: row["value"]
+        for row in registry.snapshot()
+        if row["type"] == "counter" and not row["labels"]
+    }
+    assert series["campaign.retries"] == 3
+    assert series["campaign.worker_crashes"] == 1
+    assert series["campaign.job_timeouts"] == 2
+    assert series["campaign.degradations"] == 1
+    assert series["campaign.quarantined_store_lines"] == 4
+
+
+def test_store_lock_is_held_for_the_whole_run(tiny_workload, tmp_path):
+    """A second campaign pointed at a running campaign's store fails fast
+    instead of interleaving appends."""
+    path = tmp_path / "store.jsonl"
+    observed: list[bool] = []
+
+    class ProbingExecutor(CountingExecutor):
+        def execute(self, jobs):
+            intruder = ArtifactStore(path)
+            try:
+                intruder.acquire_lock()
+            except ConfigurationError:
+                observed.append(True)
+            else:  # pragma: no cover - the lock must be held
+                intruder.release_lock()
+                observed.append(False)
+            yield from super().execute(jobs)
+
+    campaign = Campaign(executor=ProbingExecutor(), store=ArtifactStore(path))
+    campaign.run(_jobs(tiny_workload, num_runs=1))
+    assert observed == [True]
+
+
 def test_figure1_resumes_from_a_prior_campaign_store(tiny_workload, tmp_path):
     """The acceptance-criterion flow, at API level: a second figure1 run
     against the same store re-runs nothing and reproduces the same table."""

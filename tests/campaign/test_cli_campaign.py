@@ -73,3 +73,44 @@ def test_resume_without_store_is_a_usage_error(capsys):
         main([*FIGURE1_ARGS, "--resume"])
     assert excinfo.value.code == 2
     assert "--resume requires --store" in capsys.readouterr().err
+
+
+def test_retries_flag_changes_no_output_on_a_clean_run(capsys):
+    assert main([*FIGURE1_ARGS, "--jobs", "2"]) == 0
+    plain_out = capsys.readouterr().out
+    assert main([*FIGURE1_ARGS, "--jobs", "2", "--retries", "2",
+                 "--job-timeout", "120"]) == 0
+    assert capsys.readouterr().out == plain_out
+
+
+def test_negative_retries_is_a_user_error(capsys):
+    assert main([*FIGURE1_ARGS, "--retries", "-1"]) == 2
+    assert "--retries cannot be negative" in capsys.readouterr().err
+
+
+def test_strict_store_flag_turns_corruption_into_an_error(tmp_path, capsys):
+    store = tmp_path / "figure1.jsonl"
+    args = [*FIGURE1_ARGS, "--store", str(store)]
+    assert main(args) == 0
+    capsys.readouterr()
+    lines = store.read_text().splitlines()
+    lines.insert(0, "not json at all")
+    store.write_text("\n".join(lines) + "\n")
+
+    # Default: the corrupt line quarantines and the campaign resumes fine.
+    assert main([*args, "--resume"]) == 0
+    capsys.readouterr()
+    # Strict: the same store is now a hard error.
+    assert main([*args, "--resume", "--strict-store"]) == 2
+    assert "corrupt record" in capsys.readouterr().err
+
+
+def test_campaign_chaos_command_passes_and_reports(tmp_path, capsys):
+    assert main([
+        "campaign", "chaos", "--runs", "2", "--workers", "2",
+        "--seed", "2017", "--fault-seed", "2017",
+        "--store", str(tmp_path / "chaos.jsonl"), "--quiet",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "campaign chaos harness" in out
+    assert "verdict" in out and "PASS" in out

@@ -1,4 +1,4 @@
-"""Execution backends: serial/parallel interchangeability."""
+"""Execution backends: serial/parallel interchangeability and resilience."""
 
 from __future__ import annotations
 
@@ -9,7 +9,9 @@ from repro.campaign.executor import (
     SerialExecutor,
     create_executor,
 )
+from repro.campaign.faults import FaultInjectedError, FaultPlan
 from repro.campaign.jobs import seed_block_jobs
+from repro.campaign.resilience import JobTimeoutError, RetryPolicy
 from repro.platform.presets import cba_config, rp_config
 from repro.sim.errors import ConfigurationError
 
@@ -63,3 +65,134 @@ def test_create_executor_rejects_negative_counts():
         create_executor(-2)
     with pytest.raises(ConfigurationError):
         ParallelExecutor(max_workers=0)
+    with pytest.raises(ConfigurationError):
+        ParallelExecutor(max_workers=2, job_timeout=0.0)
+
+
+def test_create_executor_threads_resilience_flags_through():
+    policy = RetryPolicy(max_attempts=4)
+    executor = create_executor(2, retry_policy=policy, job_timeout=5.0)
+    assert executor.retry_policy is policy
+    assert executor.job_timeout == 5.0
+    serial = create_executor(1, retry_policy=policy)
+    assert serial.retry_policy is policy
+
+
+# ----------------------------------------------------------------------
+# Resilience: crashes, retries, timeouts, degradation
+# ----------------------------------------------------------------------
+def test_worker_crash_is_survived_bit_identically(tiny_workload):
+    """One injected worker death: the pool is rebuilt, the lost jobs are
+    resubmitted, and no sample changes."""
+    jobs = _jobs(tiny_workload)
+    serial = {r.job_id: r.samples for r in SerialExecutor().execute(jobs)}
+    plan = FaultPlan.for_jobs(jobs, seed=3, crashes=1, failures=0, corrupt_lines=0)
+    executor = ParallelExecutor(
+        max_workers=2,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+        fault_plan=plan,
+    )
+    results = {r.job_id: r.samples for r in executor.execute(jobs)}
+    assert results == serial
+    summary = executor.last_resilience
+    assert summary.worker_crashes >= 1
+    assert summary.pool_rebuilds >= 1
+    assert not summary.failures and not summary.degraded
+
+
+def test_transient_exception_is_retried_with_policy(tiny_workload):
+    jobs = _jobs(tiny_workload)
+    plan = FaultPlan.for_jobs(jobs, seed=3, crashes=0, failures=1, corrupt_lines=0)
+    executor = ParallelExecutor(
+        max_workers=2,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+        fault_plan=plan,
+    )
+    results = list(executor.execute(jobs))
+    assert {r.job_id for r in results} == {j.job_id for j in jobs}
+    summary = executor.last_resilience
+    assert summary.retries == 1
+    assert summary.events[0].kind == "exception"
+
+
+def test_exception_without_policy_aborts_and_cancels_in_flight(tiny_workload):
+    """Satellite: the pre-resilience fail-fast contract now also cancels the
+    other in-flight futures so an aborting campaign never waits on them."""
+    jobs = _jobs(tiny_workload)
+    # Fail the first-submitted job so plenty of futures are still queued.
+    plan = FaultPlan(fail_jobs=frozenset({jobs[0].job_id}))
+    executor = ParallelExecutor(max_workers=1, fault_plan=plan)
+    with pytest.raises(FaultInjectedError):
+        list(executor.execute(jobs))
+    assert executor.last_cancelled >= 1
+    assert executor.last_resilience.failures[0].fatal
+
+
+def test_poison_crash_job_is_quarantined_not_fatal(tiny_workload):
+    """A job that kills its worker on every attempt costs its own samples,
+    not the campaign."""
+    jobs = _jobs(tiny_workload)
+    poison = jobs[0].job_id
+    plan = FaultPlan(crash_jobs=frozenset({poison}), max_faulty_attempts=99)
+    executor = ParallelExecutor(
+        max_workers=2,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+        fault_plan=plan,
+    )
+    results = {r.job_id for r in executor.execute(jobs)}
+    assert results == {j.job_id for j in jobs} - {poison}
+    summary = executor.last_resilience
+    assert summary.failures
+    assert summary.failures[0].job_id == poison
+    assert summary.failures[0].kind == "worker_crash"
+    assert summary.failures[0].fatal
+
+
+def test_hung_job_is_killed_and_retried(tiny_workload):
+    jobs = _jobs(tiny_workload)
+    hung = jobs[0].job_id
+    plan = FaultPlan(hang_jobs=frozenset({hung}), hang_seconds=60.0)
+    executor = ParallelExecutor(
+        max_workers=2,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+        job_timeout=0.5,
+        fault_plan=plan,
+    )
+    results = {r.job_id for r in executor.execute(jobs)}
+    assert results == {j.job_id for j in jobs}  # the retry ran clean
+    summary = executor.last_resilience
+    assert summary.timeouts >= 1
+    assert summary.pool_rebuilds >= 1
+
+
+def test_hung_job_without_policy_raises_timeout_error(tiny_workload):
+    jobs = _jobs(tiny_workload)[:1]
+    plan = FaultPlan(
+        hang_jobs=frozenset({jobs[0].job_id}),
+        hang_seconds=60.0,
+        max_faulty_attempts=99,
+    )
+    executor = ParallelExecutor(max_workers=1, job_timeout=0.3, fault_plan=plan)
+    with pytest.raises(JobTimeoutError):
+        list(executor.execute(jobs))
+
+
+def test_repeated_pool_failures_degrade_to_serial(tiny_workload):
+    """When the pool cannot be kept alive, the endgame runs in-process — and
+    still recovers the job once its faulty attempts are spent."""
+    jobs = _jobs(tiny_workload)[:1]
+    serial = {r.job_id: r.samples for r in SerialExecutor().execute(jobs)}
+    plan = FaultPlan(crash_jobs=frozenset({jobs[0].job_id}), max_faulty_attempts=4)
+    executor = ParallelExecutor(
+        max_workers=1,
+        retry_policy=RetryPolicy(
+            max_attempts=10, base_delay=0.0, max_pool_rebuilds=1
+        ),
+        fault_plan=plan,
+    )
+    results = {r.job_id: r.samples for r in executor.execute(jobs)}
+    assert results == serial
+    summary = executor.last_resilience
+    assert summary.degraded
+    assert summary.worker_crashes >= 2
+    assert not summary.failures

@@ -1,0 +1,151 @@
+"""Deterministic fault plans and the chaos-only store subclass."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.faults import (
+    CRASH,
+    FAIL,
+    HANG,
+    ChaosStore,
+    FaultInjectedCrash,
+    FaultInjectedError,
+    FaultPlan,
+    run_job_with_faults,
+)
+from repro.campaign.jobs import run_job, seed_block_jobs
+from repro.campaign.store import ArtifactStore
+from repro.platform.presets import cba_config, rp_config
+from repro.sim.errors import ConfigurationError
+
+
+def _jobs(workload, num_runs=3):
+    jobs = []
+    for label, config in (("rp", rp_config()), ("cba", cba_config())):
+        jobs += seed_block_jobs(
+            label, "max_contention", seed=7, num_runs=num_runs,
+            workload=workload, config=config, max_cycles=300_000,
+        )
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+def test_plan_validates_rates_and_attempts():
+    with pytest.raises(ConfigurationError):
+        FaultPlan(crash_rate=0.6, fail_rate=0.6)
+    with pytest.raises(ConfigurationError):
+        FaultPlan(fail_rate=-0.1)
+    with pytest.raises(ConfigurationError):
+        FaultPlan(max_faulty_attempts=-1)
+
+
+def test_targeted_sets_decide_faults_deterministically():
+    plan = FaultPlan(
+        crash_jobs=frozenset({"a"}),
+        fail_jobs=frozenset({"b"}),
+        hang_jobs=frozenset({"c"}),
+    )
+    assert plan.decide("a", 1) == CRASH
+    assert plan.decide("b", 1) == FAIL
+    assert plan.decide("c", 1) == HANG
+    assert plan.decide("d", 1) is None
+
+
+def test_faults_stop_after_max_faulty_attempts():
+    plan = FaultPlan(crash_jobs=frozenset({"a"}), max_faulty_attempts=2)
+    assert plan.decide("a", 1) == CRASH
+    assert plan.decide("a", 2) == CRASH
+    assert plan.decide("a", 3) is None  # retries terminate
+
+
+def test_rate_based_faults_are_seed_deterministic():
+    plan = FaultPlan(seed=3, crash_rate=0.3, fail_rate=0.3, hang_rate=0.3)
+    decisions = [plan.decide(f"job-{i}", 1) for i in range(200)]
+    assert decisions == [plan.decide(f"job-{i}", 1) for i in range(200)]
+    counts = {kind: decisions.count(kind) for kind in (CRASH, FAIL, HANG, None)}
+    assert all(counts[kind] > 0 for kind in (CRASH, FAIL, HANG, None))
+
+
+def test_for_jobs_guarantees_disjoint_coverage(tiny_workload):
+    jobs = _jobs(tiny_workload)
+    plan = FaultPlan.for_jobs(jobs, seed=11, crashes=2, failures=2, hangs=1)
+    assert len(plan.crash_jobs) == 2
+    assert len(plan.fail_jobs) == 2
+    assert len(plan.hang_jobs) == 1
+    assert not (plan.crash_jobs & plan.fail_jobs & plan.hang_jobs)
+    targeted = plan.crash_jobs | plan.fail_jobs | plan.hang_jobs
+    assert targeted <= {job.job_id for job in jobs}
+    assert plan.planned_faults(jobs) == {CRASH: 2, FAIL: 2, HANG: 1}
+    # The selection is a pure function of the seed...
+    again = FaultPlan.for_jobs(jobs, seed=11, crashes=2, failures=2, hangs=1)
+    assert again.crash_jobs == plan.crash_jobs
+    # ...and a different seed targets (deterministically) different jobs.
+    other = FaultPlan.for_jobs(jobs, seed=12, crashes=2, failures=2, hangs=1)
+    assert other.crash_jobs != plan.crash_jobs
+
+
+def test_for_jobs_rejects_more_faults_than_jobs(tiny_workload):
+    jobs = _jobs(tiny_workload)
+    with pytest.raises(ConfigurationError, match="cannot target"):
+        FaultPlan.for_jobs(jobs, seed=1, crashes=len(jobs), failures=1)
+
+
+def test_corrupt_line_is_not_valid_json():
+    plan = FaultPlan(seed=5, corrupt_puts=frozenset({1}))
+    line = plan.corrupt_line(1)
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(line)
+    assert line == plan.corrupt_line(1)  # deterministic
+
+
+# ----------------------------------------------------------------------
+# run_job_with_faults
+# ----------------------------------------------------------------------
+def test_fail_action_raises_transient_error(tiny_workload):
+    job = _jobs(tiny_workload, num_runs=1)[0]
+    plan = FaultPlan(fail_jobs=frozenset({job.job_id}))
+    with pytest.raises(FaultInjectedError):
+        run_job_with_faults(job, 1, plan)
+
+
+def test_crash_action_in_process_raises_instead_of_exiting(tiny_workload):
+    job = _jobs(tiny_workload, num_runs=1)[0]
+    plan = FaultPlan(crash_jobs=frozenset({job.job_id}))
+    with pytest.raises(FaultInjectedCrash):
+        run_job_with_faults(job, 1, plan, in_process=True)
+
+
+def test_clean_attempts_produce_the_plain_run_job_result(tiny_workload):
+    job = _jobs(tiny_workload, num_runs=1)[0]
+    plan = FaultPlan(fail_jobs=frozenset({job.job_id}), max_faulty_attempts=1)
+    result = run_job_with_faults(job, 2, plan)  # past the faulty attempts
+    assert result.samples == run_job(job).samples
+
+
+# ----------------------------------------------------------------------
+# ChaosStore
+# ----------------------------------------------------------------------
+def test_chaos_store_injects_corruption_a_fresh_reader_quarantines(
+    tiny_workload, tmp_path
+):
+    job_a, job_b = _jobs(tiny_workload, num_runs=1)
+    plan = FaultPlan(seed=5, corrupt_puts=frozenset({1}))
+    store = ChaosStore(tmp_path / "chaos.jsonl", plan)
+    store.put(run_job(job_a))
+    store.put(run_job(job_b))
+    assert store.injected_corrupt_lines == 1
+
+    # The writing campaign's in-memory index is oblivious to the damage...
+    assert len(store) == 2
+    # ...a fresh reader quarantines the non-trailing corrupt line and keeps
+    # every real record.
+    fresh = ArtifactStore(store.path)
+    assert {r.job_id for r in fresh.results()} == {job_a.job_id, job_b.job_id}
+    assert fresh.quarantined_lines == 1
+    entry = json.loads(fresh.quarantine_path.read_text())
+    assert entry["line"].startswith('{"job_id": "injected-corruption-1"')

@@ -1,0 +1,192 @@
+"""Retry policies, failure records, and the in-process retry driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.faults import FaultInjectedCrash, FaultInjectedError, FaultPlan
+from repro.campaign.jobs import run_job, seed_block_jobs
+from repro.campaign.resilience import (
+    JobFailure,
+    ResilienceSummary,
+    RetryPolicy,
+    derived_unit,
+    execute_with_retries,
+)
+from repro.platform.presets import rp_config
+from repro.sim.errors import ConfigurationError
+
+
+def _job(workload):
+    (job,) = seed_block_jobs(
+        "tiny/RP", "max_contention", seed=7, num_runs=1,
+        workload=workload, config=rp_config(), max_cycles=300_000,
+    )
+    return job
+
+
+# ----------------------------------------------------------------------
+# derived_unit
+# ----------------------------------------------------------------------
+def test_derived_unit_is_deterministic_and_in_range():
+    draws = [derived_unit(7, "job", attempt) for attempt in range(50)]
+    assert draws == [derived_unit(7, "job", attempt) for attempt in range(50)]
+    assert all(0.0 <= draw < 1.0 for draw in draws)
+    assert len(set(draws)) == 50  # parts actually vary the draw
+
+
+def test_derived_unit_depends_on_the_seed():
+    assert derived_unit(1, "x") != derived_unit(2, "x")
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def test_retry_policy_validates_its_fields():
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(base_delay=-0.1)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_pool_rebuilds=-1)
+
+
+def test_should_retry_counts_total_attempts():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.should_retry(1)
+    assert policy.should_retry(2)
+    assert not policy.should_retry(3)
+
+
+def test_backoff_is_exponential_and_capped_without_jitter():
+    policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0, max_attempts=10)
+    delays = [policy.delay("job", attempt) for attempt in range(1, 6)]
+    assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_jittered_backoff_is_deterministic_and_never_exceeds_the_cap():
+    policy = RetryPolicy(base_delay=0.1, max_delay=2.0, jitter=0.5, seed=42)
+    first = [policy.delay("job", attempt) for attempt in range(1, 6)]
+    again = [policy.delay("job", attempt) for attempt in range(1, 6)]
+    assert first == again
+    for attempt, delay in enumerate(first, start=1):
+        cap = min(0.1 * 2 ** (attempt - 1), 2.0)
+        assert cap * 0.5 <= delay <= cap
+    # A different seed reschedules (deterministically) differently.
+    assert first != [
+        RetryPolicy(base_delay=0.1, jitter=0.5, seed=43).delay("job", a)
+        for a in range(1, 6)
+    ]
+
+
+# ----------------------------------------------------------------------
+# JobFailure / ResilienceSummary
+# ----------------------------------------------------------------------
+def test_job_failure_serialises_every_field():
+    failure = JobFailure(
+        job_id="abc", label="tiny/RP", scenario="max_contention",
+        attempt=2, kind="timeout", message="too slow", fatal=True,
+    )
+    assert failure.to_dict() == {
+        "job_id": "abc", "label": "tiny/RP", "scenario": "max_contention",
+        "attempt": 2, "kind": "timeout", "message": "too slow", "fatal": True,
+    }
+
+
+def test_resilience_summary_clean_flag_and_accounting():
+    summary = ResilienceSummary()
+    assert summary.clean
+    failure = JobFailure("a", "l", "s", 1, "exception")
+    summary.record_retry(failure)
+    assert summary.retries == 1 and summary.events == [failure]
+    summary.record_quarantine(failure)
+    assert summary.failures == [failure]
+    assert not summary.clean
+    as_dict = summary.as_dict()
+    assert as_dict["retries"] == 1
+    assert as_dict["events"] == [failure.to_dict()]
+
+
+# ----------------------------------------------------------------------
+# execute_with_retries
+# ----------------------------------------------------------------------
+def test_retry_driver_recovers_transient_failures_bit_identically(tiny_workload):
+    job = _job(tiny_workload)
+    plan = FaultPlan(fail_jobs=frozenset({job.job_id}))
+    summary = ResilienceSummary()
+    slept = []
+    result = execute_with_retries(
+        job, RetryPolicy(max_attempts=3, base_delay=0.01), plan, summary,
+        sleep=slept.append,
+    )
+    assert result is not None
+    assert result.samples == run_job(job).samples  # purity: retry changes nothing
+    assert summary.retries == 1 and not summary.failures
+    assert summary.events[0].kind == "exception"
+    assert slept and all(delay > 0 for delay in slept)
+
+
+def test_retry_driver_surfaces_injected_crashes_as_worker_crashes(tiny_workload):
+    job = _job(tiny_workload)
+    plan = FaultPlan(crash_jobs=frozenset({job.job_id}))
+    summary = ResilienceSummary()
+    result = execute_with_retries(
+        job, RetryPolicy(max_attempts=2, base_delay=0.0), plan, summary,
+        sleep=lambda _: None,
+    )
+    assert result is not None
+    assert summary.events[0].kind == "worker_crash"
+
+
+def test_retry_driver_without_policy_keeps_the_fail_fast_contract(tiny_workload):
+    job = _job(tiny_workload)
+    plan = FaultPlan(fail_jobs=frozenset({job.job_id}))
+    summary = ResilienceSummary()
+    with pytest.raises(FaultInjectedError):
+        execute_with_retries(job, None, plan, summary)
+    assert summary.failures and summary.failures[0].fatal
+
+
+def test_retry_driver_quarantines_poison_jobs(tiny_workload):
+    job = _job(tiny_workload)
+    # Faults on every attempt: the job is poison, not transient.
+    plan = FaultPlan(crash_jobs=frozenset({job.job_id}), max_faulty_attempts=99)
+    summary = ResilienceSummary()
+    result = execute_with_retries(
+        job, RetryPolicy(max_attempts=3, base_delay=0.0), plan, summary,
+        sleep=lambda _: None,
+    )
+    assert result is None
+    assert summary.retries == 2  # attempts 1 and 2 retried, 3rd quarantined
+    assert summary.failures[0].fatal
+    assert summary.failures[0].kind == "worker_crash"
+
+
+def test_retry_driver_reports_retry_and_quarantine_lines(tiny_workload):
+    class Recorder:
+        def __init__(self):
+            self.calls = []
+
+        def retry(self, label, attempt, max_attempts, kind, delay):
+            self.calls.append(("retry", label, attempt, kind))
+
+        def quarantine(self, label, attempt, kind):
+            self.calls.append(("quarantine", label, attempt, kind))
+
+    job = _job(tiny_workload)
+    plan = FaultPlan(fail_jobs=frozenset({job.job_id}), max_faulty_attempts=99)
+    reporter = Recorder()
+    execute_with_retries(
+        job, RetryPolicy(max_attempts=2, base_delay=0.0), plan,
+        ResilienceSummary(), reporter, sleep=lambda _: None,
+    )
+    assert reporter.calls == [
+        ("retry", job.label, 2, "exception"),
+        ("quarantine", job.label, 2, "exception"),
+    ]
+
+
+def test_fault_injected_crash_is_a_fault_injected_error():
+    assert issubclass(FaultInjectedCrash, FaultInjectedError)
