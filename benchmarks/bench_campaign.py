@@ -22,6 +22,7 @@ must stay fast), run directly or by the CI ``bench`` job::
 from __future__ import annotations
 
 import argparse
+import os
 import time
 from pathlib import Path
 
@@ -69,13 +70,14 @@ def build_jobs(runs_per_label: int, access_scale: float, seed: int) -> list:
     return jobs
 
 
-def time_campaign(jobs, executor) -> tuple[float, dict]:
+def time_campaign(jobs, executor) -> tuple[float, dict, dict]:
     campaign = Campaign(executor=executor)
     start = time.perf_counter()
     results = campaign.run(jobs)
     elapsed = time.perf_counter() - start
     aggregated = aggregate_by_label(jobs, results)
-    return elapsed, {label: agg.samples for label, agg in aggregated.items()}
+    stats = dict(getattr(executor, "last_batch_stats", {}) or {})
+    return elapsed, {label: agg.samples for label, agg in aggregated.items()}, stats
 
 
 def time_mbpta_post(samples: np.ndarray, block_size: int = 20) -> dict:
@@ -156,8 +158,10 @@ def main(argv: list[str] | None = None) -> int:
     jobs = build_jobs(args.runs, args.access_scale, seed=7)
     print(f"campaign grid: {len(GRID)} labels x {args.runs} runs = {len(jobs)} jobs")
 
-    serial_s, serial_samples = time_campaign(jobs, SerialExecutor())
-    pool_s, pool_samples = time_campaign(jobs, ParallelExecutor(max_workers=args.jobs))
+    serial_s, serial_samples, _ = time_campaign(jobs, SerialExecutor())
+    pool_s, pool_samples, batch_stats = time_campaign(
+        jobs, ParallelExecutor(max_workers=args.jobs)
+    )
 
     identical = set(serial_samples) == set(pool_samples) and all(
         np.array_equal(serial_samples[label], pool_samples[label])
@@ -169,6 +173,14 @@ def main(argv: list[str] | None = None) -> int:
         f"campaign wall time: serial {serial_s:6.2f}s  "
         f"pool({args.jobs}) {pool_s:6.2f}s  -> {serial_s / pool_s:4.2f}x"
     )
+    if batch_stats:
+        print(
+            f"batched dispatch: {batch_stats.get('batches', 0)} batches "
+            f"(mean {batch_stats.get('mean_chunk_jobs', 0)} jobs, "
+            f"max {batch_stats.get('max_chunk_jobs', 0)}), "
+            f"context cache {batch_stats.get('context_cache_hits', 0)} hits / "
+            f"{batch_stats.get('context_cache_misses', 0)} misses"
+        )
 
     # MBPTA post-processing of a 1,000-sample campaign.  The sample vector
     # stands in for a paper-scale (1,000 runs per configuration) campaign;
@@ -209,8 +221,10 @@ def main(argv: list[str] | None = None) -> int:
             "wall_s_serial": round(serial_s, 3),
             "wall_s_pool": round(pool_s, 3),
             "pool_workers": args.jobs,
+            "cpu_count": os.cpu_count(),
             "speedup_pool_vs_serial": round(serial_s / pool_s, 3),
             "bit_identical": True,
+            "batch_dispatch": batch_stats,
         },
         "mbpta_post_1000_samples": mbpta_1000,
         "mbpta_post_campaign_samples": mbpta_campaign,

@@ -45,6 +45,7 @@ __all__ = [
     "FaultInjectedError",
     "FaultPlan",
     "run_chaos",
+    "run_chaos_sweep",
     "run_job_with_faults",
 ]
 
@@ -369,7 +370,11 @@ def run_chaos(
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
         path = Path(store_path) if store_path is not None else Path(tmp) / "chaos.jsonl"
         store = ChaosStore(path, plan)
-        executor = ParallelExecutor(max_workers=workers)
+        # Pin two jobs per batch: singleton batches would reduce chaos to the
+        # per-job dispatch it already covered, whereas a fault inside a
+        # multi-job chunk exercises the partial-batch paths (completed prefix
+        # folded, untouched suffix requeued, culprit charged).
+        executor = ParallelExecutor(max_workers=workers, chunk_jobs=2)
         campaign = Campaign(
             executor=executor,
             store=store,
@@ -406,3 +411,23 @@ def run_chaos(
             campaign=report,
             labels=tuple(sorted(reference)),
         )
+
+
+def run_chaos_sweep(
+    count: int, *, fault_seed: int = 2017, **kwargs: object
+) -> list[tuple[int, ChaosReport]]:
+    """Run the chaos harness over ``count`` consecutive fault seeds.
+
+    Each sweep iteration reuses every other knob and derives its fault seed
+    as ``fault_seed + i``, so which jobs crash/fail/hang (and where the
+    corruption lands relative to batch boundaries) varies across iterations
+    while each one stays individually reproducible.  Returns the
+    ``(fault_seed, report)`` pairs in sweep order.
+    """
+    if count < 1:
+        raise ConfigurationError("a seed sweep needs at least one seed")
+    reports: list[tuple[int, ChaosReport]] = []
+    for offset in range(count):
+        swept = fault_seed + offset
+        reports.append((swept, run_chaos(fault_seed=swept, **kwargs)))  # type: ignore[arg-type]
+    return reports

@@ -147,9 +147,17 @@ class CampaignJob:
     def run_indices(self) -> range:
         return range(self.run_start, self.run_start + self.num_runs)
 
-    @property
+    @cached_property
     def job_id(self) -> str:
-        """Stable content hash over everything that determines the results."""
+        """Stable content hash over everything that determines the results.
+
+        Cached per instance (the frozen dataclass keeps a plain ``__dict__``,
+        so :func:`~functools.cached_property` works and the cached digest
+        travels with the pickle): dispatch, dedup, store keys and fault-plan
+        decisions all hash the same job many times, and the canonical-JSON
+        digest is not free.  ``with_updates`` builds a new instance, so a
+        modified job never inherits a stale hash.
+        """
         spec = {
             "scenario": self.scenario,
             "seed": self.seed,

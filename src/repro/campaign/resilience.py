@@ -42,6 +42,7 @@ __all__ = [
     "RetryPolicy",
     "derived_unit",
     "execute_with_retries",
+    "job_failure",
 ]
 
 #: Pool rebuilds tolerated before degrading to serial when no policy is set.
@@ -187,20 +188,39 @@ class ResilienceSummary:
         }
 
 
-def _failure_from(
-    job: "CampaignJob", attempt: int, exc: BaseException, fatal: bool
+def job_failure(
+    job: "CampaignJob",
+    attempt: int,
+    *,
+    kind: str,
+    message: str,
+    fatal: bool,
 ) -> JobFailure:
-    from .faults import FaultInjectedCrash  # local: avoid import cycle at load
+    """Build a :class:`JobFailure` for ``job`` — the one shared constructor.
 
-    kind = "worker_crash" if isinstance(exc, FaultInjectedCrash) else "exception"
+    The executors record failures from four distinct paths (exception,
+    timeout, pool break, quarantine); routing them all through here keeps the
+    job-identity fields in one place.
+    """
     return JobFailure(
         job_id=job.job_id,
         label=job.label,
         scenario=job.scenario,
         attempt=attempt,
         kind=kind,
-        message=f"{type(exc).__name__}: {exc}",
+        message=message,
         fatal=fatal,
+    )
+
+
+def _failure_from(
+    job: "CampaignJob", attempt: int, exc: BaseException, fatal: bool
+) -> JobFailure:
+    from .faults import FaultInjectedCrash  # local: avoid import cycle at load
+
+    kind = "worker_crash" if isinstance(exc, FaultInjectedCrash) else "exception"
+    return job_failure(
+        job, attempt, kind=kind, message=f"{type(exc).__name__}: {exc}", fatal=fatal
     )
 
 

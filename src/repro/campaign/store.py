@@ -91,6 +91,10 @@ class ArtifactStore:
         self._loaded = False
         self._lock_handle = None
         self._lock_count = 0
+        #: Append handle kept open across puts while an *outer* lock is held
+        #: (a campaign run), so streaming batch results pay one open() per
+        #: campaign instead of one per record.
+        self._append_handle = None
 
     @property
     def quarantine_path(self) -> Path:
@@ -131,12 +135,21 @@ class ArtifactStore:
         if self._lock_count == 0:
             return
         self._lock_count -= 1
-        if self._lock_count == 0 and self._lock_handle is not None:
+        if self._lock_count == 0:
+            self._close_append_handle()
+            if self._lock_handle is not None:
+                try:
+                    fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_UN)
+                finally:
+                    self._lock_handle.close()
+                    self._lock_handle = None
+
+    def _close_append_handle(self) -> None:
+        if self._append_handle is not None:
             try:
-                fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_UN)
+                self._append_handle.close()
             finally:
-                self._lock_handle.close()
-                self._lock_handle = None
+                self._append_handle = None
 
     @contextmanager
     def locked(self) -> Iterator["ArtifactStore"]:
@@ -282,17 +295,29 @@ class ArtifactStore:
         concurrent readers never observe a torn line and an interrupted
         campaign loses at most the job that was being written.  The append
         happens under the advisory store lock, and creating the store file
-        is followed by an fsync of the parent directory.
+        is followed by an fsync of the parent directory.  When the caller
+        already holds the lock across puts (a campaign run does, for its
+        whole duration), the append handle is kept open between records —
+        the per-record flush+fsync durability contract is unchanged, only
+        the open/close churn goes away.
         """
         self.load()
         line = self._record_line(result) + "\n"
         self.path.parent.mkdir(parents=True, exist_ok=True)
         created = not self.path.exists()
         with self.locked():
-            with self.path.open("a", encoding="utf-8") as handle:
+            handle = self._append_handle
+            if handle is None or handle.closed:
+                handle = self.path.open("a", encoding="utf-8")
+                if self._lock_count > 1:  # outer lock outlives this put
+                    self._append_handle = handle
+            try:
                 handle.write(line)
                 handle.flush()
                 os.fsync(handle.fileno())
+            finally:
+                if handle is not self._append_handle:
+                    handle.close()
             if created:
                 _fsync_dir(self.path.parent)
         self._index[result.job_id] = result
@@ -315,6 +340,9 @@ class ArtifactStore:
             dropped = total - len(index)
         tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
         with self.locked():
+            # A cached append handle points at the inode the rename below
+            # replaces; drop it so later puts reopen the fresh file.
+            self._close_append_handle()
             with tmp_path.open("w", encoding="utf-8") as handle:
                 for result in index.values():
                     handle.write(self._record_line(result) + "\n")

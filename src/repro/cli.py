@@ -33,7 +33,11 @@ Every experiment command also accepts the campaign-engine flags:
   related experiments);
 * ``--quiet`` — suppress the progress/ETA lines written to stderr;
 * ``--profile PATH`` — write a per-phase campaign wall-clock profile
-  (spawn/pickle/simulate/aggregate/store) as JSON to PATH;
+  (spawn/dispatch/simulate/result/store, plus batch/cache counters) as JSON
+  to PATH;
+* ``--chunk-seconds S`` / ``--chunk-jobs N`` — tune the parallel executor's
+  batched dispatch: adapt chunk sizes toward ``S`` seconds per batch
+  (default 0.25), or pin every batch to ``N`` jobs;
 * ``--metrics PATH`` — export a labelled metrics registry built from every
   job result to PATH (JSONL, or Prometheus text for ``.prom``/``.txt``);
 * ``--retries N`` — retry failing jobs up to N extra times (seeded
@@ -114,6 +118,14 @@ def _campaign_flags() -> argparse.ArgumentParser:
         help="per-job wall-clock budget; hung jobs are killed and retried",
     )
     group.add_argument(
+        "--chunk-seconds", type=float, default=None, metavar="S",
+        help="target seconds per dispatched job batch (default: 0.25)",
+    )
+    group.add_argument(
+        "--chunk-jobs", type=int, default=None, metavar="N",
+        help="pin every dispatched batch to N jobs (default: adaptive)",
+    )
+    group.add_argument(
         "--strict-store", action="store_true",
         help="fail on corrupt store lines instead of quarantining them",
     )
@@ -141,7 +153,11 @@ def campaign_from_args(args: argparse.Namespace) -> Campaign:
     job_timeout = getattr(args, "job_timeout", None)
     return Campaign(
         executor=create_executor(
-            args.jobs, retry_policy=retry_policy, job_timeout=job_timeout
+            args.jobs,
+            retry_policy=retry_policy,
+            job_timeout=job_timeout,
+            chunk_target_seconds=getattr(args, "chunk_seconds", None),
+            chunk_jobs=getattr(args, "chunk_jobs", None),
         ),
         store=store,
         resume=args.resume,
@@ -266,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulation seed for the scenario grid")
     chaos.add_argument("--fault-seed", type=int, default=2017,
                        help="seed deriving which jobs crash/fail/hang")
+    chaos.add_argument("--seed-sweep", type=int, default=None, metavar="N",
+                       help="run the harness over N consecutive fault seeds "
+                            "starting at --fault-seed (exit 0 only if all pass)")
     chaos.add_argument("--crashes", type=int, default=1,
                        help="worker crashes to inject (default: 1)")
     chaos.add_argument("--failures", type=int, default=1,
@@ -474,11 +493,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     # Only the chaos harness lives here for now; the subparser enforces it.
-    from .campaign.faults import run_chaos
+    from .campaign.faults import run_chaos, run_chaos_sweep
 
-    report = run_chaos(
+    knobs = dict(
         seed=args.seed,
-        fault_seed=args.fault_seed,
         runs_per_label=args.runs,
         workers=args.workers,
         crashes=args.crashes,
@@ -490,8 +508,26 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         store_path=args.store,
         quiet=args.quiet,
     )
-    print(format_key_values(report.summary(), title="campaign chaos harness"))
-    return 0 if report.passed else 1
+    if args.seed_sweep is None:
+        report = run_chaos(fault_seed=args.fault_seed, **knobs)
+        print(format_key_values(report.summary(), title="campaign chaos harness"))
+        return 0 if report.passed else 1
+    reports = run_chaos_sweep(args.seed_sweep, fault_seed=args.fault_seed, **knobs)
+    for fault_seed, report in reports:
+        print(
+            format_key_values(
+                report.summary(),
+                title=f"campaign chaos harness (fault seed {fault_seed})",
+            )
+        )
+    failed = [seed for seed, report in reports if not report.passed]
+    verdict = (
+        f"chaos sweep: {len(reports) - len(failed)}/{len(reports)} seeds passed"
+    )
+    if failed:
+        verdict += f" (failed: {', '.join(map(str, failed))})"
+    print(verdict)
+    return 0 if not failed else 1
 
 
 _COMMANDS = {

@@ -9,11 +9,16 @@ Two independent profilers cover the two performance mysteries on the roadmap:
   keeps the exact hot loop the seed shipped — zero cost when off, exactly
   like the no-op tick-hook filtering.
 * :class:`CampaignProfiler` attributes campaign wall-clock across the five
-  pool phases — ``spawn`` (worker process startup/shutdown), ``pickle``
-  (submitting jobs to the pool), ``simulate`` (waiting for results),
-  ``aggregate`` (unpickling finished futures) and ``store`` (artifact-store
-  writes) — which is the instrumentation for the pool-slower-than-serial
-  question (``speedup_pool_vs_serial < 1``).
+  pool phases — ``spawn`` (worker process startup/shutdown), ``dispatch``
+  (building and submitting job batches to the pool), ``simulate`` (waiting
+  for results), ``result`` (folding finished batch results back into per-job
+  records) and ``store`` (artifact-store writes) — which is the
+  instrumentation behind the batched-dispatch redesign (the per-job
+  ``pickle``/``aggregate`` split it replaces is what proved dispatch
+  overhead dominated ``speedup_pool_vs_serial``).  Alongside the timed
+  phases it keeps named :attr:`~CampaignProfiler.counters` (batch count,
+  worker context-cache hits/misses) so cache behaviour lands in the same
+  JSON artifact.
 
 Both render to plain dictionaries (JSON artifacts) consumed by
 :mod:`repro.obs.report` and the ``repro obs profile`` command.
@@ -133,11 +138,14 @@ class KernelProfiler:
 class CampaignProfiler:
     """Accumulates campaign wall-clock per executor phase."""
 
-    PHASES = ("spawn", "pickle", "simulate", "aggregate", "store")
+    PHASES = ("spawn", "dispatch", "simulate", "result", "store")
 
     def __init__(self, output_path: str | Path | None = None) -> None:
         self.seconds = {phase: 0.0 for phase in self.PHASES}
         self.events = {phase: 0 for phase in self.PHASES}
+        #: Named event counters with no wall-clock of their own (batch count,
+        #: worker cache hits/misses) — accumulated via :meth:`count`.
+        self.counters: dict[str, int] = {}
         #: End-to-end wall-clock of the campaign dispatch loops profiled so
         #: far (measured by the orchestrator *around* the executor, so
         #: generator suspension time is included and coverage is honest).
@@ -154,6 +162,10 @@ class CampaignProfiler:
         """Charge ``seconds`` of wall-clock to ``phase``."""
         self.seconds[phase] += seconds
         self.events[phase] += count
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump the named event counter by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
 
     @contextmanager
     def phase(self, phase: str) -> Iterator[None]:
@@ -205,6 +217,7 @@ class CampaignProfiler:
                 phase: {"seconds": self.seconds[phase], "events": self.events[phase]}
                 for phase in self.PHASES
             },
+            "counters": dict(sorted(self.counters.items())),
         }
 
     def write(self, path: str | Path) -> Path:

@@ -21,7 +21,7 @@ from hypothesis import strategies as st
 
 from repro.campaign.campaign import Campaign, aggregate_by_label
 from repro.campaign.executor import ParallelExecutor, SerialExecutor
-from repro.campaign.faults import FaultPlan, run_chaos, run_job_with_faults
+from repro.campaign.faults import FaultPlan, run_chaos
 from repro.campaign.jobs import run_job, seed_block_jobs
 from repro.campaign.resilience import RetryPolicy
 from repro.campaign.store import ArtifactStore
@@ -129,35 +129,36 @@ def test_recovered_pool_is_bit_identical_to_serial(fault_seed):
 # ----------------------------------------------------------------------
 # Zero-cost when disabled
 # ----------------------------------------------------------------------
-class _RecordingPool:
-    def __init__(self):
-        self.submitted = []
+def test_default_dispatch_runs_the_plain_run_job(monkeypatch):
+    """Structural guard: without a fault plan the batch worker loop runs
+    ``run_job`` itself and never consults the fault wrapper — production
+    dispatch carries no fault branch."""
+    import repro.campaign.faults as faults_mod
+    from repro.campaign.batches import JobContext, batch_jobs, pickle_context, run_batch
 
-    def submit(self, fn, *args):
-        self.submitted.append((fn, args))
-        raise RuntimeError("recording only")
+    jobs, reference = _jobs_and_reference()
+    key, blob = pickle_context(JobContext.from_job(jobs[0]))
+    batch = batch_jobs([(jobs[0], 1)], key, blob)
 
+    def forbidden(*args, **kwargs):  # pragma: no cover - the guard must hold
+        raise AssertionError("fault wrapper used on the production path")
 
-def test_default_dispatch_submits_the_plain_run_job():
-    """Structural guard: without a fault plan the parallel executor submits
-    ``run_job`` itself — production dispatch carries no fault branch."""
-    jobs, _ = _jobs_and_reference()
-    pool = _RecordingPool()
-    try:
-        ParallelExecutor(max_workers=2)._submit(pool, jobs[0], 1)
-    except RuntimeError:
-        pass
-    (submitted,) = pool.submitted
-    assert submitted == (run_job, (jobs[0],))
+    monkeypatch.setattr(faults_mod, "run_job_with_faults", forbidden)
+    result = run_batch(batch, None)
+    (folded,) = result.split()
+    assert folded.samples == reference[jobs[0].job_id]
 
-    chaotic = ParallelExecutor(
-        max_workers=2, fault_plan=FaultPlan(fail_jobs=frozenset({jobs[0].job_id}))
-    )
-    try:
-        chaotic._submit(pool, jobs[0], 1)
-    except RuntimeError:
-        pass
-    assert pool.submitted[-1][0] is run_job_with_faults
+    # And with a plan configured, the wrapper *is* the per-job entry point.
+    plan = FaultPlan(fail_jobs=frozenset({jobs[0].job_id}))
+    calls = []
+
+    def recording(job, attempt, plan_arg, **kwargs):
+        calls.append((job.job_id, attempt, plan_arg))
+        return run_job(job)
+
+    monkeypatch.setattr(faults_mod, "run_job_with_faults", recording)
+    run_batch(batch, plan)
+    assert calls == [(jobs[0].job_id, 1, plan)]
 
 
 def test_serial_default_path_is_the_bare_run_job_loop(monkeypatch):
@@ -210,3 +211,22 @@ def test_store_records_differ_from_v1_only_by_schema_and_crc(tmp_path):
         {key: value for key, value in sorted(result.to_dict().items())}
     )
     assert v1_line == legacy
+
+
+def test_quiet_chaos_harness_emits_nothing(tmp_path, capfd):
+    """--quiet must silence every reporter line — progress, retry and
+    degrade notices included — even while faults are being survived."""
+    report = run_chaos(
+        runs_per_label=2,
+        workers=2,
+        crashes=1,
+        failures=1,
+        corrupt_lines=1,
+        retries=2,
+        store_path=tmp_path / "chaos.jsonl",
+        quiet=True,
+    )
+    assert report.passed
+    out, err = capfd.readouterr()
+    assert out == ""
+    assert err == ""

@@ -74,3 +74,48 @@ def test_reporter_survives_a_closed_stream():
     stream.close()
     progress.advance("x")  # must not raise
     progress.finish()
+
+
+def test_reporter_streams_per_job_lines_from_chunked_batches(tiny_workload):
+    """Batched dispatch must not coarsen progress: with multi-job chunks on
+    the wire, the reporter still sees one advance per job as batch results
+    stream back, not one per chunk."""
+    from repro.campaign.campaign import Campaign
+    from repro.campaign.executor import ParallelExecutor
+    from repro.campaign.jobs import seed_block_jobs
+    from repro.platform.presets import rp_config
+
+    jobs = seed_block_jobs(
+        "rp", "max_contention", seed=7, num_runs=6,
+        workload=tiny_workload, config=rp_config(), max_cycles=300_000,
+    )
+    stream = io.StringIO()
+    progress = ProgressReporter(stream=stream, min_interval=0.0, prefix="test")
+    Campaign(
+        executor=ParallelExecutor(max_workers=2, chunk_jobs=3),
+        progress=progress,
+    ).run(jobs)
+
+    advance_lines = [
+        line for line in stream.getvalue().splitlines() if "/6 jobs (" in line
+    ]
+    assert len(advance_lines) == len(jobs)
+    assert any("6/6 jobs (100%)" in line for line in advance_lines)
+
+
+def test_reporter_emits_dispatch_counters_with_the_profile():
+    from repro.obs.profiler import CampaignProfiler
+
+    profiler = CampaignProfiler()
+    profiler.start(jobs=4, workers=2)
+    profiler.add("dispatch", 0.5)
+    profiler.count("batches", 2)
+    profiler.count("cache_hit")
+    profiler.finish()
+
+    stream = io.StringIO()
+    progress = ProgressReporter(stream=stream, min_interval=0.0, prefix="test")
+    progress.report_profile(profiler)
+    out = stream.getvalue()
+    assert "[test] profile:" in out
+    assert "[test] dispatch: batches 2, cache_hit 1" in out

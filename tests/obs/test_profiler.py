@@ -97,6 +97,12 @@ class TestCampaignProfiler:
         assert profiler.wall_seconds > 0.0
         assert profiler.coverage >= 0.90
         assert profiler.events["spawn"] == 2  # two warmed workers
-        assert profiler.events["pickle"] > 0
+        assert profiler.events["dispatch"] > 0
         assert profiler.events["simulate"] > 0
-        assert profiler.events["aggregate"] == len(jobs)
+        assert profiler.events["result"] == len(jobs)
+        # Counter coverage: every batch is either a worker context-cache hit
+        # or a miss, and the first batch a worker sees must miss.
+        hits = profiler.counters.get("cache_hit", 0)
+        misses = profiler.counters.get("cache_miss", 0)
+        assert hits + misses == profiler.counters["batches"]
+        assert misses >= 1

@@ -1,0 +1,82 @@
+"""Worker-side trace-column cache: detection, replay identity, counters.
+
+The cache only ever serves specs whose trace is provably draw-free
+(:attr:`WorkloadSpec.deterministic_trace`), so replaying cached columns is
+bit-identical by construction — these tests pin the detection predicate,
+the identity, and the hit/miss accounting the batch workers report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import (
+    AddressPattern,
+    WorkloadSpec,
+    enable_trace_column_cache,
+    trace_column_cache_stats,
+)
+
+
+@pytest.fixture()
+def trace_cache():
+    """Enable the cache for one test, always disable it afterwards."""
+    enable_trace_column_cache(True)
+    yield
+    enable_trace_column_cache(False)
+
+
+def _deterministic_spec(**overrides) -> WorkloadSpec:
+    fields = dict(
+        name="det",
+        num_accesses=64,
+        working_set_bytes=2048,
+        mean_compute_gap=5.0,
+        gap_variability=0.0,  # fixed gaps
+        pattern=AddressPattern.SEQUENTIAL,
+        write_fraction=1.0,  # pure writes: kind draw outcome is fixed
+        hot_fraction=0.0,  # no hot-region redirection
+    )
+    fields.update(overrides)
+    return WorkloadSpec(**fields)
+
+
+def test_deterministic_trace_detection(tiny_workload):
+    assert _deterministic_spec().deterministic_trace
+    assert _deterministic_spec(write_fraction=0.0).deterministic_trace
+    assert _deterministic_spec(mean_compute_gap=0.0, gap_variability=0.4).deterministic_trace
+    # Any remaining draw dependence disqualifies the spec:
+    assert not _deterministic_spec(gap_variability=0.4).deterministic_trace
+    assert not _deterministic_spec(write_fraction=0.5).deterministic_trace
+    assert not _deterministic_spec(hot_fraction=0.3).deterministic_trace
+    assert not _deterministic_spec(pattern=AddressPattern.RANDOM).deterministic_trace
+    # The shared test workload mixes reads/writes with a hot region.
+    assert not tiny_workload.deterministic_trace
+
+
+def test_cached_columns_are_bit_identical_and_counted(trace_cache):
+    spec = _deterministic_spec()
+    reference = spec.materialize_trace(np.random.default_rng(0))
+    assert trace_column_cache_stats() == (0, 1)
+    for seed in (1, 2):
+        replay = spec.materialize_trace(np.random.default_rng(seed))
+        assert np.array_equal(replay.compute_gaps, reference.compute_gaps)
+        assert np.array_equal(replay.addresses, reference.addresses)
+        assert np.array_equal(replay.kinds, reference.kinds)
+    assert trace_column_cache_stats() == (2, 1)
+
+
+def test_nondeterministic_specs_bypass_the_cache(trace_cache, tiny_workload):
+    first = tiny_workload.materialize_trace(np.random.default_rng(3))
+    second = tiny_workload.materialize_trace(np.random.default_rng(4))
+    assert trace_column_cache_stats() == (0, 0)
+    # Different seeds really did draw different traces — nothing was replayed.
+    assert not np.array_equal(first.compute_gaps, second.compute_gaps)
+
+
+def test_cache_is_disabled_by_default():
+    spec = _deterministic_spec()
+    spec.materialize_trace(np.random.default_rng(0))
+    spec.materialize_trace(np.random.default_rng(1))
+    assert trace_column_cache_stats() == (0, 0)
