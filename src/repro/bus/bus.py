@@ -317,6 +317,9 @@ class SharedBus(Component):
         """Bulk-account ``cycles`` skipped cycles of constant bus state."""
         self._c_cycles_total.value += cycles
         holder = self._holder
+        # One allocation per fast-forward jump (thousands of cycles), not per
+        # tick — the empty-list default keeps the common holder branch cheap.
+        # repro-lint: allow[HOT001]
         requestors: list[int] = []
         if holder is not None:
             self._c_cycles_busy.value += cycles

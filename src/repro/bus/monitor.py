@@ -17,7 +17,7 @@ from .bus import SharedBus
 __all__ = ["BandwidthWindow", "BusMonitor"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BandwidthWindow:
     """Bandwidth accounting over one fixed-length window of cycles."""
 
@@ -52,7 +52,7 @@ class BusMonitor(Component):
     #: a wake at all — the absence of a heap entry is exactly its permanent
     #: ``next_event`` answer of ``None``.  Declaring it event-driven removes
     #: it from the kernel's poll fallback.
-    event_driven = True
+    event_driven = True  # repro-lint: allow[CON001]
 
     def __init__(self, name: str, bus: SharedBus, window_cycles: int = 1000) -> None:
         super().__init__(name)

@@ -173,7 +173,7 @@ class SetAssociativeCache:
         if self.replacement.uses_access_history:
             all_sets = self._sets
             on_access = self.replacement.on_access
-            for set_index, way, cycle in zip(set_indices, ways, cycles):
+            for set_index, way, cycle in zip(set_indices, ways, cycles, strict=True):
                 on_access(all_sets[set_index], way, cycle)
         self._c_read_hits.value += len(set_indices)
 

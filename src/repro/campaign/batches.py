@@ -250,7 +250,7 @@ class BatchResult:
                 metrics = tuple(
                     {
                         name: float(column[offset + run])
-                        for name, column in zip(self.metric_names, self.metric_columns)
+                        for name, column in zip(self.metric_names, self.metric_columns, strict=True)
                     }
                     for run in range(runs)
                 )
@@ -338,8 +338,15 @@ def _export_samples(
         segment = shared_memory.SharedMemory(create=True, size=samples.nbytes)
     except (ImportError, OSError):  # no /dev/shm: fall back to the pipe
         return samples, None, 0
-    view = np.ndarray(samples.shape, dtype=np.float64, buffer=segment.buf)
-    view[:] = samples
+    try:
+        view = np.ndarray(samples.shape, dtype=np.float64, buffer=segment.buf)
+        view[:] = samples
+    except BaseException:
+        # Copy failed: reclaim the segment here — the parent never learns its
+        # name, so nobody else can, and a leak would outlive the process.
+        segment.close()
+        segment.unlink()
+        raise
     name = segment.name
     segment.close()  # the parent unlinks after adopting
     return None, name, int(samples.size)

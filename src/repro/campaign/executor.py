@@ -44,13 +44,17 @@ in-flight futures so an aborting campaign never blocks on unrelated batches).
 
 from __future__ import annotations
 
+# repro-lint: allow-file[DET001] — timeouts, retry backoff, rate limiting and
+# profiling are wall-clock by nature here; job *results* derive only from
+# (seed, run_index) inside run_job, so host time never reaches the samples.
+
 import os
 from abc import ABC, abstractmethod
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from time import monotonic, perf_counter, sleep
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, ClassVar, Iterator, Sequence
 
 from ..obs.profiler import CampaignProfiler
 from ..sim.errors import ConfigurationError
@@ -101,7 +105,7 @@ class Executor(ABC):
     last_resilience: ResilienceSummary | None = None
     #: Batched-dispatch accounting of the most recent :meth:`execute` call
     #: (chunk sizes, worker cache hits); empty for in-process backends.
-    last_batch_stats: dict[str, object] = {}
+    last_batch_stats: ClassVar[dict[str, object]] = {}
 
     @abstractmethod
     def execute(self, jobs: Sequence[CampaignJob]) -> Iterator[JobResult]:
@@ -147,7 +151,7 @@ class SerialExecutor(Executor):
 class _ContextGroup:
     """One shared-context dispatch queue: pickled blob + pending jobs + EMA."""
 
-    __slots__ = ("key", "blob", "queue", "ema_job_seconds")
+    __slots__ = ("blob", "ema_job_seconds", "key", "queue")
 
     def __init__(self, key: str, blob: bytes) -> None:
         self.key = key
@@ -167,7 +171,7 @@ class _ContextGroup:
 class _InFlightBatch:
     """Bookkeeping for one submitted batch future."""
 
-    __slots__ = ("entries", "context", "deadline")
+    __slots__ = ("context", "deadline", "entries")
 
     def __init__(
         self,

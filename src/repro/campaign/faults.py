@@ -178,7 +178,7 @@ class FaultPlan:
     def planned_faults(self, jobs: Iterable[CampaignJob]) -> dict[str, int]:
         """First-attempt fault counts over ``jobs`` (for reports and checks)."""
         counts = {CRASH: 0, FAIL: 0, HANG: 0}
-        for job_id in {job.job_id for job in jobs}:
+        for job_id in sorted({job.job_id for job in jobs}):
             action = self.decide(job_id, 1)
             if action is not None:
                 counts[action] += 1

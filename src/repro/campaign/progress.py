@@ -8,6 +8,9 @@ campaigns do not drown their own output.
 
 from __future__ import annotations
 
+# repro-lint: allow-file[DET001] — throughput and ETA lines are wall-clock
+# telemetry for the operator; nothing here feeds results or seeds.
+
 import sys
 import time
 from typing import IO, TYPE_CHECKING

@@ -188,7 +188,7 @@ class ArtifactStore:
                             # corruption are intact records that must not be
                             # lost (and the very last may itself be a
                             # tolerated trailing truncation).
-                            rest_lines = [l.strip() for l in remaining.splitlines()]
+                            rest_lines = [text.strip() for text in remaining.splitlines()]
                             for offset, rest in enumerate(rest_lines):
                                 if not rest:
                                     continue
@@ -237,7 +237,7 @@ class ArtifactStore:
         entry = {"line_number": line_number, "reason": reason, "line": line}
         self.quarantine_path.parent.mkdir(parents=True, exist_ok=True)
         with self.quarantine_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry) + "\n")
+            handle.write(_encode_record(entry) + "\n")
         self.quarantined_lines += 1
 
     def _apply(self, record: Mapping[str, object], line_number: int) -> None:

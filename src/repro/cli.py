@@ -16,6 +16,7 @@ Command                   Regenerates
 ``list-workloads``        the modelled EEMBC-like and synthetic workloads
 ``obs``                   observability: record/inspect traces, profiles, metrics
 ``campaign``              campaign engine utilities (``chaos`` fault harness)
+``lint``                  the repository-contract static analyzer
 ========================  =====================================================
 
 Every command accepts ``--runs`` and ``--scale`` where applicable so the
@@ -65,6 +66,7 @@ from .campaign.executor import create_executor
 from .campaign.progress import NullProgress, ProgressReporter
 from .campaign.resilience import RetryPolicy
 from .campaign.store import ArtifactStore
+from .lint.cli import add_lint_arguments, run_from_args as _run_lint_args
 from .obs.profiler import CampaignProfiler
 from .core.bounds import ContentionScenario
 from .sim.errors import ConfigurationError, SimulationError
@@ -78,7 +80,7 @@ from .experiments.table1 import run_table1
 from .workloads.eembc import FIGURE1_BENCHMARKS, available_benchmarks
 from .workloads.registry import available_workloads, workload_by_name
 
-__all__ = ["main", "build_parser", "campaign_from_args"]
+__all__ = ["build_parser", "campaign_from_args", "main"]
 
 
 def _campaign_flags() -> argparse.ArgumentParser:
@@ -301,6 +303,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="store path (default: a temporary file)")
     chaos.add_argument("--quiet", action="store_true",
                        help="suppress chaos progress output on stderr")
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based contract analyzer (determinism, hot paths, resources)",
+    )
+    add_lint_arguments(lint)
 
     return parser
 
@@ -541,6 +549,7 @@ _COMMANDS = {
     "list-workloads": _cmd_list_workloads,
     "obs": _cmd_obs,
     "campaign": _cmd_campaign,
+    "lint": _run_lint_args,
 }
 
 

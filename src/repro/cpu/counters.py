@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 __all__ = ["CoreCounters"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreCounters:
     """Counters accumulated by one core over one run."""
 

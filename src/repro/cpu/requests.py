@@ -16,7 +16,7 @@ from ..bus.transaction import AccessType
 __all__ = ["MemoryAccess", "TraceItem"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryAccess:
     """One memory operation issued by a core."""
 
@@ -32,7 +32,7 @@ class MemoryAccess:
         return self.access is AccessType.ATOMIC
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceItem:
     """``compute_cycles`` of core-local work followed by one memory access.
 

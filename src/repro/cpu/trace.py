@@ -205,7 +205,7 @@ class InfiniteTrace(WorkloadTrace):
                 if self._exhaustion_guard > 1:
                     raise WorkloadError(
                         f"infinite trace {self.name!r}: factory produced an empty sequence"
-                    )
+                    ) from None
                 self._iterator = iter(self._factory())
         return None  # pragma: no cover - unreachable
 

@@ -42,7 +42,7 @@ def verify_budget_rule(
     violations: list[str] = []
     full = model.full_budget
     drain = model.drain
-    for previous, current in zip(history, history[1:]):
+    for previous, current in zip(history, history[1:], strict=False):
         for core in range(model.num_cores):
             before = previous.budgets[core]
             after = current.budgets[core]

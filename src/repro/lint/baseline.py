@@ -1,0 +1,149 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the analyzer land with teeth even when pre-existing findings
+cannot all be fixed in one PR: known findings are recorded by fingerprint and
+stop failing the run, while anything *new* still does.  Two hard rules keep
+the baseline honest:
+
+* every entry must carry a non-empty written ``reason`` — a baseline without
+  justifications is just a mute button;
+* entries whose finding no longer exists are reported as *stale* so the
+  baseline shrinks over time instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..sim.errors import ConfigurationError
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+BASELINE_VERSION = 1
+
+#: Reason written by ``--write-baseline``; committed baselines must replace it.
+PLACEHOLDER_REASON = "TODO: justify this grandfathered finding"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    reason: str
+    snippet: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings, loaded from / saved to JSON."""
+
+    entries: dict[str, BaselineEntry] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"{path}: invalid baseline JSON ({error})") from None
+        if not isinstance(document, dict):
+            raise ConfigurationError(f"{path}: baseline must be a JSON object")
+        version = document.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"{path}: baseline version {version!r} unsupported "
+                f"(expected {BASELINE_VERSION})"
+            )
+        raw_entries = document.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise ConfigurationError(f"{path}: baseline entries must be a list")
+        entries: dict[str, BaselineEntry] = {}
+        for raw in raw_entries:
+            if not isinstance(raw, dict):
+                raise ConfigurationError(f"{path}: baseline entry is not an object")
+            try:
+                entry = BaselineEntry(
+                    fingerprint=str(raw["fingerprint"]),
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    reason=str(raw.get("reason", "")).strip(),
+                    snippet=str(raw.get("snippet", "")),
+                )
+            except KeyError as missing:
+                raise ConfigurationError(
+                    f"{path}: baseline entry missing field {missing}"
+                ) from None
+            if not entry.reason:
+                raise ConfigurationError(
+                    f"{path}: baseline entry {entry.fingerprint} ({entry.rule} in "
+                    f"{entry.path}) has no reason — every grandfathered finding "
+                    f"must be justified"
+                )
+            entries[entry.fingerprint] = entry
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline with deterministic ordering."""
+        document = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                self.entries[fingerprint].to_dict()
+                for fingerprint in sorted(self.entries)
+            ],
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Grandfather ``findings`` (with placeholder reasons to fill in)."""
+        entries = {
+            finding.fingerprint: BaselineEntry(
+                fingerprint=finding.fingerprint,
+                rule=finding.rule,
+                path=finding.path,
+                snippet=finding.snippet,
+                reason=PLACEHOLDER_REASON,
+            )
+            for finding in findings
+        }
+        return cls(entries=entries)
+
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition ``findings`` into (new, baselined) plus stale entries."""
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        seen: set[str] = set()
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if fingerprint in self.entries:
+                baselined.append(finding)
+                seen.add(fingerprint)
+            else:
+                new.append(finding)
+        stale = [
+            self.entries[fingerprint]
+            for fingerprint in sorted(self.entries)
+            if fingerprint not in seen
+        ]
+        return new, baselined, stale

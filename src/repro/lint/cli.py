@@ -1,0 +1,124 @@
+"""Command-line front end: ``repro lint`` / ``python -m repro.lint``.
+
+Exit codes:
+
+* ``0`` — clean (every finding suppressed in place or baselined);
+* ``1`` — at least one new finding;
+* ``2`` — configuration or usage error (bad paths, corrupt baseline, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from ..sim.errors import SimulationError
+from .baseline import Baseline
+from .config import load_config
+from .engine import LintEngine
+from .report import render_json, render_rule_list, render_text
+
+__all__ = ["add_lint_arguments", "main", "run_from_args"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags (shared by `repro lint` and `python -m repro.lint`)."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to analyse (default: [tool.repro-lint] paths)",
+    )
+    parser.add_argument(
+        "--root", default=".", metavar="DIR",
+        help="repository root holding pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="output_format",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="additionally write the JSON report to PATH (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file (default: [tool.repro-lint] baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report grandfathered findings as failures",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather all current findings into the baseline file "
+             "(entries get placeholder reasons you must fill in) and exit 0",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list baselined findings in the text report",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a lint invocation from parsed arguments."""
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    root = Path(args.root).resolve()
+    config = load_config(root)
+    if args.paths:
+        config.paths = tuple(args.paths)
+    if args.baseline is not None:
+        config.baseline = args.baseline
+    engine = LintEngine(config)
+    baseline_path = (root / config.baseline) if config.baseline else None
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("repro lint: --write-baseline needs a baseline path", file=sys.stderr)
+            return 2
+        findings = engine.collect_raw()
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"repro lint: wrote {len(findings)} entrie(s) to {baseline_path} — "
+            f"replace every placeholder reason with a real justification"
+        )
+        return 0
+
+    baseline = Baseline()
+    if baseline_path is not None and not args.no_baseline:
+        baseline = Baseline.load(baseline_path)
+    report = engine.run(baseline)
+    if args.output_format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    if args.output:
+        Path(args.output).write_text(render_json(report) + "\n", encoding="utf-8")
+    return report.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based contract analyzer: determinism, ordering "
+                    "stability, hot-path discipline, component contracts, "
+                    "fork/resource safety.",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_from_args(args)
+    except SimulationError as error:
+        print(f"repro lint: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    sys.exit(main())

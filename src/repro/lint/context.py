@@ -1,0 +1,102 @@
+"""Per-file analysis context shared by all rules during the single pass."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .config import LintConfig
+from .findings import Finding, Severity
+
+__all__ = ["FileContext"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about the file currently being walked."""
+
+    path: Path
+    relpath: str  #: POSIX path relative to the repository root.
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    config: LintConfig
+    #: Rule families whose configured scope covers this file.
+    families: frozenset[str]
+    #: Import alias map: local name -> dotted origin ("np" -> "numpy",
+    #: "perf_counter" -> "time.perf_counter").  Collected from every
+    #: ``import`` statement in the file before rules run.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Enclosing classes / functions of the node being visited (outermost
+    #: first); maintained by the engine's walker.
+    class_stack: list[ast.ClassDef] = field(default_factory=list)
+    function_stack: list[ast.AST] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        rule: str,
+        severity: Severity,
+        node: ast.AST,
+        message: str,
+    ) -> None:
+        """Record one finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=severity,
+                path=self.relpath,
+                line=line,
+                column=column,
+                message=message,
+                snippet=snippet,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def collect_imports(self) -> None:
+        """Build the alias map from every import statement in the file."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    origin = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    self.imports[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str:
+        """Dotted origin of a Name/Attribute expression, or ``""`` if unknown.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        when the file imported ``numpy as np``; expressions rooted at local
+        variables (``self.random``) resolve to ``""`` so rules keyed on
+        module origins never fire on look-alike attributes.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return ""
+        origin = self.imports.get(current.id)
+        if origin is None:
+            return ""
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+    def call_name(self, call: ast.Call) -> str:
+        """Resolved dotted name of a call's callee (``""`` when unknown)."""
+        return self.resolve(call.func)

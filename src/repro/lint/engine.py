@@ -1,0 +1,185 @@
+"""The analyzer engine: one parse, one walk, all rules.
+
+For every Python file under the configured paths the engine parses the
+source once, pre-collects the import alias map, then performs a single
+recursive walk maintaining the class/function stacks and dispatching each
+node to the rules that (a) registered interest in its type and (b) are in
+scope for the file's path.  Findings then flow through pragma suppression
+and the committed baseline before the report is rendered.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..sim.errors import ConfigurationError
+from .baseline import Baseline, BaselineEntry
+from .config import LintConfig
+from .context import FileContext
+from .findings import Finding, assign_occurrences
+from .pragmas import scan_pragmas
+from .rules import make_rules
+from .rules.base import Rule
+
+__all__ = ["LintEngine", "LintReport", "run_lint"]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    #: Findings that fail the run (not suppressed, not baselined).
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings matched (and silenced) by the committed baseline.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Count of findings silenced by ``# repro-lint: allow[...]`` pragmas.
+    suppressed: int = 0
+    #: Baseline entries whose finding no longer exists (clean them up).
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+class LintEngine:
+    """Runs all registered rules over the configured paths in one pass."""
+
+    def __init__(self, config: LintConfig, rules: list[Rule] | None = None) -> None:
+        self.config = config
+        self.rules = rules if rules is not None else make_rules()
+        ids = [rule.id for rule in self.rules]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate rule ids registered: {sorted(ids)}")
+        #: node type -> rules interested (built once; the walk consults it
+        #: with a per-type cache so isinstance checks happen once per type).
+        self._dispatch_cache: dict[type, list[Rule]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, baseline: Baseline | None = None) -> LintReport:
+        """Analyse every configured file and fold in the baseline."""
+        report = LintReport()
+        raw_findings: list[Finding] = []
+        suppressed = 0
+        for path in self._collect_files():
+            findings, hidden = self._lint_file(path)
+            raw_findings.extend(findings)
+            suppressed += hidden
+            report.files_scanned += 1
+        numbered = assign_occurrences(raw_findings)
+        if baseline is None:
+            baseline = Baseline()
+        new, matched, stale = baseline.split(numbered)
+        report.findings = new
+        report.baselined = matched
+        report.stale_baseline = stale
+        report.suppressed = suppressed
+        return report
+
+    def collect_raw(self) -> list[Finding]:
+        """All non-pragma-suppressed findings (used by ``--write-baseline``)."""
+        raw: list[Finding] = []
+        for path in self._collect_files():
+            findings, _ = self._lint_file(path)
+            raw.extend(findings)
+        return assign_occurrences(raw)
+
+    # ------------------------------------------------------------------
+    def _collect_files(self) -> list[Path]:
+        root = self.config.root
+        files: list[Path] = []
+        seen: set[Path] = set()
+        for entry in self.config.paths:
+            target = (root / entry).resolve()
+            if target.is_file():
+                candidates = [target]
+            elif target.is_dir():
+                # sorted(): our own walk must not depend on filesystem order.
+                candidates = sorted(target.rglob("*.py"))
+            else:
+                raise ConfigurationError(f"repro-lint path does not exist: {entry}")
+            for candidate in candidates:
+                if candidate not in seen:
+                    seen.add(candidate)
+                    files.append(candidate)
+        return files
+
+    def _lint_file(self, path: Path) -> tuple[list[Finding], int]:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            raise ConfigurationError(
+                f"{path}: cannot parse ({error.msg} on line {error.lineno})"
+            ) from None
+        try:
+            relpath = path.resolve().relative_to(self.config.root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        ctx = FileContext(
+            path=path,
+            relpath=relpath,
+            source=source,
+            lines=source.splitlines(),
+            tree=tree,
+            config=self.config,
+            families=self.config.families_for(relpath),
+        )
+        ctx.collect_imports()
+        active = [rule for rule in self.rules if rule.family in ctx.families]
+        if not active:
+            return [], 0
+        for rule in active:
+            rule.begin_file(ctx)
+        self._walk(tree, ctx, active)
+        for rule in active:
+            rule.end_file(ctx)
+        pragmas = scan_pragmas(source)
+        kept: list[Finding] = []
+        hidden = 0
+        for finding in ctx.findings:
+            if pragmas.suppresses(finding.rule, finding.line):
+                hidden += 1
+            else:
+                kept.append(finding)
+        return kept, hidden
+
+    def _walk(self, node: ast.AST, ctx: FileContext, active: list[Rule]) -> None:
+        node_type = type(node)
+        interested = self._dispatch_cache.get(node_type)
+        if interested is None:
+            interested = [
+                rule
+                for rule in self.rules
+                if any(issubclass(node_type, t) for t in rule.interests)
+            ]
+            self._dispatch_cache[node_type] = interested
+        for rule in interested:
+            if rule in active:
+                rule.visit(node, ctx)
+        is_class = isinstance(node, ast.ClassDef)
+        is_function = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        if is_class:
+            ctx.class_stack.append(node)
+        if is_function:
+            ctx.function_stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, ctx, active)
+        if is_class:
+            ctx.class_stack.pop()
+        if is_function:
+            ctx.function_stack.pop()
+
+
+def run_lint(config: LintConfig, baseline: Baseline | None = None) -> LintReport:
+    """Convenience wrapper: engine + baseline in one call."""
+    if baseline is None and config.baseline:
+        baseline = Baseline.load(config.root / config.baseline)
+    return LintEngine(config).run(baseline)

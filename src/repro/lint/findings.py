@@ -1,0 +1,93 @@
+"""Findings model: what a rule reports and how it is identified.
+
+A finding's :attr:`~Finding.fingerprint` deliberately ignores the line
+*number* and hashes the line *content* (plus an occurrence index for
+duplicates) instead, so baselined findings survive unrelated edits that
+shift code up or down the file.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is.  Informational only: *any* non-baselined,
+    non-suppressed finding fails the run — reproducibility contracts do not
+    come in ignorable flavours."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str  #: Path relative to the repository root, POSIX separators.
+    line: int  #: 1-indexed line of the offending node.
+    column: int  #: 0-indexed column of the offending node.
+    message: str
+    snippet: str = ""  #: The stripped source line, for reports and fingerprints.
+    #: Disambiguates identical (rule, path, snippet) findings, in file order.
+    occurrence: int = field(default=0, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline (line-move tolerant)."""
+        digest = hashlib.blake2b(digest_size=8)
+        for part in (self.rule, self.path, self.snippet, str(self.occurrence)):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (the ``--format json`` record schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def format_text(self) -> str:
+        """One-line human-readable rendering (``path:line:col: RULE message``)."""
+        return (
+            f"{self.path}:{self.line}:{self.column + 1}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+
+def assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Number duplicate (rule, path, snippet) findings in file order.
+
+    Fingerprints hash line content rather than line numbers; two identical
+    violations on identical lines of one file would otherwise collide.
+    """
+    seen: dict[tuple[str, str, str], int] = {}
+    numbered: list[Finding] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule)):
+        key = (finding.rule, finding.path, finding.snippet)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        numbered.append(
+            Finding(
+                rule=finding.rule,
+                severity=finding.severity,
+                path=finding.path,
+                line=finding.line,
+                column=finding.column,
+                message=finding.message,
+                snippet=finding.snippet,
+                occurrence=index,
+            )
+        )
+    return numbered

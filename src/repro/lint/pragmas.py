@@ -1,0 +1,109 @@
+"""``# repro-lint: allow[...]`` suppression pragmas.
+
+Two forms, both extracted with :mod:`tokenize` so string literals that merely
+*look* like pragmas are never honoured:
+
+* line pragma — ``# repro-lint: allow[DET001]`` on the offending line, or on
+  a comment-only line directly above it.  Several rules may be listed
+  (``allow[DET001,HOT004]``); a bare family prefix (``allow[HOT]``)
+  suppresses the whole family on that line.
+* file pragma — ``# repro-lint: allow-file[RES003]`` anywhere in the file
+  suppresses the listed rules for the entire file.
+
+A pragma is an *in-place justification*: put the why on the same comment
+line (everything after the closing bracket is free text).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["PragmaIndex", "scan_pragmas"]
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*(allow(?:-file)?)\[([^\]]*)\]")
+
+
+@dataclass
+class PragmaIndex:
+    """Suppressions extracted from one file's comments."""
+
+    #: line number -> rule ids / family prefixes allowed on that line.
+    line_allows: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: rule ids / family prefixes allowed for the whole file.
+    file_allows: frozenset[str] = frozenset()
+    #: lines that consist solely of a comment (candidate "pragma above").
+    comment_only_lines: frozenset[int] = frozenset()
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` reported at ``line`` is pragma-suppressed."""
+        if self._matches(self.file_allows, rule):
+            return True
+        if self._matches(self.line_allows.get(line, frozenset()), rule):
+            return True
+        # A comment-only line directly above the finding may carry the pragma.
+        above = line - 1
+        if above in self.comment_only_lines and self._matches(
+            self.line_allows.get(above, frozenset()), rule
+        ):
+            return True
+        return False
+
+    @staticmethod
+    def _matches(allowed: frozenset[str], rule: str) -> bool:
+        if not allowed:
+            return False
+        if rule in allowed:
+            return True
+        return any(rule.startswith(prefix) for prefix in allowed if prefix.isalpha())
+
+
+def scan_pragmas(source: str) -> PragmaIndex:
+    """Extract the pragma index from one file's source text.
+
+    Tokenisation errors (the engine only lints files that already parsed)
+    fall back to an empty index rather than failing the run.
+    """
+    index = PragmaIndex()
+    line_allows: dict[int, set[str]] = {}
+    file_allows: set[str] = set()
+    comment_only: set[int] = set()
+    code_lines: set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):  # pragma: no cover
+        return index
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            match = _PRAGMA_RE.search(token.string)
+            if not match:
+                continue
+            rules = {
+                chunk.strip()
+                for chunk in match.group(2).split(",")
+                if chunk.strip()
+            }
+            if not rules:
+                continue
+            if match.group(1) == "allow-file":
+                file_allows |= rules
+            else:
+                line_allows.setdefault(token.start[0], set()).update(rules)
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            for line in range(token.start[0], token.end[0] + 1):
+                code_lines.add(line)
+    for line in line_allows:
+        if line not in code_lines:
+            comment_only.add(line)
+    index.line_allows = {line: frozenset(rules) for line, rules in line_allows.items()}
+    index.file_allows = frozenset(file_allows)
+    index.comment_only_lines = frozenset(comment_only)
+    return index

@@ -1,0 +1,74 @@
+"""Render a :class:`~repro.lint.engine.LintReport` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+from .rules import ALL_RULES
+
+__all__ = ["render_text", "render_json", "render_rule_list"]
+
+#: Schema version of the ``--format json`` document.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(finding.format_text())
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if verbose and report.baselined:
+        lines.append("")
+        lines.append("baselined (grandfathered, not failing):")
+        for finding in report.baselined:
+            lines.append(f"  {finding.format_text()}")
+    for entry in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry {entry.fingerprint}: {entry.rule} in "
+            f"{entry.path} no longer occurs — remove it from the baseline"
+        )
+    summary = (
+        f"repro lint: {report.files_scanned} files scanned, "
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.suppressed} pragma-suppressed"
+    )
+    if report.stale_baseline:
+        summary += f", {len(report.stale_baseline)} stale baseline entrie(s)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "clean": report.clean,
+        "files_scanned": report.files_scanned,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "baselined": [finding.to_dict() for finding in report.baselined],
+        "suppressed": report.suppressed,
+        "stale_baseline": [entry.to_dict() for entry in report.stale_baseline],
+        "summary": {
+            "findings": len(report.findings),
+            "baselined": len(report.baselined),
+            "stale_baseline": len(report.stale_baseline),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The ``--list-rules`` output: id, family, one-line description."""
+    lines = ["rule     family        description"]
+    for rule_class in ALL_RULES:
+        reported = getattr(rule_class, "REPORTED_IDS", (rule_class.id,))
+        for rule_id in reported:
+            lines.append(
+                f"{rule_id:<8} {rule_class.family:<13} "
+                f"{rule_class.describe(rule_id)}"
+            )
+    return "\n".join(lines)

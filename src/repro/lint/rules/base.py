@@ -1,0 +1,50 @@
+"""Rule protocol: what the engine dispatches AST nodes to.
+
+A rule declares the node types it wants (:attr:`Rule.interests`) and the
+family whose configured path scope gates it.  The engine walks each file's
+tree exactly once, calling :meth:`Rule.visit` for matching nodes of files
+the rule is in scope for, bracketed by :meth:`Rule.begin_file` /
+:meth:`Rule.end_file` for rules that accumulate per-file state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..context import FileContext
+from ..findings import Severity
+
+__all__ = ["Rule"]
+
+
+class Rule:
+    """Base class for one lint rule."""
+
+    #: Short stable identifier, e.g. ``"DET001"`` (family prefix + number).
+    id: str = ""
+    #: Rule family key used for path scoping (see ``config.FAMILIES``).
+    family: str = ""
+    severity: Severity = Severity.ERROR
+    #: One-line description shown by ``repro lint --list-rules``.
+    description: str = ""
+    #: AST node types dispatched to :meth:`visit`.
+    interests: tuple[type[ast.AST], ...] = ()
+
+    @classmethod
+    def describe(cls, rule_id: str) -> str:
+        """The ``--list-rules`` description for ``rule_id`` (rules reporting
+        under several ids — see ``REPORTED_IDS`` — override this)."""
+        return cls.description
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Called before the walk of each in-scope file."""
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Called for each node whose type is in :attr:`interests`."""
+
+    def end_file(self, ctx: FileContext) -> None:
+        """Called after the walk of each in-scope file."""
+
+    # ------------------------------------------------------------------
+    def report(self, ctx: FileContext, node: ast.AST, message: str) -> None:
+        ctx.report(self.id, self.severity, node, message)

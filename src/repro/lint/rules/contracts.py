@@ -1,0 +1,162 @@
+"""Component-contract rules (``CON``).
+
+The kernel's scheduling contracts are easy to half-implement: an
+``event_driven`` component that never pushes a wake silently never runs
+again once the poll fallback stops covering it; a ``fast_forward`` override
+without a matching ``next_event`` breaks the "only skip promised cycles"
+invariant; an unslotted value class silently grows a ``__dict__`` per cache
+line / bus request and melts the allocation budget.  These rules encode the
+contracts structurally.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..context import FileContext
+from .base import Rule
+
+__all__ = ["EventDrivenWakeRule", "FastForwardHintRule", "SlottedValueClassRule"]
+
+_WAKE_CALLS = frozenset({"schedule_wake", "_wake_schedule"})
+
+
+def _class_methods(node: ast.ClassDef) -> dict[str, ast.AST]:
+    return {
+        stmt.name: stmt
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _assigns_true(node: ast.ClassDef, name: str) -> ast.stmt | None:
+    """The class-body statement assigning ``name = True``, if any."""
+    for stmt in node.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == name
+                and isinstance(value, ast.Constant)
+                and value.value is True
+            ):
+                return stmt
+    return None
+
+
+class EventDrivenWakeRule(Rule):
+    id = "CON001"
+    family = "contracts"
+    description = (
+        "a class declaring event_driven = True must push wakes "
+        "(schedule_wake/_wake_schedule) somewhere in its body"
+    )
+    interests = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.ClassDef)
+        marker = _assigns_true(node, "event_driven")
+        if marker is None:
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+                if name in _WAKE_CALLS:
+                    return
+        self.report(
+            ctx,
+            marker,
+            f"class {node.name} declares event_driven = True but never calls "
+            f"schedule_wake/_wake_schedule: once off the poll fallback it "
+            f"would sleep forever — push wakes at its state transitions (a "
+            f"pure observer that genuinely never wakes may pragma this)",
+        )
+
+
+class FastForwardHintRule(Rule):
+    id = "CON002"
+    family = "contracts"
+    description = (
+        "a class overriding fast_forward must also define next_event — the "
+        "kernel only skips cycles the hint promised were uniform"
+    )
+    interests = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.ClassDef)
+        methods = _class_methods(node)
+        if "fast_forward" in methods and "next_event" not in methods:
+            self.report(
+                ctx,
+                methods["fast_forward"],
+                f"class {node.name} overrides fast_forward() without defining "
+                f"next_event(): the inherited hint ('wake me every cycle') "
+                f"makes the override dead code at best and a skipped-state "
+                f"bug at worst",
+            )
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> tuple[ast.AST | None, bool]:
+    """Return (decorator-node, slotted) for @dataclass classes, else (None, _)."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+        if name != "dataclass":
+            continue
+        slotted = False
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if (
+                    keyword.arg == "slots"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    slotted = True
+        return decorator, slotted
+    return None, False
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+class SlottedValueClassRule(Rule):
+    id = "CON003"
+    family = "contracts"
+    description = (
+        "value classes (dataclasses in the configured value-class modules) "
+        "must be slotted — they are allocated per access/request/window"
+    )
+    interests = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.ClassDef)
+        if not ctx.config.is_value_class_module(ctx.relpath):
+            return
+        decorator, slotted = _dataclass_decorator(node)
+        if decorator is None:
+            return
+        if slotted or _declares_slots(node):
+            return
+        self.report(
+            ctx,
+            node,
+            f"value class {node.name} is a dataclass without slots; instances "
+            f"are allocated in bulk on simulation paths — add "
+            f"@dataclass(slots=True) (or declare __slots__)",
+        )

@@ -1,0 +1,196 @@
+"""Determinism rules (``DET``): seeded randomness and nothing else.
+
+The repository's entire equivalence matrix (serial == pool campaigns,
+stepping == fast-forward == batch == event-queue kernels) rests on every
+draw flowing through :class:`~repro.sim.rng.RandomStreams` /
+:func:`~repro.sim.rng.derive_seed` and every content key through blake2b.
+These rules ban the ambient entropy sources that silently break that:
+wall-clock reads, OS randomness, the global :mod:`random` state, unseeded
+numpy generators and the per-process-salted builtin ``hash()``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..context import FileContext
+from .base import Rule
+
+__all__ = [
+    "WallClockRule",
+    "OsEntropyRule",
+    "GlobalRandomRule",
+    "GlobalNumpyRandomRule",
+    "BuiltinHashRule",
+]
+
+#: Functions that read a clock.  ``time.sleep`` is deliberately absent —
+#: sleeping affects wall time, not simulated state.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_OS_ENTROPY = frozenset({"os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4"})
+
+#: numpy.random constructors that are fine *when explicitly seeded*.
+_NP_SEEDED_OK = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+    }
+)
+
+
+class WallClockRule(Rule):
+    id = "DET001"
+    family = "determinism"
+    description = (
+        "no wall-clock reads in simulation/campaign code — timestamps leak "
+        "host state into results; use cycle counts, or pragma pure telemetry"
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        name = ctx.call_name(node)
+        if name in _WALL_CLOCK:
+            self.report(
+                ctx,
+                node,
+                f"wall-clock read {name}() in deterministic code; simulated "
+                f"time lives in Clock.cycle — if this is pure telemetry, "
+                f"justify it with a repro-lint pragma",
+            )
+
+
+class OsEntropyRule(Rule):
+    id = "DET002"
+    family = "determinism"
+    description = "no OS entropy (os.urandom, uuid1/uuid4) — seeds must derive from the experiment seed"
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        name = ctx.call_name(node)
+        if name in _OS_ENTROPY or name.startswith("secrets."):
+            self.report(
+                ctx,
+                node,
+                f"OS entropy source {name}(); derive randomness from the "
+                f"experiment seed via RandomStreams/derive_seed",
+            )
+
+
+class GlobalRandomRule(Rule):
+    id = "DET003"
+    family = "determinism"
+    description = "no global `random` module — its hidden state breaks run independence"
+    interests = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    self.report(
+                        ctx,
+                        node,
+                        "stdlib `random` imported; use RandomStreams named "
+                        "streams so draws are seeded and per-run independent",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "random":
+                self.report(
+                    ctx,
+                    node,
+                    "stdlib `random` imported; use RandomStreams named "
+                    "streams so draws are seeded and per-run independent",
+                )
+        else:
+            assert isinstance(node, ast.Call)
+            name = ctx.call_name(node)
+            if name.startswith("random.") and not name.startswith("random.Random("):
+                self.report(
+                    ctx,
+                    node,
+                    f"global-state draw {name}(); route it through a "
+                    f"RandomStreams named stream",
+                )
+
+
+class GlobalNumpyRandomRule(Rule):
+    id = "DET004"
+    family = "determinism"
+    description = (
+        "no global/unseeded numpy.random — generators must be built from a "
+        "derive_seed child seed"
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        name = ctx.call_name(node)
+        if not name.startswith("numpy.random."):
+            return
+        if name in _NP_SEEDED_OK:
+            if node.args or node.keywords:
+                return  # explicitly seeded: fine
+            self.report(
+                ctx,
+                node,
+                f"{name}() without a seed draws entropy from the OS; pass a "
+                f"derive_seed(...) child seed",
+            )
+            return
+        self.report(
+            ctx,
+            node,
+            f"{name}() uses numpy's global RNG state; draw from a seeded "
+            f"Generator obtained via RandomStreams",
+        )
+
+
+class BuiltinHashRule(Rule):
+    id = "DET005"
+    family = "determinism"
+    description = (
+        "no builtin hash() — it is salted per process; content keys go "
+        "through hashlib.blake2b / derive_seed"
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "hash"
+            and func.id not in ctx.imports
+        ):
+            self.report(
+                ctx,
+                node,
+                "builtin hash() is salted per process (PYTHONHASHSEED); use "
+                "hashlib.blake2b for content keys or derive_seed for seeds",
+            )

@@ -1,0 +1,148 @@
+"""Hash/ordering-stability rules (``ORD``): canonical encodings only.
+
+Content-hash job IDs, artifact-store CRCs and seeded draws are only stable
+if the bytes (or the iteration order) feeding them are.  These rules catch
+the two classic leaks: JSON encodings that depend on dict insertion order,
+and iteration over inherently unordered collections (sets, directory
+listings) whose order then flows into stores, hashes or draws.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..context import FileContext
+from .base import Rule
+
+__all__ = ["JsonSortKeysRule", "UnorderedIterationRule", "FilesystemOrderRule"]
+
+
+def _is_canonical_sorted_dict(arg: ast.AST) -> bool:
+    """Recognise the canonical-encoder idiom: a dict comprehension (or dict
+    call) whose keys iterate ``sorted(...)`` — e.g.
+    ``{key: record[key] for key in sorted(record)}``."""
+    if isinstance(arg, ast.DictComp):
+        return any(
+            isinstance(gen.iter, ast.Call)
+            and isinstance(gen.iter.func, ast.Name)
+            and gen.iter.func.id == "sorted"
+            for gen in arg.generators
+        )
+    if isinstance(arg, ast.Call) and isinstance(arg.func, ast.Name):
+        if arg.func.id in ("dict", "OrderedDict") and arg.args:
+            return _is_canonical_sorted_dict(arg.args[0])
+        if arg.func.id == "sorted":
+            return True
+    return False
+
+
+class JsonSortKeysRule(Rule):
+    id = "ORD001"
+    family = "ordering"
+    description = (
+        "json.dumps/json.dump without sort_keys=True (or a sorted-dict "
+        "argument) — insertion-ordered encodings are not canonical"
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        name = ctx.call_name(node)
+        if name not in ("json.dumps", "json.dump"):
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "sort_keys":
+                if isinstance(keyword.value, ast.Constant) and keyword.value.value:
+                    return
+                break
+        if node.args and _is_canonical_sorted_dict(node.args[0]):
+            return
+        self.report(
+            ctx,
+            node,
+            f"{name}() without sort_keys=True: the encoding depends on dict "
+            f"insertion order, which is not a canonical byte stream for "
+            f"hashes, CRCs or stored records",
+        )
+
+
+def _unordered_source(node: ast.AST) -> str:
+    """Classify an iteration source as unordered, returning a label or ''."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return "a set"
+        if isinstance(func, ast.Attribute):
+            # obj.union(...), obj.intersection(...), obj.difference(...)
+            if func.attr in ("union", "intersection", "difference", "symmetric_difference"):
+                return f"a set ({func.attr}())"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd)):
+        left = _unordered_source(node.left)
+        right = _unordered_source(node.right)
+        if left or right:
+            return "a set expression"
+    return ""
+
+
+class UnorderedIterationRule(Rule):
+    id = "ORD002"
+    family = "ordering"
+    description = (
+        "iteration directly over a set expression — wrap it in sorted() "
+        "before the order can feed hashes, stores or draws"
+    )
+    interests = (ast.For, ast.comprehension)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        source = node.iter if isinstance(node, (ast.For, ast.comprehension)) else None
+        if source is None:
+            return
+        label = _unordered_source(source)
+        if label:
+            self.report(
+                ctx,
+                node if isinstance(node, ast.For) else source,
+                f"iterating {label} yields a hash-order-dependent sequence; "
+                f"wrap the iterable in sorted(...) so downstream hashes, "
+                f"stores and draws see a canonical order",
+            )
+
+
+_FS_LISTING = frozenset(
+    {
+        "os.listdir",
+        "os.scandir",
+        "glob.glob",
+        "glob.iglob",
+    }
+)
+
+_FS_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+class FilesystemOrderRule(Rule):
+    id = "ORD003"
+    family = "ordering"
+    description = (
+        "iteration directly over a directory listing — filesystem order is "
+        "arbitrary; wrap it in sorted()"
+    )
+    interests = (ast.For, ast.comprehension)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        source = node.iter if isinstance(node, (ast.For, ast.comprehension)) else None
+        if not isinstance(source, ast.Call):
+            return
+        func = source.func
+        listing = ctx.call_name(source) in _FS_LISTING or (
+            isinstance(func, ast.Attribute) and func.attr in _FS_METHODS
+        )
+        if listing:
+            self.report(
+                ctx,
+                node if isinstance(node, ast.For) else source,
+                "directory listings come back in arbitrary filesystem order; "
+                "wrap the call in sorted(...) before iterating",
+            )

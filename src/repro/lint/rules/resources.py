@@ -1,0 +1,157 @@
+"""Fork/resource-safety rules (``RES``).
+
+Campaign workers fork, crash (sometimes on purpose — the chaos harness) and
+get killed on timeouts; resources that survive a dead process must therefore
+be cleaned up on *every* path.  A leaked ``SharedMemory`` segment fills
+``/dev/shm`` across campaign runs, an unreleased ``flock`` deadlocks the
+next campaign, and a stray ``os._exit`` skips every ``finally`` in the
+process — which is exactly why only the fault injector may call it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..context import FileContext
+from .base import Rule
+
+__all__ = ["SharedMemoryCleanupRule", "FlockPairRule", "OsExitRule"]
+
+
+def _cleanup_profile(func: ast.AST) -> tuple[bool, bool, bool]:
+    """Scan a function for (close_called, unlink_called, cleanup_on_error).
+
+    ``cleanup_on_error`` is True when a ``.close()`` or ``.unlink()`` call
+    sits inside a ``finally`` block or an ``except`` handler — the static
+    approximation of "released on all paths, including failures".
+    """
+    close_called = unlink_called = cleanup_on_error = False
+
+    def is_cleanup(node: ast.AST) -> str:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("close", "unlink")
+        ):
+            return node.func.attr
+        return ""
+
+    for node in ast.walk(func):
+        kind = is_cleanup(node)
+        if kind == "close":
+            close_called = True
+        elif kind == "unlink":
+            unlink_called = True
+        if isinstance(node, ast.Try):
+            for handler in node.handlers:
+                for sub in ast.walk(handler):
+                    if is_cleanup(sub):
+                        cleanup_on_error = True
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if is_cleanup(sub):
+                        cleanup_on_error = True
+    return close_called, unlink_called, cleanup_on_error
+
+
+class SharedMemoryCleanupRule(Rule):
+    id = "RES001"
+    family = "resources"
+    description = (
+        "every SharedMemory(...) must be close()d — and unlink()ed by its "
+        "owner — on all paths, including failures (cleanup in finally/except)"
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name != "SharedMemory":
+            return
+        enclosing = ctx.function_stack[-1] if ctx.function_stack else None
+        if enclosing is None:
+            self.report(
+                ctx,
+                node,
+                "SharedMemory created at module level: nothing scopes its "
+                "cleanup — create segments inside a function that closes and "
+                "unlinks them on all paths",
+            )
+            return
+        close_called, unlink_called, cleanup_on_error = _cleanup_profile(enclosing)
+        problems: list[str] = []
+        if not close_called:
+            problems.append("never close()d")
+        if not unlink_called:
+            problems.append("never unlink()ed")
+        if not cleanup_on_error:
+            problems.append("no close()/unlink() in a finally/except (error paths leak)")
+        if problems:
+            self.report(
+                ctx,
+                node,
+                f"SharedMemory segment {', '.join(problems)} in this function; "
+                f"a leaked segment outlives the process and fills /dev/shm "
+                f"across campaign runs",
+            )
+
+
+class FlockPairRule(Rule):
+    id = "RES002"
+    family = "resources"
+    description = "a module taking fcntl.flock(LOCK_EX) must also release with LOCK_UN"
+    interests = (ast.Call,)
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._acquires: list[ast.Call] = []
+        self._releases = 0
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name != "flock":
+            return
+        flags = " ".join(ast.dump(arg) for arg in node.args[1:])
+        if "LOCK_UN" in flags:
+            self._releases += 1
+        elif "LOCK_EX" in flags or "LOCK_SH" in flags:
+            self._acquires.append(node)
+
+    def end_file(self, ctx: FileContext) -> None:
+        if self._acquires and not self._releases:
+            for call in self._acquires:
+                self.report(
+                    ctx,
+                    call,
+                    "flock(LOCK_EX) acquired but this module never calls "
+                    "flock(..., LOCK_UN); relying on process exit to release "
+                    "deadlocks campaigns that share one interpreter",
+                )
+        self._acquires = []
+        self._releases = 0
+
+
+class OsExitRule(Rule):
+    id = "RES003"
+    family = "resources"
+    description = (
+        "os._exit skips every finally/atexit in the process; only the fault "
+        "injector (configured os-exit-modules) may call it"
+    )
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        if ctx.call_name(node) != "os._exit":
+            return
+        if ctx.config.allows_os_exit(ctx.relpath):
+            return
+        self.report(
+            ctx,
+            node,
+            "os._exit() terminates without running finally blocks, flushing "
+            "stores or releasing locks; deliberate crash semantics belong in "
+            "the fault injector only",
+        )

@@ -96,7 +96,7 @@ class PWCETCurve:
         """
         grid = np.asarray(self.exceedance_grid, dtype=np.float64)
         bounds = self.wcet_at(grid)
-        return [(float(p), float(b)) for p, b in zip(grid, bounds)]
+        return [(float(p), float(b)) for p, b in zip(grid, bounds, strict=True)]
 
     def as_dict(self) -> dict[str, object]:
         return {

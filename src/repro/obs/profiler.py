@@ -43,7 +43,7 @@ class _HookProxy:
     name for debugging.
     """
 
-    __slots__ = ("name", "tick", "post_tick", "fast_forward")
+    __slots__ = ("fast_forward", "name", "post_tick", "tick")
 
     def __init__(self, name: str, hook: str, timed: Callable[..., object]) -> None:
         self.name = name

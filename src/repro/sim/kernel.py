@@ -101,7 +101,7 @@ class EventQueue:
     skipping — the safe direction.
     """
 
-    __slots__ = ("_heap", "_generations", "_targets")
+    __slots__ = ("_generations", "_heap", "_targets")
 
     def __init__(self) -> None:
         #: Pending ``(cycle, slot, generation)`` entries (stale ones included).
@@ -510,6 +510,8 @@ class Kernel:
         if self.finished:
             raise SchedulingError("cannot run a kernel that has already finished")
         profiler = self.profiler
+        # Profiler telemetry: wall time of the host loop, not simulated time.
+        # repro-lint: allow[DET001]
         run_started = perf_counter() if profiler is not None else 0.0
         clock = self.clock
         start = clock.cycle
@@ -571,6 +573,7 @@ class Kernel:
         self.stop_condition_fired = stop_fired
         self.finished = True
         if profiler is not None:
+            # repro-lint: allow[DET001]
             profiler.on_run(perf_counter() - run_started, clock.cycle - start)
         return clock.cycle - start
 

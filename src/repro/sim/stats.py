@@ -256,7 +256,7 @@ class Histogram:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class StatGroup:
     """A named collection of counters and sample statistics."""
 

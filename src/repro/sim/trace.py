@@ -15,7 +15,7 @@ from typing import Callable, Iterable
 __all__ = ["TraceEvent", "TraceRecorder", "NullTraceRecorder"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One traced event.
 

@@ -89,7 +89,7 @@ class TestCBAOpportunity:
         bulk.advance_cycles(0, 6, holder=None, idle_requestors=[0, 1])
         assert bulk.blocked_cycles == stepped.blocked_cycles == 6
         assert bulk.budgets() == stepped.budgets()
-        for fast, slow in zip(bulk.credits.accounts, stepped.credits.accounts):
+        for fast, slow in zip(bulk.credits.accounts, stepped.credits.accounts, strict=True):
             assert fast.total_replenished == slow.total_replenished
             assert fast.total_drained == slow.total_drained
 
@@ -104,7 +104,7 @@ class TestCreditBankBulkAdvance:
             stepped.step(holder)
         bulk.advance(37, holder)
         assert bulk.balances() == stepped.balances()
-        for fast, slow in zip(bulk.accounts, stepped.accounts):
+        for fast, slow in zip(bulk.accounts, stepped.accounts, strict=True):
             assert fast.total_replenished == slow.total_replenished
             assert fast.total_drained == slow.total_drained
 

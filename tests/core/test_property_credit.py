@@ -45,7 +45,7 @@ def test_conservation_of_credit(schedule):
     initial = bank.balances()
     for holder in schedule:
         bank.step(holder)
-    for start, account in zip(initial, bank.accounts):
+    for start, account in zip(initial, bank.accounts, strict=True):
         assert account.balance == start + account.total_replenished - account.total_drained
 
 

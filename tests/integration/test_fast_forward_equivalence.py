@@ -163,7 +163,7 @@ def test_internal_state_identical_and_skipping_not_vacuous(use_cba: bool):
         assert skipped.cba is not None and stepped.cba is not None
         assert skipped.cba.budgets() == stepped.cba.budgets()
         assert skipped.cba.blocked_cycles == stepped.cba.blocked_cycles
-        for fast, slow in zip(skipped.cba.credits.accounts, stepped.cba.credits.accounts):
+        for fast, slow in zip(skipped.cba.credits.accounts, stepped.cba.credits.accounts, strict=True):
             assert fast.total_replenished == slow.total_replenished
             assert fast.total_drained == slow.total_drained
 

@@ -1,0 +1,121 @@
+"""Baseline semantics: grandfathering, reasons, staleness, fingerprints."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.findings import Finding, Severity
+from repro.sim.errors import ConfigurationError
+
+SOURCE = "import time\nstamp = time.time()\n"
+
+
+def baseline_for(harness, source: str) -> Baseline:
+    findings = harness.lint(source).findings
+    assert findings, "fixture must produce findings to grandfather"
+    entries = {
+        f.fingerprint: BaselineEntry(
+            fingerprint=f.fingerprint,
+            rule=f.rule,
+            path=f.path,
+            snippet=f.snippet,
+            reason="grandfathered in tests",
+        )
+        for f in findings
+    }
+    return Baseline(entries=entries)
+
+
+class TestGrandfathering:
+    def test_baselined_finding_does_not_fail(self, harness):
+        baseline = baseline_for(harness, SOURCE)
+        report = harness.lint(SOURCE, baseline=baseline)
+        assert report.findings == []
+        assert [f.rule for f in report.baselined] == ["DET001"]
+        assert report.clean and report.exit_code == 0
+
+    def test_new_finding_still_fails(self, harness):
+        baseline = baseline_for(harness, SOURCE)
+        grown = SOURCE + "key = hash(stamp)\n"
+        report = harness.lint(grown, baseline=baseline)
+        assert [f.rule for f in report.findings] == ["DET005"]
+        assert [f.rule for f in report.baselined] == ["DET001"]
+        assert report.exit_code == 1
+
+    def test_fixed_finding_reported_stale(self, harness):
+        baseline = baseline_for(harness, SOURCE)
+        report = harness.lint("stamp = 0\n", baseline=baseline)
+        assert report.findings == []
+        assert len(report.stale_baseline) == 1
+        assert report.stale_baseline[0].rule == "DET001"
+
+    def test_fingerprint_survives_line_moves(self, harness):
+        baseline = baseline_for(harness, SOURCE)
+        shifted = "import time\n\n\nUNRELATED = 1\nstamp = time.time()\n"
+        report = harness.lint(shifted, baseline=baseline)
+        assert report.findings == []
+        assert len(report.baselined) == 1
+
+    def test_duplicate_identical_lines_fingerprint_distinctly(self, harness):
+        twice = "import time\na = time.time()\na = time.time()\n"
+        findings = harness.lint(twice).findings
+        fingerprints = {f.fingerprint for f in findings}
+        assert len(findings) == 2 and len(fingerprints) == 2
+
+
+class TestBaselineFile:
+    def test_round_trip(self, tmp_path):
+        entry = BaselineEntry(
+            fingerprint="abc123", rule="DET001", path="x.py",
+            snippet="t = time.time()", reason="legacy telemetry",
+        )
+        path = tmp_path / "baseline.json"
+        Baseline(entries={entry.fingerprint: entry}).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == {"abc123": entry}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").entries == {}
+
+    def test_entry_without_reason_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "fingerprint": "abc", "rule": "DET001", "path": "x.py",
+                "snippet": "", "reason": "   ",
+            }],
+        }))
+        with pytest.raises(ConfigurationError, match="no reason"):
+            Baseline.load(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ConfigurationError, match="version"):
+            Baseline.load(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigurationError, match="invalid baseline"):
+            Baseline.load(path)
+
+
+class TestFindingModel:
+    def test_fingerprint_ignores_line_number(self):
+        a = Finding("DET001", Severity.ERROR, "x.py", 10, 0, "m", snippet="s")
+        b = Finding("DET001", Severity.ERROR, "x.py", 99, 4, "m", snippet="s")
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_depends_on_occurrence(self):
+        a = Finding("DET001", Severity.ERROR, "x.py", 1, 0, "m", snippet="s", occurrence=0)
+        b = Finding("DET001", Severity.ERROR, "x.py", 2, 0, "m", snippet="s", occurrence=1)
+        assert a.fingerprint != b.fingerprint
+
+    def test_format_text_is_one_based_column(self):
+        finding = Finding("DET001", Severity.ERROR, "x.py", 3, 0, "boom")
+        assert finding.format_text().startswith("x.py:3:1: DET001 [error] boom")

@@ -1,0 +1,98 @@
+"""Engine behaviour: scoping, file collection, dispatch, error handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.config import FAMILIES, LintConfig
+from repro.lint.engine import LintEngine
+from repro.lint.rules import ALL_RULES, rule_ids
+from repro.sim.errors import ConfigurationError
+
+VIOLATES_DET_AND_RES = "import time, os\na = time.time()\n\ndef f():\n    os._exit(1)\n"
+
+
+def config_for(root, *, paths=("pkg",), scopes=None) -> LintConfig:
+    return LintConfig(
+        root=root,
+        paths=paths,
+        baseline="",
+        scopes=scopes if scopes is not None else {f: paths for f in FAMILIES},
+    )
+
+
+class TestScoping:
+    def test_family_scope_limits_rules(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text(VIOLATES_DET_AND_RES)
+        narrowed = config_for(tmp_path, scopes={"determinism": ("pkg",)})
+        report = LintEngine(narrowed).run()
+        assert [f.rule for f in report.findings] == ["DET001"]
+
+    def test_out_of_scope_file_skipped_entirely(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text(VIOLATES_DET_AND_RES)
+        elsewhere = config_for(tmp_path, scopes={"determinism": ("otherdir",)})
+        report = LintEngine(elsewhere).run()
+        assert report.findings == []
+        assert report.files_scanned == 1
+
+    def test_directory_scope_covers_nested_files(self, tmp_path):
+        nested = tmp_path / "pkg" / "deep"
+        nested.mkdir(parents=True)
+        (nested / "mod.py").write_text("import time\na = time.time()\n")
+        report = LintEngine(config_for(tmp_path)).run()
+        assert [f.rule for f in report.findings] == ["DET001"]
+        assert report.findings[0].path == "pkg/deep/mod.py"
+
+
+class TestFileCollection:
+    def test_missing_path_is_config_error(self, tmp_path):
+        config = config_for(tmp_path, paths=("does-not-exist",))
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            LintEngine(config).run()
+
+    def test_syntax_error_is_config_error(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("def broken(:\n")
+        with pytest.raises(ConfigurationError, match="cannot parse"):
+            LintEngine(config_for(tmp_path)).run()
+
+    def test_overlapping_paths_deduplicated(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("import time\na = time.time()\n")
+        config = config_for(tmp_path, paths=("pkg", "pkg/mod.py"))
+        config.scopes = {f: ("pkg",) for f in FAMILIES}
+        report = LintEngine(config).run()
+        assert report.files_scanned == 1
+        assert len(report.findings) == 1
+
+
+class TestRegistry:
+    def test_rule_ids_unique(self):
+        ids = rule_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_every_family_has_rules(self):
+        families = {rule.family for rule in ALL_RULES}
+        assert families == set(FAMILIES)
+
+    def test_duplicate_rule_registration_rejected(self, tmp_path):
+        rules = [ALL_RULES[0](), ALL_RULES[0]()]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            LintEngine(config_for(tmp_path), rules=rules)
+
+
+class TestReportOrdering:
+    def test_findings_sorted_by_path_then_line(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "b.py").write_text("import time\na = time.time()\n")
+        (pkg / "a.py").write_text("import time\n\nb = time.time()\n")
+        report = LintEngine(config_for(tmp_path)).run()
+        locations = [(f.path, f.line) for f in report.findings]
+        assert locations == sorted(locations)

@@ -1,0 +1,99 @@
+"""Suppression-pragma semantics: line, line-above, file, family prefix."""
+
+from __future__ import annotations
+
+from repro.lint.pragmas import scan_pragmas
+
+VIOLATION = "import time\nstamp = time.time(){tail}\n"
+
+
+class TestLinePragmas:
+    def test_same_line_pragma_suppresses(self, harness):
+        source = VIOLATION.format(tail="  # repro-lint: allow[DET001] telemetry")
+        report = harness.lint(source)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_comment_line_above_suppresses(self, harness):
+        source = (
+            "import time\n"
+            "# repro-lint: allow[DET001] — host-side timing only\n"
+            "stamp = time.time()\n"
+        )
+        report = harness.lint(source)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_unrelated_rule_id_does_not_suppress(self, harness):
+        source = VIOLATION.format(tail="  # repro-lint: allow[RES003]")
+        report = harness.lint(source)
+        assert [f.rule for f in report.findings] == ["DET001"]
+        assert report.suppressed == 0
+
+    def test_multiple_rules_in_one_pragma(self, harness):
+        source = (
+            "import json\n"
+            "def f(d):\n"
+            "    return [json.dumps(x) for x in {d}]"
+            "  # repro-lint: allow[ORD001,ORD002]\n"
+        )
+        report = harness.lint(source)
+        assert report.findings == []
+        assert report.suppressed == 2
+
+    def test_family_prefix_suppresses_whole_family(self, harness):
+        source = VIOLATION.format(tail="  # repro-lint: allow[DET]")
+        assert harness.lint(source).findings == []
+
+    def test_pragma_two_lines_above_does_not_suppress(self, harness):
+        source = (
+            "# repro-lint: allow[DET001]\n"
+            "import time\n"
+            "stamp = time.time()\n"
+        )
+        assert [f.rule for f in harness.lint(source).findings] == ["DET001"]
+
+    def test_pragma_in_string_literal_ignored(self, harness):
+        source = (
+            'DOC = "# repro-lint: allow[DET001]"\n'
+            "import time\n"
+            "stamp = time.time()\n"
+        )
+        assert [f.rule for f in harness.lint(source).findings] == ["DET001"]
+
+
+class TestFilePragmas:
+    def test_allow_file_suppresses_everywhere(self, harness):
+        source = (
+            "# repro-lint: allow-file[DET001] — wall-clock telemetry module\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.monotonic()\n"
+        )
+        report = harness.lint(source)
+        assert report.findings == []
+        assert report.suppressed == 2
+
+    def test_allow_file_leaves_other_rules_failing(self, harness):
+        source = (
+            "# repro-lint: allow-file[DET001]\n"
+            "import time, os\n"
+            "a = time.time()\n"
+            "b = os.urandom(4)\n"
+        )
+        assert [f.rule for f in harness.lint(source).findings] == ["DET002"]
+
+
+class TestScanPragmas:
+    def test_comment_only_lines_identified(self):
+        index = scan_pragmas(
+            "x = 1\n# repro-lint: allow[DET001]\ny = 2  # repro-lint: allow[RES003]\n"
+        )
+        assert index.comment_only_lines == frozenset({2})
+        assert index.line_allows[2] == frozenset({"DET001"})
+        assert index.line_allows[3] == frozenset({"RES003"})
+
+    def test_empty_bracket_ignored(self):
+        index = scan_pragmas("# repro-lint: allow[]\n")
+        assert index.line_allows == {}
+        assert index.file_allows == frozenset()

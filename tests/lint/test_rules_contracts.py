@@ -1,0 +1,117 @@
+"""Positive/negative fixtures for the component-contract (CON) rules."""
+
+from __future__ import annotations
+
+
+class TestEventDrivenWake:
+    def test_event_driven_without_wake_flagged(self, harness):
+        source = """
+            class Sleeper:
+                event_driven = True
+
+                def tick(self):
+                    self.count = self.count + 1
+        """
+        assert harness.rule_ids(source) == ["CON001"]
+
+    def test_event_driven_with_schedule_wake_ok(self, harness):
+        source = """
+            class Waker:
+                event_driven = True
+
+                def start(self):
+                    self.schedule_wake(self.clock.cycle + 4)
+        """
+        assert harness.rule_ids(source) == []
+
+    def test_event_driven_with_private_wake_helper_ok(self, harness):
+        source = """
+            class Waker:
+                event_driven = True
+
+                def start(self):
+                    self._wake_schedule(4)
+        """
+        assert harness.rule_ids(source) == []
+
+    def test_poll_component_not_flagged(self, harness):
+        source = """
+            class Poller:
+                event_driven = False
+
+                def tick(self):
+                    pass
+        """
+        assert harness.rule_ids(source) == []
+
+
+class TestFastForwardHint:
+    def test_fast_forward_without_next_event_flagged(self, harness):
+        source = """
+            class Skipper:
+                def fast_forward(self, cycles):
+                    self.cycle = self.cycle + cycles
+        """
+        assert harness.rule_ids(source) == ["CON002"]
+
+    def test_fast_forward_with_next_event_ok(self, harness):
+        source = """
+            class Skipper:
+                def fast_forward(self, cycles):
+                    self.cycle = self.cycle + cycles
+
+                def next_event(self):
+                    return None
+        """
+        assert harness.rule_ids(source) == []
+
+
+class TestSlottedValueClass:
+    def test_unslotted_dataclass_flagged(self, harness):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Request:
+                address: int
+        """
+        assert harness.rule_ids(source, value_class=True) == ["CON003"]
+
+    def test_slots_true_ok(self, harness):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class Request:
+                address: int
+        """
+        assert harness.rule_ids(source, value_class=True) == []
+
+    def test_manual_slots_ok(self, harness):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Request:
+                __slots__ = ("address",)
+                address: int
+        """
+        assert harness.rule_ids(source, value_class=True) == []
+
+    def test_outside_value_class_modules_not_flagged(self, harness):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Report:
+                title: str
+        """
+        assert harness.rule_ids(source, value_class=False) == []
+
+    def test_plain_class_not_flagged(self, harness):
+        source = """
+            class Request:
+                def __init__(self, address):
+                    self.address = address
+        """
+        assert harness.rule_ids(source, value_class=True) == []

@@ -1,0 +1,121 @@
+"""Positive/negative fixtures for the determinism (DET) rules."""
+
+from __future__ import annotations
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, harness):
+        assert harness.rule_ids("import time\nstamp = time.time()\n") == ["DET001"]
+
+    def test_from_import_alias_resolved(self, harness):
+        source = """
+            from time import perf_counter as pc
+            elapsed = pc()
+        """
+        assert harness.rule_ids(source) == ["DET001"]
+
+    def test_datetime_now_flagged(self, harness):
+        source = """
+            import datetime
+            stamp = datetime.datetime.now()
+        """
+        assert harness.rule_ids(source) == ["DET001"]
+
+    def test_time_sleep_not_flagged(self, harness):
+        assert harness.rule_ids("import time\ntime.sleep(0.1)\n") == []
+
+    def test_clock_cycle_not_flagged(self, harness):
+        assert harness.rule_ids("def f(clock):\n    return clock.cycle\n") == []
+
+
+class TestOsEntropy:
+    def test_urandom_flagged(self, harness):
+        assert harness.rule_ids("import os\nseed = os.urandom(8)\n") == ["DET002"]
+
+    def test_uuid4_flagged(self, harness):
+        assert harness.rule_ids("import uuid\nkey = uuid.uuid4()\n") == ["DET002"]
+
+    def test_secrets_flagged(self, harness):
+        source = """
+            import secrets
+            token = secrets.token_hex(8)
+        """
+        assert harness.rule_ids(source) == ["DET002"]
+
+    def test_uuid5_not_flagged(self, harness):
+        source = """
+            import uuid
+            key = uuid.uuid5(uuid.NAMESPACE_DNS, "repro")
+        """
+        assert harness.rule_ids(source) == []
+
+
+class TestGlobalRandom:
+    def test_import_random_flagged(self, harness):
+        assert harness.rule_ids("import random\n") == ["DET003"]
+
+    def test_from_random_import_flagged(self, harness):
+        assert harness.rule_ids("from random import shuffle\n") == ["DET003"]
+
+    def test_module_draw_flagged(self, harness):
+        # The import line and the draw both fire.
+        assert harness.rule_ids("import random\nx = random.random()\n") == [
+            "DET003",
+            "DET003",
+        ]
+
+    def test_own_rng_module_not_flagged(self, harness):
+        source = """
+            from repro.sim.rng import RandomStreams
+            streams = RandomStreams(seed=7)
+        """
+        assert harness.rule_ids(source) == []
+
+
+class TestGlobalNumpyRandom:
+    def test_global_state_draw_flagged(self, harness):
+        source = """
+            import numpy as np
+            x = np.random.rand(4)
+        """
+        assert harness.rule_ids(source) == ["DET004"]
+
+    def test_unseeded_default_rng_flagged(self, harness):
+        source = """
+            import numpy as np
+            rng = np.random.default_rng()
+        """
+        assert harness.rule_ids(source) == ["DET004"]
+
+    def test_seeded_default_rng_ok(self, harness):
+        source = """
+            import numpy as np
+            rng = np.random.default_rng(1234)
+        """
+        assert harness.rule_ids(source) == []
+
+    def test_seeded_bit_generator_ok(self, harness):
+        source = """
+            import numpy as np
+            rng = np.random.Generator(np.random.PCG64(99))
+        """
+        assert harness.rule_ids(source) == []
+
+
+class TestBuiltinHash:
+    def test_builtin_hash_flagged(self, harness):
+        assert harness.rule_ids("key = hash(('a', 1))\n") == ["DET005"]
+
+    def test_imported_hash_shadows_builtin(self, harness):
+        source = """
+            from siphash import hash
+            key = hash(b"data")
+        """
+        assert harness.rule_ids(source) == []
+
+    def test_blake2b_not_flagged(self, harness):
+        source = """
+            import hashlib
+            key = hashlib.blake2b(b"data", digest_size=8).hexdigest()
+        """
+        assert harness.rule_ids(source) == []

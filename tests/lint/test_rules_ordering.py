@@ -1,0 +1,120 @@
+"""Positive/negative fixtures for the ordering-stability (ORD) rules."""
+
+from __future__ import annotations
+
+
+class TestJsonSortKeys:
+    def test_plain_dumps_flagged(self, harness):
+        source = """
+            import json
+            def encode(record):
+                return json.dumps(record)
+        """
+        assert harness.rule_ids(source) == ["ORD001"]
+
+    def test_sort_keys_true_ok(self, harness):
+        source = """
+            import json
+            def encode(record):
+                return json.dumps(record, sort_keys=True)
+        """
+        assert harness.rule_ids(source) == []
+
+    def test_sort_keys_false_flagged(self, harness):
+        source = """
+            import json
+            def encode(record):
+                return json.dumps(record, sort_keys=False)
+        """
+        assert harness.rule_ids(source) == ["ORD001"]
+
+    def test_canonical_sorted_dict_comprehension_ok(self, harness):
+        # The store's canonical-encoder idiom must stay legal.
+        source = """
+            import json
+            def encode(record):
+                return json.dumps({key: record[key] for key in sorted(record)})
+        """
+        assert harness.rule_ids(source) == []
+
+    def test_dict_of_sorted_items_ok(self, harness):
+        source = """
+            import json
+            def encode(record):
+                return json.dumps(dict(sorted(record.items())))
+        """
+        assert harness.rule_ids(source) == []
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_literal_flagged(self, harness):
+        source = """
+            def walk():
+                for item in {"b", "a"}:
+                    yield item
+        """
+        assert harness.rule_ids(source) == ["ORD002"]
+
+    def test_for_over_set_comprehension_flagged(self, harness):
+        source = """
+            def ids(jobs):
+                for job_id in {job.job_id for job in jobs}:
+                    yield job_id
+        """
+        assert harness.rule_ids(source) == ["ORD002"]
+
+    def test_for_over_set_call_flagged(self, harness):
+        source = """
+            def walk(items):
+                for item in set(items):
+                    yield item
+        """
+        assert harness.rule_ids(source) == ["ORD002"]
+
+    def test_comprehension_over_union_flagged(self, harness):
+        source = """
+            def merged(a, b):
+                return [key for key in a.union(b)]
+        """
+        assert harness.rule_ids(source) == ["ORD002"]
+
+    def test_sorted_set_ok(self, harness):
+        source = """
+            def walk(items):
+                for item in sorted(set(items)):
+                    yield item
+        """
+        assert harness.rule_ids(source) == []
+
+    def test_list_iteration_ok(self, harness):
+        source = """
+            def walk(items):
+                for item in list(items):
+                    yield item
+        """
+        assert harness.rule_ids(source) == []
+
+
+class TestFilesystemOrder:
+    def test_listdir_iteration_flagged(self, harness):
+        source = """
+            import os
+            def scan(path):
+                for name in os.listdir(path):
+                    yield name
+        """
+        assert harness.rule_ids(source) == ["ORD003"]
+
+    def test_pathlib_glob_iteration_flagged(self, harness):
+        source = """
+            def scan(root):
+                return [p for p in root.rglob("*.py")]
+        """
+        assert harness.rule_ids(source) == ["ORD003"]
+
+    def test_sorted_glob_ok(self, harness):
+        source = """
+            def scan(root):
+                return [p for p in sorted(root.rglob("*.py"))]
+        """
+        assert harness.rule_ids(source) == []

@@ -1,0 +1,109 @@
+"""Positive/negative fixtures for the fork/resource-safety (RES) rules."""
+
+from __future__ import annotations
+
+
+class TestSharedMemoryCleanup:
+    def test_leak_on_all_paths_flagged(self, harness):
+        source = """
+            from multiprocessing import shared_memory
+
+            def export(nbytes):
+                segment = shared_memory.SharedMemory(create=True, size=nbytes)
+                return segment.name
+        """
+        assert harness.rule_ids(source) == ["RES001"]
+
+    def test_cleanup_in_finally_ok(self, harness):
+        source = """
+            from multiprocessing import shared_memory
+
+            def adopt(name):
+                segment = shared_memory.SharedMemory(name=name)
+                try:
+                    return bytes(segment.buf)
+                finally:
+                    segment.close()
+                    segment.unlink()
+        """
+        assert harness.rule_ids(source) == []
+
+    def test_cleanup_in_except_ok(self, harness):
+        source = """
+            from multiprocessing import shared_memory
+
+            def export(data):
+                segment = shared_memory.SharedMemory(create=True, size=len(data))
+                try:
+                    segment.buf[: len(data)] = data
+                except BaseException:
+                    segment.close()
+                    segment.unlink()
+                    raise
+                segment.close()
+                return segment.name
+        """
+        assert harness.rule_ids(source) == []
+
+    def test_module_level_creation_flagged(self, harness):
+        source = """
+            from multiprocessing import shared_memory
+
+            SEGMENT = shared_memory.SharedMemory(create=True, size=64)
+        """
+        assert harness.rule_ids(source) == ["RES001"]
+
+
+class TestFlockPairing:
+    def test_acquire_without_release_flagged(self, harness):
+        source = """
+            import fcntl
+
+            def lock(handle):
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        """
+        assert harness.rule_ids(source) == ["RES002"]
+
+    def test_acquire_and_release_ok(self, harness):
+        source = """
+            import fcntl
+
+            def lock(handle):
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+
+            def unlock(handle):
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        """
+        assert harness.rule_ids(source) == []
+
+    def test_no_flock_ok(self, harness):
+        assert harness.rule_ids("def f():\n    return 1\n") == []
+
+
+class TestOsExit:
+    def test_os_exit_flagged_outside_fault_injector(self, harness):
+        source = """
+            import os
+
+            def crash():
+                os._exit(1)
+        """
+        assert harness.rule_ids(source) == ["RES003"]
+
+    def test_os_exit_allowed_in_configured_module(self, harness):
+        source = """
+            import os
+
+            def crash():
+                os._exit(1)
+        """
+        assert harness.rule_ids(source, os_exit_ok=True) == []
+
+    def test_sys_exit_not_flagged(self, harness):
+        source = """
+            import sys
+
+            def stop():
+                sys.exit(1)
+        """
+        assert harness.rule_ids(source) == []

@@ -1,0 +1,51 @@
+"""The analyzer's own dogfood gate: ``src/repro`` must lint clean.
+
+This is the committed guarantee behind the CI lint job — every finding in
+the tree is either fixed, pragma-suppressed with an in-place justification,
+or grandfathered in ``lint-baseline.json`` with a written reason.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, PLACEHOLDER_REASON
+from repro.lint.config import load_config
+from repro.lint.engine import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_repro_is_clean_against_committed_baseline():
+    config = load_config(REPO_ROOT)
+    report = run_lint(config)
+    rendered = "\n".join(f.format_text() for f in report.findings)
+    assert report.clean, f"repro lint found new violations:\n{rendered}"
+    assert report.files_scanned > 50  # the whole tree was actually walked
+
+
+def test_committed_baseline_has_no_placeholder_reasons():
+    config = load_config(REPO_ROOT)
+    path = REPO_ROOT / config.baseline
+    baseline = Baseline.load(path)  # raises on empty reasons
+    placeholders = [
+        entry.fingerprint
+        for entry in baseline.entries.values()
+        if entry.reason == PLACEHOLDER_REASON
+    ]
+    assert placeholders == [], "fill in real reasons for baselined findings"
+
+
+def test_committed_baseline_has_no_stale_entries():
+    config = load_config(REPO_ROOT)
+    report = run_lint(config)
+    stale = [entry.fingerprint for entry in report.stale_baseline]
+    assert stale == [], "remove fixed findings from lint-baseline.json"
+
+
+def test_baseline_file_is_valid_versioned_json():
+    config = load_config(REPO_ROOT)
+    document = json.loads((REPO_ROOT / config.baseline).read_text())
+    assert document["version"] == 1
+    assert isinstance(document["entries"], list)

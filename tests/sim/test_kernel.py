@@ -1,5 +1,7 @@
 """Tests for the cycle-driven kernel."""
 
+from typing import ClassVar
+
 import pytest
 
 from repro.sim.component import Component
@@ -32,7 +34,7 @@ class TickCounter(Component):
 class OrderProbe(Component):
     """Records the global order in which components were evaluated."""
 
-    order: list[str] = []
+    order: ClassVar[list[str]] = []
 
     def tick(self) -> None:
         OrderProbe.order.append(self.name)

@@ -152,7 +152,7 @@ class TestColumnarGeneration:
         items = list(spec.generate_items(np.random.default_rng(42)))
         gaps, addresses, kinds = spec.generate_columns(np.random.default_rng(42))
         assert len(items) == len(gaps) == len(addresses) == len(kinds)
-        for item, gap, address, kind in zip(items, gaps, addresses, kinds):
+        for item, gap, address, kind in zip(items, gaps, addresses, kinds, strict=True):
             assert item.compute_cycles == gap
             if item.access is None:
                 assert kind == KIND_NONE
