@@ -117,17 +117,31 @@ def build_l2(
 
 
 class L2BusSlave:
-    """Bus-slave adapter: resolves granted requests against L2 + memory."""
+    """Bus-slave adapter: resolves granted requests against L2 + memory.
+
+    With the default fixed memory model every transaction class has a frozen
+    duration (the paper's latency table).  With ``dynamic_memory=True`` (the
+    banked DRAM model) the memory-touching classes are priced per transaction
+    instead: the slave hands the controller the transaction's real access
+    list — victim writeback address reconstructed from the evicted tag, then
+    the line fetch — and adds the returned DRAM latency to the bus overhead.
+    Either way the duration is resolved synchronously at grant time, so all
+    kernel modes observe identical bank-state evolution.
+    """
 
     def __init__(
         self,
         l2: PartitionedL2,
         memory: MemoryController,
         latency_table: LatencyTable,
+        dynamic_memory: bool = False,
     ) -> None:
         self.l2 = l2
         self.memory = memory
         self.latency_table = latency_table
+        self.dynamic_memory = dynamic_memory
+        self._line_bytes = l2.partitions[0].placement.line_bytes
+        self._bus_overhead = latency_table.timings.bus_overhead
         self.stats = StatGroup(name="l2_slave.stats")
         # resolve() runs once per bus transaction; bind the per-class counter
         # family up front instead of formatting its key on every call.
@@ -166,10 +180,38 @@ class L2BusSlave:
             return TransactionClass.L2_MISS_DIRTY
         return TransactionClass.L2_MISS_CLEAN
 
+    def _serve_dynamic(self, request: BusRequest, cycle: int) -> tuple[TransactionClass, int]:
+        """Serve ``request`` with per-transaction DRAM timing (banked model)."""
+        address = request.address
+        if request.access is AccessType.ATOMIC:
+            latency = self.memory.transaction(((address, True), (address, False)))
+            return TransactionClass.ATOMIC, latency + self._bus_overhead
+
+        result = self.l2.access(request.master_id, address, request.access.is_write, cycle)
+        if result.hit:
+            if request.access.is_write:
+                kind = TransactionClass.L2_HIT_WRITE
+            else:
+                kind = TransactionClass.L2_HIT_READ
+            return kind, self._duration_by_class[kind]
+        if result.writeback:
+            # The tag is the full block address, so the victim's memory
+            # address is exactly tag * line_bytes.  Program order writes the
+            # dirty victim back before fetching the new line; FR-FCFS may
+            # reorder the pair when the fetch row is already open.
+            victim = result.evicted_tag * self._line_bytes
+            latency = self.memory.transaction(((victim, False), (address, True)))
+            return TransactionClass.L2_MISS_DIRTY, latency + self._bus_overhead
+        latency = self.memory.transaction(((address, True),))
+        return TransactionClass.L2_MISS_CLEAN, latency + self._bus_overhead
+
     def resolve(self, request: BusRequest, cycle: int) -> int:
         """Bus-slave protocol entry point: return the bus hold time in cycles."""
-        kind = self.classify(request, cycle)
-        duration = self._duration_by_class[kind]
+        if self.dynamic_memory:
+            kind, duration = self._serve_dynamic(request, cycle)
+        else:
+            kind = self.classify(request, cycle)
+            duration = self._duration_by_class[kind]
         request.annotate(transaction_class=kind.value)
         self._c_by_class[kind].value += 1
         self._c_requests.value += 1

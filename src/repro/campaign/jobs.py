@@ -57,6 +57,7 @@ SCENARIO_RUNNERS: dict[str, str | Callable] = {
     "isolation": "repro.campaign.jobs:_run_isolation",
     "max_contention": "repro.campaign.jobs:_run_max_contention",
     "wcet_estimation": "repro.campaign.jobs:_run_wcet_estimation",
+    "mixed_criticality": "repro.campaign.jobs:_run_mixed_criticality",
     "illustrative": "repro.experiments.illustrative:campaign_runner",
     "table1": "repro.experiments.table1:campaign_runner",
     "overheads": "repro.experiments.overheads:campaign_runner",
@@ -366,3 +367,9 @@ def _run_wcet_estimation(job: CampaignJob, run_index: int) -> RunOutcome:
     from ..platform.scenarios import run_wcet_estimation
 
     return _platform_outcome(job, run_index, run_wcet_estimation)
+
+
+def _run_mixed_criticality(job: CampaignJob, run_index: int) -> RunOutcome:
+    from ..platform.scenarios import run_mixed_criticality
+
+    return _platform_outcome(job, run_index, run_mixed_criticality)

@@ -16,6 +16,7 @@ Command                   Regenerates
 ``list-workloads``        the modelled EEMBC-like and synthetic workloads
 ``obs``                   observability: record/inspect traces, profiles, metrics
 ``campaign``              campaign engine utilities (``chaos`` fault harness)
+``fuzz``                  the property-based scenario fuzzer (run/replay/shrink)
 ``lint``                  the repository-contract static analyzer
 ========================  =====================================================
 
@@ -66,6 +67,7 @@ from .campaign.executor import create_executor
 from .campaign.progress import NullProgress, ProgressReporter
 from .campaign.resilience import RetryPolicy
 from .campaign.store import ArtifactStore
+from .fuzz.cli import add_fuzz_arguments, run_from_args as _run_fuzz_args
 from .lint.cli import add_lint_arguments, run_from_args as _run_lint_args
 from .obs.profiler import CampaignProfiler
 from .core.bounds import ContentionScenario
@@ -303,6 +305,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="store path (default: a temporary file)")
     chaos.add_argument("--quiet", action="store_true",
                        help="suppress chaos progress output on stderr")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="property-based scenario fuzzer (run, replay, shrink)",
+    )
+    add_fuzz_arguments(fuzz)
 
     lint = sub.add_parser(
         "lint",
@@ -549,6 +557,7 @@ _COMMANDS = {
     "list-workloads": _cmd_list_workloads,
     "obs": _cmd_obs,
     "campaign": _cmd_campaign,
+    "fuzz": _run_fuzz_args,
     "lint": _run_lint_args,
 }
 

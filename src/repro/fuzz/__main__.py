@@ -1,0 +1,7 @@
+"""Allow ``python -m repro.fuzz run|replay|shrink``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,172 @@
+"""Command-line front end: ``repro fuzz run|replay|shrink``.
+
+Exit codes:
+
+* ``0`` — every iteration / repro file passed its invariants;
+* ``1`` — at least one invariant violation (repros written when ``--artifacts``
+  is given);
+* ``2`` — configuration or usage error (bad paths, corrupt repro files, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from ..sim.errors import SimulationError
+from .runner import fuzz_run, load_repro, replay_scenario, write_repro
+from .shrink import shrink_scenario
+
+__all__ = ["add_fuzz_arguments", "main", "run_from_args"]
+
+
+def add_fuzz_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the fuzz subcommands (shared by ``repro fuzz`` and tests)."""
+    sub = parser.add_subparsers(dest="fuzz_command", required=True)
+
+    run = sub.add_parser(
+        "run", help="draw seeded random scenarios and check their invariants"
+    )
+    run.add_argument("--seed", type=int, default=0, metavar="N",
+                     help="master seed; every iteration derives its own "
+                          "sub-seed from it (default: 0)")
+    run.add_argument("--iterations", type=int, default=25, metavar="N",
+                     help="number of scenarios to draw and check (default: 25)")
+    run.add_argument("--artifacts", default=None, metavar="DIR",
+                     help="write one shrunk repro-<i>.json per failure here")
+    run.add_argument("--max-failures", type=int, default=None, metavar="N",
+                     help="stop after collecting N failures (default: run all)")
+    run.add_argument("--no-shrink", action="store_true",
+                     help="persist failing scenarios unshrunk (faster triage)")
+    run.add_argument("--shrink-budget", type=int, default=64, metavar="N",
+                     help="max candidate re-executions per shrink (default: 64)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-iteration progress on stderr")
+
+    replay = sub.add_parser(
+        "replay", help="re-execute repro files and re-check their invariants"
+    )
+    replay.add_argument("repros", nargs="+", metavar="PATH",
+                        help="repro JSON files written by `repro fuzz run`")
+
+    shrink = sub.add_parser(
+        "shrink", help="further minimise an existing failing repro file"
+    )
+    shrink.add_argument("repro", metavar="PATH", help="failing repro JSON file")
+    shrink.add_argument("--output", default=None, metavar="PATH",
+                        help="write the shrunk repro here (default: in place)")
+    shrink.add_argument("--shrink-budget", type=int, default=64, metavar="N",
+                        help="max candidate re-executions (default: 64)")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    log = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    report = fuzz_run(
+        master_seed=args.seed,
+        iterations=args.iterations,
+        artifacts_dir=args.artifacts,
+        max_failures=args.max_failures,
+        shrink=not args.no_shrink,
+        shrink_budget=args.shrink_budget,
+        log=log,
+    )
+    print(
+        f"fuzz: seed={report.master_seed} iterations={report.iterations} "
+        f"checks={report.checks_run} failures={len(report.failures)}"
+    )
+    for failure in report.failures:
+        print(
+            f"  iteration {failure.iteration}: {failure.violation.invariant} — "
+            f"{failure.violation.detail}"
+        )
+        if failure.repro_path is not None:
+            print(f"    replay with: {failure.replay_command()}")
+    if report.failures:
+        print(
+            f"fuzz: reproduce the whole campaign with "
+            f"`repro fuzz run --seed {report.master_seed} "
+            f"--iterations {report.iterations}`"
+        )
+    return 0 if report.passed else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    failures = 0
+    for path in args.repros:
+        try:
+            scenario, record = load_repro(path)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"fuzz replay: {path}: unreadable repro: {error}", file=sys.stderr)
+            return 2
+        violations = replay_scenario(scenario)
+        if violations:
+            failures += 1
+            expected = record.get("invariant")
+            note = f" (repro recorded: {expected})" if expected else ""
+            print(
+                f"FAIL {path}: {violations[0].invariant} — "
+                f"{violations[0].detail}{note}"
+            )
+        else:
+            print(f"PASS {path}: checks={','.join(scenario.checks)}")
+    print(f"fuzz replay: {len(args.repros)} file(s), {failures} failing")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    try:
+        scenario, record = load_repro(args.repro)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"fuzz shrink: {args.repro}: unreadable repro: {error}", file=sys.stderr)
+        return 2
+    violations = replay_scenario(scenario)
+    if not violations:
+        print(f"fuzz shrink: {args.repro} passes its checks; nothing to shrink")
+        return 0
+    shrunk, violation, attempts = shrink_scenario(
+        scenario, violations[0], max_attempts=args.shrink_budget
+    )
+    output = Path(args.output) if args.output else Path(args.repro)
+    write_repro(
+        output,
+        scenario=shrunk,
+        violation=violation,
+        master_seed=record.get("master_seed"),  # type: ignore[arg-type]
+        iteration=record.get("iteration"),  # type: ignore[arg-type]
+    )
+    print(
+        f"fuzz shrink: {violation.invariant} still fails after {attempts} "
+        f"attempt(s); wrote {output}"
+    )
+    return 1
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a fuzz invocation from parsed arguments."""
+    command = args.fuzz_command
+    if command == "run":
+        return _cmd_run(args)
+    if command == "replay":
+        return _cmd_replay(args)
+    if command == "shrink":
+        return _cmd_shrink(args)
+    raise ValueError(f"unknown fuzz command {command!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.fuzz``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Property-based scenario fuzzer: random platform/workload/"
+                    "memory configurations checked for kernel-mode equivalence, "
+                    "campaign-dispatch equivalence and contention monotonicity.",
+    )
+    add_fuzz_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_from_args(args)
+    except SimulationError as error:
+        print(f"repro fuzz: error: {error}", file=sys.stderr)
+        return 2

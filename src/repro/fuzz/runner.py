@@ -1,0 +1,203 @@
+"""The fuzz campaign driver: iterate, detect, shrink, persist, replay.
+
+One fuzzing *iteration* derives its own seed from ``(master_seed, index)``
+via the repository's stream-derivation hash, draws a scenario from that seed
+and runs its invariant checks.  A failing iteration is shrunk (see
+:mod:`repro.fuzz.shrink`) and written as a self-contained repro JSON that
+:func:`replay_file` — and ``repro fuzz replay`` — re-executes without any
+other state.  Minimised cases that found real bugs get committed to
+``tests/fuzz/corpus/`` where tier-1 replays them forever.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..sim.rng import derive_seed
+from .harness import InvariantViolation, PerturbHook, check_scenario
+from .shrink import shrink_scenario
+from .space import (
+    FuzzScenario,
+    canonical_json,
+    draw_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+__all__ = [
+    "REPRO_VERSION",
+    "FuzzFailure",
+    "FuzzReport",
+    "iteration_seed",
+    "fuzz_iteration",
+    "fuzz_run",
+    "write_repro",
+    "load_repro",
+    "replay_file",
+    "replay_scenario",
+]
+
+REPRO_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One invariant violation the fuzzer found (and shrank)."""
+
+    iteration: int
+    master_seed: int
+    violation: InvariantViolation
+    scenario: FuzzScenario
+    original_scenario: FuzzScenario
+    shrink_attempts: int
+    repro_path: str | None = None
+
+    def replay_command(self) -> str:
+        path = self.repro_path or "<repro.json>"
+        return f"repro fuzz replay {path}"
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one ``fuzz_run`` campaign."""
+
+    master_seed: int
+    iterations: int
+    checks_run: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def iteration_seed(master_seed: int, iteration: int) -> int:
+    """The drawing seed of one iteration (stable across machines)."""
+    return derive_seed(master_seed, "fuzz", iteration)
+
+
+def fuzz_iteration(master_seed: int, iteration: int) -> FuzzScenario:
+    """Draw the scenario that iteration ``iteration`` checks."""
+    rng = np.random.default_rng(iteration_seed(master_seed, iteration))
+    return draw_scenario(rng)
+
+
+def fuzz_run(
+    master_seed: int,
+    iterations: int,
+    artifacts_dir: "str | Path | None" = None,
+    max_failures: int | None = None,
+    shrink: bool = True,
+    shrink_budget: int = 64,
+    perturb: PerturbHook | None = None,
+    log: "Callable[[str], None] | None" = None,
+) -> FuzzReport:
+    """Run ``iterations`` fuzz iterations and report every failure found.
+
+    ``max_failures`` stops the campaign early once that many failures were
+    collected (each one is shrunk and persisted first).  ``artifacts_dir``
+    receives one ``repro-<iteration>.json`` per failure.  ``perturb`` is the
+    mutation-testing hook threaded through to every mode execution.
+    """
+    report = FuzzReport(master_seed=master_seed, iterations=iterations)
+    emit = log if log is not None else (lambda _message: None)
+    for iteration in range(iterations):
+        scenario = fuzz_iteration(master_seed, iteration)
+        emit(
+            f"iteration {iteration}: kind={scenario.kind} "
+            f"arbiter={scenario.config.arbitration} "
+            f"memory={scenario.config.memory.model} checks={','.join(scenario.checks)}"
+        )
+        violations = check_scenario(scenario, perturb)
+        report.checks_run += len(scenario.checks)
+        if not violations:
+            continue
+        violation = violations[0]
+        emit(f"iteration {iteration}: FAILED {violation.invariant} — {violation.detail}")
+        shrunk, shrunk_violation, attempts = (
+            shrink_scenario(scenario, violation, perturb, max_attempts=shrink_budget)
+            if shrink
+            else (scenario.with_updates(checks=(violation.invariant,)), violation, 0)
+        )
+        repro_path: str | None = None
+        if artifacts_dir is not None:
+            directory = Path(artifacts_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"repro-{iteration}.json"
+            write_repro(
+                path,
+                scenario=shrunk,
+                violation=shrunk_violation,
+                master_seed=master_seed,
+                iteration=iteration,
+            )
+            repro_path = str(path)
+            emit(f"iteration {iteration}: shrunk repro written to {repro_path}")
+        report.failures.append(
+            FuzzFailure(
+                iteration=iteration,
+                master_seed=master_seed,
+                violation=shrunk_violation,
+                scenario=shrunk,
+                original_scenario=scenario,
+                shrink_attempts=attempts,
+                repro_path=repro_path,
+            )
+        )
+        if max_failures is not None and len(report.failures) >= max_failures:
+            break
+    return report
+
+
+# ----------------------------------------------------------------------
+# Repro files
+# ----------------------------------------------------------------------
+def write_repro(
+    path: "str | Path",
+    scenario: FuzzScenario,
+    violation: "InvariantViolation | None" = None,
+    master_seed: int | None = None,
+    iteration: int | None = None,
+) -> None:
+    """Write a self-contained repro JSON for ``scenario``."""
+    record: dict[str, object] = {
+        "version": REPRO_VERSION,
+        "scenario": scenario_to_dict(scenario),
+    }
+    if violation is not None:
+        record["invariant"] = violation.invariant
+        record["detail"] = violation.detail
+    if master_seed is not None:
+        record["master_seed"] = master_seed
+    if iteration is not None:
+        record["iteration"] = iteration
+    Path(path).write_text(canonical_json(record) + "\n", encoding="utf-8")
+
+
+def load_repro(path: "str | Path") -> tuple[FuzzScenario, Mapping[str, object]]:
+    """Load a repro file; returns the scenario and the raw record."""
+    record = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = int(record.get("version", 0))
+    if version != REPRO_VERSION:
+        raise ValueError(f"{path}: unsupported repro version {version}")
+    return scenario_from_dict(record["scenario"]), record
+
+
+def replay_scenario(
+    scenario: FuzzScenario, perturb: PerturbHook | None = None
+) -> list[InvariantViolation]:
+    """Re-run a scenario's checks; empty list means every invariant holds."""
+    return check_scenario(scenario, perturb)
+
+
+def replay_file(
+    path: "str | Path", perturb: PerturbHook | None = None
+) -> list[InvariantViolation]:
+    """Replay a repro file from disk."""
+    scenario, _record = load_repro(path)
+    return replay_scenario(scenario, perturb)

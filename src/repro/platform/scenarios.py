@@ -28,6 +28,7 @@ __all__ = [
     "run_max_contention",
     "run_wcet_estimation",
     "run_multiprogram",
+    "run_mixed_criticality",
 ]
 
 
@@ -38,6 +39,7 @@ class Scenario(str, Enum):
     MAX_CONTENTION = "max_contention"
     WCET_ESTIMATION = "wcet_estimation"
     MULTIPROGRAM = "multiprogram"
+    MIXED_CRITICALITY = "mixed_criticality"
 
 
 @dataclass(frozen=True)
@@ -192,6 +194,66 @@ def run_wcet_estimation(
     result = system.run(max_cycles=max_cycles, allow_truncation=allow_truncation)
     return ScenarioResult(
         scenario=Scenario.WCET_ESTIMATION,
+        tua_core=tua_core,
+        tua_cycles=result.execution_cycles(tua_core),
+        system=result,
+        truncated=result.truncated,
+    )
+
+
+def run_mixed_criticality(
+    workload: WorkloadSpec,
+    config: PlatformConfig,
+    seed: int = 0,
+    run_index: int = 0,
+    tua_core: int = 0,
+    max_cycles: int = 10_000_000,
+    allow_truncation: bool = False,
+    best_effort: "WorkloadSpec | str | None" = None,
+    fast_forward: bool = True,
+    materialize_traces: bool = True,
+    batch_interpreter: bool = True,
+    event_queue: bool = True,
+) -> ScenarioResult:
+    """Run a critical task against best-effort tasks on every other core.
+
+    The mixed-criticality consolidation the paper motivates: the critical
+    task (under CBA its budget bounds the interference it can suffer) shares
+    the platform with best-effort programs that are real workloads — unlike
+    the synthetic worst-case contenders of ``run_max_contention`` they
+    compute, hit their caches and finish.  The run stops when every task is
+    done, and ``tua_cycles`` measures the critical task only.
+
+    ``best_effort`` picks the program for the non-critical cores: a
+    :class:`~repro.workloads.base.WorkloadSpec`, the name of a synthetic
+    builder (resolved via :func:`repro.workloads.synthetic.synthetic_workload`),
+    or ``None`` for the default bus-heavy mix.
+    """
+    from ..workloads.synthetic import bus_hog_workload, synthetic_workload
+
+    if best_effort is None:
+        contender_spec = bus_hog_workload()
+    elif isinstance(best_effort, str):
+        contender_spec = synthetic_workload(best_effort)
+    else:
+        contender_spec = best_effort
+    system = _build_system(
+        config,
+        seed,
+        run_index,
+        label=f"{config.arbitration}-mixed",
+        fast_forward=fast_forward,
+        materialize_traces=materialize_traces,
+        batch_interpreter=batch_interpreter,
+        event_queue=event_queue,
+    )
+    system.add_task(tua_core, workload)
+    for core in range(config.num_cores):
+        if core != tua_core:
+            system.add_task(core, contender_spec)
+    result = system.run(max_cycles=max_cycles, allow_truncation=allow_truncation)
+    return ScenarioResult(
+        scenario=Scenario.MIXED_CRITICALITY,
         tua_core=tua_core,
         tua_cycles=result.execution_cycles(tua_core),
         system=result,

@@ -23,7 +23,7 @@ from ..core.cba import CreditBasedArbiter
 from ..cpu.core_model import CoreModel
 from ..cpu.counters import CoreCounters
 from ..memory.controller import MemoryController
-from ..memory.dram import DRAM
+from ..memory.dram import DRAM, BankedDRAM
 from ..obs.profiler import KernelProfiler
 from ..obs.registry import MetricsRegistry
 from ..obs.timeline import TimelineRecorder
@@ -145,8 +145,19 @@ class MulticoreSystem:
         self.latency_table = LatencyTable(config.bus_timings)
 
         # Memory side (bus slave): partitioned L2 -> controller -> DRAM.
-        dram = DRAM(access_latency=config.bus_timings.memory_latency)
-        self.memory_controller = MemoryController(dram)
+        mem_cfg = config.memory
+        if mem_cfg.model == "banked":
+            dram: DRAM | BankedDRAM = BankedDRAM(
+                num_banks=mem_cfg.num_banks,
+                row_bytes=mem_cfg.row_bytes,
+                row_hit_latency=mem_cfg.row_hit_latency,
+                row_miss_latency=mem_cfg.row_miss_latency,
+                row_conflict_latency=mem_cfg.row_conflict_latency,
+            )
+        else:
+            dram = DRAM(access_latency=config.bus_timings.memory_latency)
+        self.dram = dram
+        self.memory_controller = MemoryController(dram, policy=mem_cfg.controller_policy)
         self.l2 = build_l2(
             geometry=config.l2_geometry,
             num_cores=config.num_cores,
@@ -154,7 +165,12 @@ class MulticoreSystem:
             random_caches=config.random_caches,
             rng=streams.stream("l2"),
         )
-        self.l2_slave = L2BusSlave(self.l2, self.memory_controller, self.latency_table)
+        self.l2_slave = L2BusSlave(
+            self.l2,
+            self.memory_controller,
+            self.latency_table,
+            dynamic_memory=mem_cfg.model == "banked",
+        )
 
         # Arbiter, optionally wrapped by CBA.
         base_arbiter = create_arbiter(
@@ -328,6 +344,7 @@ class MulticoreSystem:
 
     def _collect_result(self) -> SystemResult:
         num_cores = self.config.num_cores
+        dram_stats = self.dram.stats
         counters = {core_id: core.counters for core_id, core in self.cores.items()}
         l1_miss_rates = {
             core_id: core.l1_data.miss_rate() for core_id, core in self.cores.items()
@@ -350,6 +367,24 @@ class MulticoreSystem:
                 "contender_requests": {
                     core_id: contender.requests_completed
                     for core_id, contender in self.contenders.items()
+                },
+                # DRAM/controller state evolution is part of the bit-identity
+                # contract: the equivalence matrix and the fuzzer compare
+                # these across kernel modes like every other counter.
+                "memory": {
+                    "model": self.config.memory.model,
+                    "controller_policy": self.config.memory.controller_policy,
+                    "reads": dram_stats.counter("reads").value,
+                    "writes": dram_stats.counter("writes").value,
+                    "row_hits": dram_stats.counter("row_hits").value,
+                    "row_misses": dram_stats.counter("row_misses").value,
+                    "row_conflicts": dram_stats.counter("row_conflicts").value,
+                    "busy_cycles": self.memory_controller.stats.counter(
+                        "busy_cycles"
+                    ).value,
+                    "reordered_accesses": self.memory_controller.stats.counter(
+                        "reordered_accesses"
+                    ).value,
                 },
             },
             observability={

@@ -25,6 +25,7 @@ __all__ = [
     "BusTimings",
     "CacheGeometry",
     "CBAParameters",
+    "MemoryConfig",
     "ObservabilityConfig",
     "PlatformConfig",
     "DEFAULT_BUS_TIMINGS",
@@ -196,6 +197,62 @@ class CBAParameters:
 
 
 @dataclass(frozen=True)
+class MemoryConfig:
+    """Timing model of the DRAM behind the memory controller.
+
+    ``model="fixed"`` reproduces the paper's platform: every memory access
+    costs :attr:`BusTimings.memory_latency` cycles regardless of address, so
+    the bus is the only contention point.  ``model="banked"`` enables the
+    second contention point the CBA analysis extends to naturally: DRAM banks
+    with per-bank row buffers, where an access costs
+
+    * :attr:`row_hit_latency` when its row is already open in its bank,
+    * :attr:`row_miss_latency` when the bank has no row open (row activate),
+    * :attr:`row_conflict_latency` when another row is open (precharge +
+      activate).
+
+    The controller serves every access of one bus transaction back to back;
+    :attr:`controller_policy` picks the order: ``"in_order"`` preserves the
+    transaction's own sequence (writeback before fetch), ``"frfcfs"``
+    (first-ready, first-come-first-served) serves accesses whose row is
+    already open first, the standard open-row-priority reordering of real
+    memory controllers.  Both are deterministic, so every kernel mode
+    resolves identical timings.
+    """
+
+    model: str = "fixed"
+    num_banks: int = 4
+    row_bytes: int = 1024
+    row_hit_latency: int = 16
+    row_miss_latency: int = 24
+    row_conflict_latency: int = 28
+    controller_policy: str = "in_order"
+
+    def __post_init__(self) -> None:
+        if self.model not in ("fixed", "banked"):
+            raise ConfigurationError(f"unknown memory model {self.model!r}")
+        if self.controller_policy not in ("in_order", "frfcfs"):
+            raise ConfigurationError(
+                f"unknown memory controller policy {self.controller_policy!r}"
+            )
+        if self.num_banks <= 0:
+            raise ConfigurationError("DRAM needs at least one bank")
+        if self.row_bytes <= 0 or self.row_bytes & (self.row_bytes - 1):
+            raise ConfigurationError("DRAM row size must be a positive power of two")
+        if not 0 < self.row_hit_latency <= self.row_miss_latency <= self.row_conflict_latency:
+            raise ConfigurationError(
+                "DRAM latencies must satisfy 0 < hit <= miss <= conflict "
+                f"(got {self.row_hit_latency}/{self.row_miss_latency}"
+                f"/{self.row_conflict_latency})"
+            )
+
+    @property
+    def worst_access_latency(self) -> int:
+        """Latency of the slowest single access under this model."""
+        return self.row_conflict_latency if self.model == "banked" else 0
+
+
+@dataclass(frozen=True)
 class ObservabilityConfig:
     """Opt-in instrumentation of one simulated system.
 
@@ -258,11 +315,25 @@ class PlatformConfig:
     #: experiments (see DESIGN.md).  Real LEON3 pipelines have a small buffer,
     #: exposed here for ablation studies.
     store_buffer_entries: int = 0
+    #: DRAM timing model behind the memory controller.  The default fixed
+    #: model reproduces the paper; the banked model adds row-buffer
+    #: contention as a second shared resource (see :class:`MemoryConfig`).
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
     frequency_hz: float = 100_000_000.0
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
             raise ConfigurationError("platform needs at least one core")
+        if self.memory.model == "banked":
+            # The longest banked transaction is two worst-case (row conflict)
+            # accesses plus the bus overhead — it must fit under MaxL or the
+            # bus would reject the slave's duration.
+            worst = 2 * self.memory.row_conflict_latency + self.bus_timings.bus_overhead
+            if worst > self.bus_timings.max_latency:
+                raise ConfigurationError(
+                    "max_latency must cover the worst banked DRAM transaction "
+                    f"(got {self.bus_timings.max_latency} < {worst})"
+                )
         if self.store_buffer_entries < 0:
             raise ConfigurationError("store_buffer_entries cannot be negative")
         if self.cba.num_cores != self.num_cores:

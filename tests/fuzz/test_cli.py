@@ -1,0 +1,50 @@
+"""Tests for the ``repro fuzz`` command-line interface."""
+
+import json
+
+from repro.fuzz import fuzz_iteration, write_repro
+from repro.fuzz.cli import main
+
+
+def test_run_clean_exits_zero(capsys):
+    assert main(["run", "--seed", "7", "--iterations", "3", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "failures=0" in out
+
+
+def test_replay_passing_repro_exits_zero(tmp_path, capsys):
+    path = tmp_path / "case.json"
+    write_repro(path, fuzz_iteration(7, 0))
+    assert main(["replay", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"PASS {path}" in out
+
+
+def test_replay_unreadable_repro_exits_two(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{}", encoding="utf-8")
+    assert main(["replay", str(path)]) == 2
+
+
+def test_replay_rejects_future_versions(tmp_path):
+    scenario_path = tmp_path / "good.json"
+    write_repro(scenario_path, fuzz_iteration(7, 0))
+    record = json.loads(scenario_path.read_text(encoding="utf-8"))
+    record["version"] = 99
+    scenario_path.write_text(json.dumps(record), encoding="utf-8")
+    assert main(["replay", str(scenario_path)]) == 2
+
+
+def test_shrink_on_passing_repro_is_a_no_op(tmp_path, capsys):
+    path = tmp_path / "case.json"
+    write_repro(path, fuzz_iteration(7, 0))
+    before = path.read_text(encoding="utf-8")
+    assert main(["shrink", str(path)]) == 0
+    assert path.read_text(encoding="utf-8") == before
+    assert "nothing to shrink" in capsys.readouterr().out
+
+
+def test_top_level_cli_exposes_fuzz():
+    from repro.cli import main as repro_main
+
+    assert repro_main(["fuzz", "run", "--seed", "7", "--iterations", "1", "--quiet"]) == 0

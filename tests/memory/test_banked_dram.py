@@ -1,0 +1,89 @@
+"""Tests for the banked DRAM model (row-buffer state machine per bank)."""
+
+import pytest
+
+from repro.memory.dram import BankedDRAM
+from repro.sim.errors import ConfigurationError
+
+# num_banks=4, row_bytes=1024 => global row r lives in bank r % 4, row r // 4.
+ROW = 1024
+
+
+def _dram(**kwargs) -> BankedDRAM:
+    defaults = dict(
+        num_banks=4,
+        row_bytes=ROW,
+        row_hit_latency=16,
+        row_miss_latency=24,
+        row_conflict_latency=28,
+    )
+    defaults.update(kwargs)
+    return BankedDRAM(**defaults)
+
+
+def test_first_access_is_a_row_miss():
+    dram = _dram()
+    assert dram.access(0x0000) == 24
+    assert dram.stats.counter("row_misses").value == 1
+
+
+def test_same_row_hits_after_opening():
+    dram = _dram()
+    dram.access(0x0000)
+    assert dram.is_row_hit(0x0200)
+    assert dram.access(0x0200) == 16  # same global row, open
+    assert dram.access(0x03FF) == 16
+    assert dram.stats.counter("row_hits").value == 2
+
+
+def test_different_row_same_bank_conflicts():
+    dram = _dram()
+    dram.access(0)  # bank 0, row 0
+    assert not dram.is_row_hit(4 * ROW)
+    assert dram.access(4 * ROW) == 28  # bank 0, row 1: close + open
+    assert dram.stats.counter("row_conflicts").value == 1
+    # The conflict left row 1 open: revisiting it now hits.
+    assert dram.access(4 * ROW) == 16
+
+
+def test_banks_hold_independent_open_rows():
+    dram = _dram()
+    # Rows 0..3 land in four different banks: all misses, no conflicts.
+    for bank in range(4):
+        assert dram.access(bank * ROW) == 24
+    assert dram.stats.counter("row_conflicts").value == 0
+    # Every bank still has its row open.
+    for bank in range(4):
+        assert dram.access(bank * ROW) == 16
+
+
+def test_read_write_counters():
+    dram = _dram()
+    dram.access(0, read=True)
+    dram.access(ROW, read=False)
+    assert dram.stats.counter("reads").value == 1
+    assert dram.stats.counter("writes").value == 1
+    assert dram.total_accesses == 2
+
+
+def test_reset_forgets_open_rows_and_counters():
+    dram = _dram()
+    dram.access(0)
+    dram.access(0)
+    dram.reset()
+    assert dram.total_accesses == 0
+    assert not dram.is_row_hit(0)
+    assert dram.access(0) == 24  # back to a cold miss
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        _dram(num_banks=0)
+    with pytest.raises(ConfigurationError):
+        _dram(row_bytes=1000)  # not a power of two
+    with pytest.raises(ConfigurationError):
+        _dram(row_hit_latency=0)
+    with pytest.raises(ConfigurationError):
+        _dram(row_miss_latency=12)  # miss < hit
+    with pytest.raises(ConfigurationError):
+        _dram(row_conflict_latency=20)  # conflict < miss

@@ -1,7 +1,10 @@
 """Tests for the memory controller."""
 
+import pytest
+
 from repro.memory.controller import MemoryController
-from repro.memory.dram import DRAM
+from repro.memory.dram import DRAM, BankedDRAM
+from repro.sim.errors import ConfigurationError
 
 
 def test_forwards_accesses_to_dram_and_returns_latency():
@@ -31,3 +34,53 @@ def test_reset_clears_controller_and_dram():
     controller.reset()
     assert controller.total_accesses == 0
     assert controller.dram.total_accesses == 0
+
+
+# ----------------------------------------------------------------------
+# Multi-access transactions and controller arbitration policies
+# ----------------------------------------------------------------------
+def _banked() -> BankedDRAM:
+    return BankedDRAM(
+        num_banks=4,
+        row_bytes=1024,
+        row_hit_latency=16,
+        row_miss_latency=24,
+        row_conflict_latency=28,
+    )
+
+
+def test_single_access_transaction_equals_access():
+    controller = MemoryController(_banked())
+    assert controller.transaction([(0x0, True)]) == 24
+
+
+def test_in_order_serves_accesses_as_issued():
+    controller = MemoryController(_banked(), policy="in_order")
+    controller.access(0)  # opens bank 0, row 0
+    # Victim writeback to bank 0 row 1 (conflict), then fetch of row 0 (conflict
+    # again, because the writeback just closed it).
+    latency = controller.transaction([(4 * 1024, False), (0, True)])
+    assert latency == 28 + 28
+    assert controller.stats.counter("reordered_accesses").value == 0
+
+
+def test_frfcfs_prefers_the_open_row():
+    controller = MemoryController(_banked(), policy="frfcfs")
+    controller.access(0)  # opens bank 0, row 0
+    # Same transaction: FR-FCFS serves the row-hitting fetch first (16), then
+    # the writeback conflicts once (28) instead of twice.
+    latency = controller.transaction([(4 * 1024, False), (0, True)])
+    assert latency == 16 + 28
+    assert controller.stats.counter("reordered_accesses").value == 1
+
+
+def test_frfcfs_is_in_order_when_nothing_hits():
+    controller = MemoryController(_banked(), policy="frfcfs")
+    latency = controller.transaction([(0, True), (1024, True)])
+    assert latency == 24 + 24  # two cold misses, no reordering
+    assert controller.stats.counter("reordered_accesses").value == 0
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ConfigurationError):
+        MemoryController(policy="out_of_order")

@@ -6,6 +6,7 @@ from repro.platform.scenarios import (
     Scenario,
     run_isolation,
     run_max_contention,
+    run_mixed_criticality,
     run_multiprogram,
     run_wcet_estimation,
 )
@@ -70,3 +71,30 @@ def test_same_seed_and_run_index_reproduce_exactly(rp_platform, tiny_workload):
     first = run_isolation(tiny_workload, rp_platform, seed=11, run_index=2)
     second = run_isolation(tiny_workload, rp_platform, seed=11, run_index=2)
     assert first.tua_cycles == second.tua_cycles
+
+
+def test_mixed_criticality_runs_best_effort_on_other_cores(rp_platform, tiny_workload):
+    result = run_mixed_criticality(tiny_workload, rp_platform, seed=3)
+    assert result.scenario is Scenario.MIXED_CRITICALITY
+    assert result.tua_cycles > 0
+    # Every best-effort core ran a real program to completion.
+    for core in range(1, rp_platform.num_cores):
+        assert result.system.core_counters[core].finished
+
+
+def test_mixed_criticality_accepts_named_best_effort(rp_platform, tiny_workload):
+    by_name = run_mixed_criticality(
+        tiny_workload, rp_platform, seed=3, best_effort="cpu_bound"
+    )
+    default = run_mixed_criticality(tiny_workload, rp_platform, seed=3)
+    assert by_name.tua_cycles > 0
+    # A compute-dominated neighbour interferes less than the default bus hog.
+    assert by_name.tua_cycles <= default.tua_cycles
+
+
+def test_mixed_criticality_accepts_a_spec(rp_platform, tiny_workload, quiet_workload):
+    result = run_mixed_criticality(
+        tiny_workload, rp_platform, seed=3, best_effort=quiet_workload
+    )
+    assert result.tua_cycles > 0
+    assert result.system.core_counters[1].finished
